@@ -1,0 +1,70 @@
+//===- bench/bench_ablation_ibdispatch.cpp - IB dispatch parameter sweep -----===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation C (DESIGN.md): the two knobs of the Section 4.3 client — how
+/// many profiling samples to collect before rewriting a trace, and how
+/// many hot targets to inline. Few samples risk rewriting on a skewed
+/// early picture; many samples delay the payoff; more inlined targets
+/// lengthen the miss path but widen coverage (megamorphic gap/perlbmk
+/// like more targets; gap's skew makes two nearly enough).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/OutStream.h"
+
+using namespace rio;
+
+namespace {
+
+double runWithOptions(const Workload &W, IBDispatchClient::Options Opts) {
+  Program Prog = buildWorkload(W, 0);
+  Outcome Native = runNativeProgram(Prog);
+
+  MachineConfig MC;
+  Machine M(MC);
+  if (!loadProgram(M, Prog))
+    return -1;
+  IBDispatchClient Client(Opts);
+  Runtime RT(M, RuntimeConfig::full(), &Client);
+  RunResult R = RT.run();
+  if (R.Status != RunStatus::Exited || M.output() != Native.Output)
+    return -1;
+  return double(R.Cycles) / double(Native.Cycles);
+}
+
+} // namespace
+
+int main() {
+  const unsigned Samples[] = {8, 32, 128};
+  const unsigned Targets[] = {1, 2, 4};
+  const char *Benches[] = {"gap", "perlbmk", "parser"};
+
+  OutStream &OS = outs();
+  OS.printf("Ablation C: indirect-branch dispatch knobs "
+            "(normalized time; defaults: 32 samples, 4 targets)\n\n");
+  OS.printf("%-22s", "samples x targets");
+  for (const char *Name : Benches)
+    OS.printf(" %10s", Name);
+  OS.printf("\n");
+
+  for (unsigned S : Samples) {
+    for (unsigned T : Targets) {
+      OS.printf("%10u x %-9u", S, T);
+      for (const char *Name : Benches) {
+        const Workload *W = findWorkload(Name);
+        IBDispatchClient::Options Opts;
+        Opts.SampleThreshold = S;
+        Opts.MaxInlinedTargets = T;
+        OS.printf(" %10.3f", runWithOptions(*W, Opts));
+      }
+      OS.printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===- bench/bench_ablation_threshold.cpp - Trace threshold sweep ------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation A (DESIGN.md): sensitivity of the trace-head threshold. The
+/// paper fixes it at 50 (Dynamo's value); this sweep shows the tradeoff a
+/// too-eager threshold (traces built for lukewarm code) or a too-lazy one
+/// (hot code stays in unlinked-head limbo longer) creates — and that gcc,
+/// the little-reuse workload, prefers *higher* thresholds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/OutStream.h"
+
+using namespace rio;
+
+int main() {
+  const unsigned Thresholds[] = {10, 50, 250, 1000};
+  const char *Benches[] = {"crafty", "vpr", "gcc", "perlbmk"};
+
+  OutStream &OS = outs();
+  OS.printf("Ablation A: trace-head threshold sweep "
+            "(normalized time; default 50)\n\n");
+  OS.printf("%-9s", "bench");
+  for (unsigned T : Thresholds)
+    OS.printf(" %10u", T);
+  OS.printf("\n");
+
+  for (const char *Name : Benches) {
+    const Workload *W = findWorkload(Name);
+    OS.printf("%-9s", Name);
+    for (unsigned T : Thresholds) {
+      RuntimeConfig Config = RuntimeConfig::full();
+      Config.TraceThreshold = T;
+      NormalizedRun R = measure(*W, Config, ClientKind::None);
+      if (!R.Transparent) {
+        OS.printf(" %10s", "FAIL");
+        continue;
+      }
+      OS.printf(" %10.3f", R.Normalized);
+    }
+    OS.printf("\n");
+  }
+  return 0;
+}

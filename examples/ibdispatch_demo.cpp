@@ -1,0 +1,95 @@
+//===- examples/ibdispatch_demo.cpp - Watch a trace rewrite itself ------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 4, live: runs the gap workload (megamorphic indirect
+/// calls) under the adaptive indirect-branch-dispatch client and
+/// disassembles the hot trace before and after the client rewrites it via
+/// dr_decode_fragment / dr_replace_fragment. The after-image shows the
+/// inserted compare chain dispatching the hottest targets ahead of the
+/// profiling call and the hashtable-lookup jump.
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disasm.h"
+#include "clients/Clients.h"
+#include "harness/Experiment.h"
+#include "support/OutStream.h"
+
+using namespace rio;
+
+namespace {
+
+/// Wraps IBDispatchClient to snapshot the trace around its rewrite.
+class SnapshottingClient : public Client {
+public:
+  IBDispatchClient Inner;
+  Machine *M = nullptr;
+  std::string Before, After;
+  AppPc WatchedTag = 0;
+
+  void onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) override {
+    Inner.onTrace(RT, Tag, Trace);
+  }
+  void onFragmentDeleted(Runtime &RT, AppPc Tag) override {
+    // A replace deletes the old fragment: snapshot before/after images.
+    if (Before.empty() && Inner.tracesRewritten() == 0) {
+      if (Fragment *Old = RT.lookupFragment(Tag)) {
+        if (Old->isTrace()) {
+          WatchedTag = Tag;
+          Before = disassembleRange(M->mem().data(), M->mem().size(), 0,
+                                    Old->CacheAddr,
+                                    Old->CacheAddr + Old->CodeSize);
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+int main() {
+  OutStream &OS = outs();
+  const Workload *W = findWorkload("gap");
+  Program Prog = buildWorkload(*W, 8000);
+
+  Machine M;
+  loadProgram(M, Prog);
+  SnapshottingClient Client;
+  Client.M = &M;
+  Runtime RT(M, RuntimeConfig::full(), &Client);
+  RunResult R = RT.run();
+  if (R.Status != RunStatus::Exited) {
+    OS.printf("run failed: %s\n", R.FaultReason.c_str());
+    return 1;
+  }
+
+  OS.printf("gap ran to completion; %llu trace(s) rewritten by the "
+            "IB-dispatch client\n\n",
+            (unsigned long long)Client.Inner.tracesRewritten());
+
+  if (!Client.Before.empty()) {
+    OS.printf("=== hot trace BEFORE the adaptive rewrite (tag 0x%x)\n%s\n",
+              Client.WatchedTag, Client.Before.c_str());
+    if (Fragment *New = RT.lookupFragment(Client.WatchedTag)) {
+      std::string After =
+          disassembleRange(M.mem().data(), M.mem().size(), 0, New->CacheAddr,
+                           New->CacheAddr + New->CodeSize);
+      OS.printf("=== the SAME trace AFTER the rewrite — note the inserted\n"
+                "    lea/jecxz dispatch chain before the clientcall "
+                "(Figure 4)\n%s\n",
+                After.c_str());
+    }
+  }
+
+  OS.printf("runtime statistics:\n");
+  for (const char *Key :
+       {"traces_built", "fragments_replaced", "clean_calls", "ibl_lookups"})
+    OS.printf("  %-20s %10llu\n", Key,
+              (unsigned long long)RT.stats().get(Key));
+  return 0;
+}

@@ -1,0 +1,220 @@
+//===- examples/riodyn.cpp - The command-line driver ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `riodyn` command-line tool: run any workload or RIO-32 assembly
+/// file natively or under the runtime, choosing configuration and clients
+/// — the reproduction's analogue of the DynamoRIO launcher.
+///
+///   riodyn [options] <workload-name | file.s>
+///     -native                run without the runtime
+///     -config <emulate|bbcache|linkdirect|linkindirect|full>
+///     -client <none|null|inscount|rlr|inc2add|ibdispatch|customtraces|
+///              shepherd|all4>
+///     -threads               use the multi-thread scheduler
+///     -sideline              defer trace optimization to the sideline
+///     -stats                 print runtime statistics
+///     -disas <symbol>        disassemble the fragment at a program symbol
+///     -scale <n>             workload scale override
+///
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disasm.h"
+#include "core/Sideline.h"
+#include "core/ThreadedRunner.h"
+#include "harness/Experiment.h"
+#include "support/OutStream.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace rio;
+
+namespace {
+
+bool readFile(const char *Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+int usage() {
+  OutStream &OS = outs();
+  OS.printf("usage: riodyn [options] <workload-name | file.s>\n"
+            "  -native | -config <emulate|bbcache|linkdirect|linkindirect|"
+            "full>\n"
+            "  -client <none|null|inscount|rlr|inc2add|ibdispatch|"
+            "customtraces|shepherd|all4>\n"
+            "  -threads | -sideline | -stats | -scale <n> | -disas <sym> | "
+            "-dump-asm\n"
+            "workloads:");
+  for (const Workload &W : allWorkloads())
+    OS.printf(" %s", W.Name);
+  OS.printf("\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  OutStream &OS = outs();
+  bool Native = false, Threads = false, UseSideline = false, Stats = false;
+  bool DumpAsm = false;
+  std::string ConfigName = "full", ClientName = "none", Target, DisasSym;
+  int Scale = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-native")
+      Native = true;
+    else if (Arg == "-threads")
+      Threads = true;
+    else if (Arg == "-sideline")
+      UseSideline = true;
+    else if (Arg == "-stats")
+      Stats = true;
+    else if (Arg == "-dump-asm")
+      DumpAsm = true;
+    else if (Arg == "-config" && I + 1 < argc)
+      ConfigName = argv[++I];
+    else if (Arg == "-client" && I + 1 < argc)
+      ClientName = argv[++I];
+    else if (Arg == "-scale" && I + 1 < argc)
+      Scale = std::atoi(argv[++I]);
+    else if (Arg == "-disas" && I + 1 < argc)
+      DisasSym = argv[++I];
+    else if (Arg[0] != '-')
+      Target = Arg;
+    else
+      return usage();
+  }
+  if (Target.empty())
+    return usage();
+
+  // Build the program.
+  Program Prog;
+  if (const Workload *W = findWorkload(Target)) {
+    if (DumpAsm) {
+      OS << W->Source(Scale > 0 ? Scale : W->DefaultScale);
+      return 0;
+    }
+    Prog = buildWorkload(*W, Scale);
+  } else {
+    std::string Source, Error;
+    if (!readFile(Target.c_str(), Source)) {
+      OS.printf("error: '%s' is neither a workload nor a readable file\n",
+                Target.c_str());
+      return 1;
+    }
+    if (!assemble(Source, Prog, Error)) {
+      OS.printf("assembly error: %s\n", Error.c_str());
+      return 1;
+    }
+  }
+
+  // Resolve configuration.
+  RuntimeConfig Config;
+  if (ConfigName == "emulate")
+    Config = RuntimeConfig::emulate();
+  else if (ConfigName == "bbcache")
+    Config = RuntimeConfig::bbCacheOnly();
+  else if (ConfigName == "linkdirect")
+    Config = RuntimeConfig::linkDirect();
+  else if (ConfigName == "linkindirect")
+    Config = RuntimeConfig::linkIndirect();
+  else if (ConfigName == "full")
+    Config = RuntimeConfig::full();
+  else
+    return usage();
+
+  // Resolve client.
+  ShepherdingClient Shepherd;
+  Client *ClientPtr = nullptr;
+  std::unique_ptr<ClientBundle> Bundle;
+  if (ClientName == "shepherd") {
+    ClientPtr = &Shepherd;
+  } else {
+    ClientKind Map[] = {ClientKind::None,         ClientKind::Null,
+                        ClientKind::Inscount,     ClientKind::Rlr,
+                        ClientKind::StrengthReduce, ClientKind::IBDispatch,
+                        ClientKind::CustomTraces, ClientKind::AllFour};
+    const char *Names[] = {"none",       "null",    "inscount",
+                           "rlr",        "inc2add", "ibdispatch",
+                           "customtraces", "all4"};
+    bool Found = false;
+    for (size_t K = 0; K != std::size(Names); ++K)
+      if (ClientName == Names[K]) {
+        Bundle = std::make_unique<ClientBundle>(Map[K]);
+        Found = true;
+      }
+    if (!Found)
+      return usage();
+    ClientPtr = Bundle->client();
+  }
+
+  // Run.
+  Machine M;
+  if (!loadProgram(M, Prog)) {
+    OS.printf("error: program too large for the application region\n");
+    return 1;
+  }
+
+  RunResult R;
+  std::unique_ptr<Runtime> RT;
+  if (Native) {
+    R = runThreadedNative(M);
+  } else if (Threads) {
+    ThreadedRunner Runner(M, Config, ClientPtr);
+    R = Runner.run();
+  } else if (UseSideline) {
+    NullClient Fallback;
+    SidelineOptimizer Sideline(ClientPtr ? *ClientPtr : Fallback);
+    RT = std::make_unique<Runtime>(M, Config, &Sideline);
+    R = runWithSideline(*RT, Sideline);
+  } else {
+    RT = std::make_unique<Runtime>(M, Config, ClientPtr);
+    R = RT->run();
+  }
+
+  OS << M.output();
+  OS.printf("--- %s, exit code %d, %llu instructions, %llu cycles ---\n",
+            R.Status == RunStatus::Exited ? "exited"
+            : R.Status == RunStatus::Faulted
+                ? ("FAULTED: " + R.FaultReason).c_str()
+                : "running",
+            R.ExitCode, (unsigned long long)R.Instructions,
+            (unsigned long long)R.Cycles);
+
+  if (ClientName == "shepherd")
+    OS.printf("shepherding: %llu transfers checked, %llu violations\n",
+              (unsigned long long)Shepherd.transfersChecked(),
+              (unsigned long long)Shepherd.violations());
+
+  if (Stats && RT) {
+    OS.printf("\nruntime statistics:\n");
+    RT->stats().print(OS);
+  }
+  if (!DisasSym.empty() && RT) {
+    AppPc Tag = Prog.symbol(DisasSym);
+    if (Fragment *Frag = RT->lookupFragment(Tag)) {
+      OS.printf("\nfragment for %s (tag 0x%x, %s):\n", DisasSym.c_str(), Tag,
+                Frag->isTrace() ? "trace" : "basic block");
+      OS << disassembleRange(M.mem().data(), M.mem().size(), 0,
+                             Frag->CacheAddr, Frag->CacheAddr + Frag->CodeSize);
+    } else {
+      OS.printf("\nno fragment for symbol '%s'\n", DisasSym.c_str());
+    }
+  }
+  return R.Status == RunStatus::Exited ? R.ExitCode : 125;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, and regenerate
+# every paper table/figure. Exits nonzero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== regenerating all paper tables/figures + ablations ==="
+for b in build/bench/*; do
+  echo
+  echo "--- $(basename "$b")"
+  "$b"
+done

@@ -1,0 +1,667 @@
+//===- asm/Assembler.cpp - Two-pass RIO-32 assembler ------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+
+#include "isa/Encode.h"
+#include "isa/OperandLayout.h"
+#include "vm/Machine.h"
+#include "support/Compiler.h"
+
+#include <cctype>
+#include <cstring>
+
+using namespace rio;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexing helpers
+//===----------------------------------------------------------------------===//
+
+struct Token {
+  std::string Text;
+};
+
+/// Splits a line into tokens; separators are whitespace and commas, while
+/// '[' ']' '+' '-' '*' ':' are tokens of their own. Strings are one token.
+bool tokenize(const std::string &Line, std::vector<Token> &Toks,
+              std::string &Error) {
+  size_t I = 0, N = Line.size();
+  while (I < N) {
+    char C = Line[I];
+    if (C == ';' || C == '#')
+      break; // comment
+    if (C == '/' && I + 1 < N && Line[I + 1] == '/')
+      break;
+    if (std::isspace(uint8_t(C)) || C == ',') {
+      ++I;
+      continue;
+    }
+    if (std::strchr("[]+*:", C)) {
+      Toks.push_back({std::string(1, C)});
+      ++I;
+      continue;
+    }
+    if (C == '"') {
+      std::string S = "\"";
+      ++I;
+      while (I < N && Line[I] != '"') {
+        if (Line[I] == '\\' && I + 1 < N) {
+          char Esc = Line[I + 1];
+          S += Esc == 'n' ? '\n' : Esc == 't' ? '\t' : Esc == '0' ? '\0' : Esc;
+          I += 2;
+        } else {
+          S += Line[I++];
+        }
+      }
+      if (I == N) {
+        Error = "unterminated string";
+        return false;
+      }
+      ++I; // closing quote
+      Toks.push_back({S});
+      continue;
+    }
+    if (C == '-') {
+      Toks.push_back({"-"});
+      ++I;
+      continue;
+    }
+    // Identifier / number / directive.
+    size_t Start = I;
+    while (I < N && (std::isalnum(uint8_t(Line[I])) || Line[I] == '_' ||
+                     Line[I] == '.' || Line[I] == '@'))
+      ++I;
+    if (I == Start) {
+      Error = std::string("unexpected character '") + C + "'";
+      return false;
+    }
+    Toks.push_back({Line.substr(Start, I - Start)});
+  }
+  return true;
+}
+
+bool isNumber(const std::string &S) {
+  if (S.empty())
+    return false;
+  size_t I = 0;
+  if (S[0] == '-')
+    I = 1;
+  if (I >= S.size())
+    return false;
+  if (S.size() > I + 2 && S[I] == '0' && (S[I + 1] == 'x' || S[I + 1] == 'X'))
+    return true;
+  return std::isdigit(uint8_t(S[I])) != 0;
+}
+
+int64_t parseNumber(const std::string &S) { return std::strtoll(S.c_str(), nullptr, 0); }
+
+bool isFloatNumber(const std::string &S) {
+  return isNumber(S) || S.find('.') != std::string::npos ||
+         S.find('e') != std::string::npos;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsed items
+//===----------------------------------------------------------------------===//
+
+/// A parsed operand, possibly referring to not-yet-defined symbols.
+struct POperand {
+  enum Kind { Reg, Imm, Sym, Mem, Non } K = Non;
+  Register R = REG_NULL;
+  int64_t Value = 0;
+  std::string Symbol; // for Imm-with-symbol and Mem displacement symbol
+  // Memory fields.
+  Register Base = REG_NULL;
+  Register Index = REG_NULL;
+  uint8_t Scale = 1;
+  int64_t Disp = 0;
+  std::string DispSymbol;
+};
+
+struct Item {
+  enum Kind { Instruction, Data, Align } K = Instruction;
+  unsigned LineNo = 0;
+  // Instruction.
+  Opcode Op = OP_INVALID;
+  std::vector<POperand> Ops;
+  // Data.
+  std::vector<uint8_t> DataBytes;           // fixed payload (byte/ascii/f64)
+  std::vector<std::string> WordSymbols;     // .word entries (symbol or number)
+  std::vector<int64_t> WordValues;
+  std::vector<bool> WordIsSymbol;
+  unsigned AlignTo = 1;
+  // Layout.
+  AppPc Addr = 0;
+  unsigned Size = 0;
+};
+
+struct MnemonicEntry {
+  const char *Name;
+  Opcode Op;
+  uint8_t MemSize; // default memory-operand access size
+};
+
+const MnemonicEntry Mnemonics[] = {
+    {"mov", OP_mov, 4},       {"movb", OP_mov_b, 1},
+    {"movzxb", OP_movzx_b, 1}, {"movzxw", OP_movzx_w, 2},
+    {"movsxb", OP_movsx_b, 1}, {"movsxw", OP_movsx_w, 2},
+    {"lea", OP_lea, 4},       {"xchg", OP_xchg, 4},
+    {"push", OP_push, 4},     {"pop", OP_pop, 4},
+    {"add", OP_add, 4},       {"or", OP_or, 4},
+    {"adc", OP_adc, 4},       {"sbb", OP_sbb, 4},
+    {"and", OP_and, 4},       {"sub", OP_sub, 4},
+    {"xor", OP_xor, 4},       {"cmp", OP_cmp, 4},
+    {"inc", OP_inc, 4},       {"dec", OP_dec, 4},
+    {"neg", OP_neg, 4},       {"not", OP_not, 4},
+    {"test", OP_test, 4},     {"imul", OP_imul, 4},
+    {"mul", OP_mul, 4},       {"idiv", OP_idiv, 4},
+    {"cdq", OP_cdq, 4},       {"shl", OP_shl, 4},
+    {"shr", OP_shr, 4},       {"sar", OP_sar, 4},
+    {"jmp", OP_jmp, 4},       {"call", OP_call, 4},
+    {"ret", OP_ret, 4},       {"int", OP_int, 4},
+    {"hlt", OP_hlt, 4},       {"nop", OP_nop, 4},
+    {"jo", OP_jo, 4},         {"jno", OP_jno, 4},
+    {"jb", OP_jb, 4},         {"jnb", OP_jnb, 4},
+    {"jz", OP_jz, 4},         {"jnz", OP_jnz, 4},
+    {"je", OP_jz, 4},         {"jne", OP_jnz, 4},
+    {"jbe", OP_jbe, 4},       {"jnbe", OP_jnbe, 4},
+    {"ja", OP_jnbe, 4},       {"jae", OP_jnb, 4},
+    {"js", OP_js, 4},         {"jns", OP_jns, 4},
+    {"jp", OP_jp, 4},         {"jnp", OP_jnp, 4},
+    {"jl", OP_jl, 4},         {"jnl", OP_jnl, 4},
+    {"jge", OP_jnl, 4},       {"jle", OP_jle, 4},
+    {"jnle", OP_jnle, 4},     {"jg", OP_jnle, 4},
+    {"jecxz", OP_jecxz, 4},
+    {"movsd", OP_movsd, 8},   {"addsd", OP_addsd, 8},
+    {"subsd", OP_subsd, 8},   {"mulsd", OP_mulsd, 8},
+    {"divsd", OP_divsd, 8},   {"ucomisd", OP_ucomisd, 8},
+    {"cvtsi2sd", OP_cvtsi2sd, 4}, {"cvttsd2si", OP_cvttsd2si, 8},
+    {"clientcall", OP_clientcall, 4},
+    {"savef", OP_savef, 4},   {"restf", OP_restf, 4},
+};
+
+const MnemonicEntry *findMnemonic(const std::string &Name) {
+  for (const auto &M : Mnemonics)
+    if (Name == M.Name)
+      return &M;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// The assembler
+//===----------------------------------------------------------------------===//
+
+class Assembler {
+public:
+  bool run(const std::string &Source, Program &Out, std::string &Error);
+
+private:
+  bool parseLine(const std::string &Line, unsigned LineNo);
+  bool parseOperand(const std::vector<Token> &Toks, size_t &I, uint8_t MemSize,
+                    POperand &Out);
+  bool layoutAndEncode(Program &Out);
+  bool resolveOperand(const POperand &P, uint8_t MemSize, Operand &Out);
+
+  bool err(unsigned LineNo, const std::string &Msg) {
+    ErrorText = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  std::vector<Item> Items;
+  std::map<std::string, AppPc> Symbols;
+  std::vector<std::pair<std::string, unsigned>> PendingLabels; // name, item idx
+  std::map<std::string, unsigned> LabelToItem;
+  AppPc OrgAddr = 0x1000;
+  std::string EntrySymbol = "main";
+  std::string ErrorText;
+  unsigned CurLineNo = 0;
+};
+
+bool Assembler::parseOperand(const std::vector<Token> &Toks, size_t &I,
+                             uint8_t MemSize, POperand &Out) {
+  if (I >= Toks.size())
+    return false;
+  const std::string &T = Toks[I].Text;
+
+  // Memory operand.
+  if (T == "[") {
+    ++I;
+    Out.K = POperand::Mem;
+    bool Neg = false;
+    while (I < Toks.size() && Toks[I].Text != "]") {
+      const std::string &P = Toks[I].Text;
+      if (P == "+") {
+        Neg = false;
+        ++I;
+        continue;
+      }
+      if (P == "-") {
+        Neg = true;
+        ++I;
+        continue;
+      }
+      Register R = registerFromName(P.c_str(), P.size());
+      if (R != REG_NULL) {
+        // Register term; check for *scale.
+        uint8_t Scale = 1;
+        if (I + 2 < Toks.size() && Toks[I + 1].Text == "*") {
+          Scale = uint8_t(parseNumber(Toks[I + 2].Text));
+          I += 2;
+        }
+        if (Scale != 1) {
+          if (Out.Index != REG_NULL)
+            return false;
+          Out.Index = R;
+          Out.Scale = Scale;
+        } else if (Out.Base == REG_NULL) {
+          Out.Base = R;
+        } else if (Out.Index == REG_NULL) {
+          Out.Index = R;
+        } else {
+          return false;
+        }
+        ++I;
+        continue;
+      }
+      if (isNumber(P)) {
+        int64_t V = parseNumber(P);
+        Out.Disp += Neg ? -V : V;
+        ++I;
+        continue;
+      }
+      // Symbol displacement.
+      if (!Out.DispSymbol.empty() || Neg)
+        return false;
+      Out.DispSymbol = P;
+      ++I;
+    }
+    if (I >= Toks.size())
+      return false;
+    ++I; // ']'
+    (void)MemSize;
+    return true;
+  }
+
+  // Register.
+  Register R = registerFromName(T.c_str(), T.size());
+  if (R != REG_NULL) {
+    Out.K = POperand::Reg;
+    Out.R = R;
+    ++I;
+    return true;
+  }
+
+  // Number (possibly negative via separate '-' token).
+  if (T == "-" && I + 1 < Toks.size() && isNumber(Toks[I + 1].Text)) {
+    Out.K = POperand::Imm;
+    Out.Value = -parseNumber(Toks[I + 1].Text);
+    I += 2;
+    return true;
+  }
+  if (isNumber(T)) {
+    Out.K = POperand::Imm;
+    Out.Value = parseNumber(T);
+    ++I;
+    return true;
+  }
+
+  // Symbol (label used as immediate / branch target), with an optional
+  // +/- constant addend: "stacks+1024".
+  Out.K = POperand::Sym;
+  Out.Symbol = T;
+  ++I;
+  while (I + 1 < Toks.size() &&
+         (Toks[I].Text == "+" || Toks[I].Text == "-") &&
+         isNumber(Toks[I + 1].Text)) {
+    int64_t V = parseNumber(Toks[I + 1].Text);
+    Out.Value += Toks[I].Text == "+" ? V : -V;
+    I += 2;
+  }
+  return true;
+}
+
+bool Assembler::parseLine(const std::string &Line, unsigned LineNo) {
+  std::vector<Token> Toks;
+  std::string LexError;
+  if (!tokenize(Line, Toks, LexError))
+    return err(LineNo, LexError);
+  size_t I = 0;
+
+  // Leading labels ("name:").
+  while (I + 1 < Toks.size() && Toks[I + 1].Text == ":") {
+    const std::string &Name = Toks[I].Text;
+    if (findMnemonic(Name) || isNumber(Name))
+      return err(LineNo, "bad label name '" + Name + "'");
+    if (LabelToItem.count(Name))
+      return err(LineNo, "duplicate label '" + Name + "'");
+    LabelToItem[Name] = unsigned(Items.size());
+    I += 2;
+  }
+  if (I >= Toks.size())
+    return true; // label-only or empty line
+
+  const std::string &Head = Toks[I].Text;
+
+  // Directives.
+  if (Head[0] == '.') {
+    ++I;
+    if (Head == ".org") {
+      if (I >= Toks.size() || !isNumber(Toks[I].Text))
+        return err(LineNo, ".org needs an address");
+      OrgAddr = AppPc(parseNumber(Toks[I].Text));
+      return true;
+    }
+    if (Head == ".entry") {
+      if (I >= Toks.size())
+        return err(LineNo, ".entry needs a symbol");
+      EntrySymbol = Toks[I].Text;
+      return true;
+    }
+    Item It;
+    It.LineNo = LineNo;
+    if (Head == ".align") {
+      if (I >= Toks.size() || !isNumber(Toks[I].Text))
+        return err(LineNo, ".align needs a power of two");
+      It.K = Item::Align;
+      It.AlignTo = unsigned(parseNumber(Toks[I].Text));
+      if (It.AlignTo == 0 || (It.AlignTo & (It.AlignTo - 1)))
+        return err(LineNo, ".align needs a power of two");
+      Items.push_back(std::move(It));
+      return true;
+    }
+    It.K = Item::Data;
+    if (Head == ".byte") {
+      for (; I < Toks.size(); ++I) {
+        if (!isNumber(Toks[I].Text))
+          return err(LineNo, ".byte needs numbers");
+        It.DataBytes.push_back(uint8_t(parseNumber(Toks[I].Text)));
+      }
+    } else if (Head == ".word" || Head == ".long") {
+      for (; I < Toks.size(); ++I) {
+        if (isNumber(Toks[I].Text)) {
+          It.WordValues.push_back(parseNumber(Toks[I].Text));
+          It.WordIsSymbol.push_back(false);
+          It.WordSymbols.emplace_back();
+        } else {
+          It.WordValues.push_back(0);
+          It.WordIsSymbol.push_back(true);
+          It.WordSymbols.push_back(Toks[I].Text);
+        }
+      }
+    } else if (Head == ".f64" || Head == ".double") {
+      for (; I < Toks.size(); ++I) {
+        if (!isFloatNumber(Toks[I].Text))
+          return err(LineNo, ".f64 needs numbers");
+        double D = std::strtod(Toks[I].Text.c_str(), nullptr);
+        uint8_t Buf[8];
+        std::memcpy(Buf, &D, 8);
+        It.DataBytes.insert(It.DataBytes.end(), Buf, Buf + 8);
+      }
+    } else if (Head == ".space") {
+      if (I >= Toks.size() || !isNumber(Toks[I].Text))
+        return err(LineNo, ".space needs a size");
+      It.DataBytes.assign(size_t(parseNumber(Toks[I].Text)), 0);
+    } else if (Head == ".ascii" || Head == ".asciz") {
+      if (I >= Toks.size() || Toks[I].Text[0] != '"')
+        return err(LineNo, Head + " needs a string");
+      const std::string &S = Toks[I].Text;
+      It.DataBytes.insert(It.DataBytes.end(), S.begin() + 1, S.end());
+      if (Head == ".asciz")
+        It.DataBytes.push_back(0);
+    } else {
+      return err(LineNo, "unknown directive " + Head);
+    }
+    Items.push_back(std::move(It));
+    return true;
+  }
+
+  // Instruction.
+  const MnemonicEntry *M = findMnemonic(Head);
+  if (!M)
+    return err(LineNo, "unknown mnemonic '" + Head + "'");
+  ++I;
+  Item It;
+  It.LineNo = LineNo;
+  It.Op = M->Op;
+  while (I < Toks.size()) {
+    POperand P;
+    if (!parseOperand(Toks, I, M->MemSize, P))
+      return err(LineNo, "bad operand");
+    It.Ops.push_back(P);
+  }
+
+  // jmp/call with register or memory operand are the indirect opcodes;
+  // "ret n" is ret_imm.
+  if (It.Op == OP_jmp &&
+      !It.Ops.empty() && It.Ops[0].K != POperand::Sym)
+    It.Op = OP_jmp_ind;
+  if (It.Op == OP_call && !It.Ops.empty() && It.Ops[0].K != POperand::Sym)
+    It.Op = OP_call_ind;
+  if (It.Op == OP_ret && !It.Ops.empty())
+    It.Op = OP_ret_imm;
+
+  Items.push_back(std::move(It));
+  return true;
+}
+
+bool Assembler::resolveOperand(const POperand &P, uint8_t MemSize,
+                               Operand &Out) {
+  switch (P.K) {
+  case POperand::Reg:
+    Out = Operand::reg(P.R);
+    return true;
+  case POperand::Imm:
+    Out = Operand::imm(P.Value, 4);
+    return true;
+  case POperand::Sym: {
+    auto It = Symbols.find(P.Symbol);
+    if (It == Symbols.end())
+      return false;
+    Out = Operand::imm(int64_t(It->second) + P.Value, 4);
+    return true;
+  }
+  case POperand::Mem: {
+    int64_t Disp = P.Disp;
+    if (!P.DispSymbol.empty()) {
+      auto It = Symbols.find(P.DispSymbol);
+      if (It == Symbols.end())
+        return false;
+      Disp += int64_t(It->second);
+    }
+    Out = Operand::mem(P.Base, int32_t(Disp), MemSize, P.Index, P.Scale);
+    return true;
+  }
+  case POperand::Non:
+    return false;
+  }
+  return false;
+}
+
+bool Assembler::layoutAndEncode(Program &Out) {
+  // Pass 1: sizes with placeholder symbol values that force wide forms.
+  // Labels all resolve to >= 0x1000, so no imm/rel form can shrink later.
+  // Layout is therefore exact after one pass.
+  AppPc Addr = OrgAddr;
+  for (auto &It : Items) {
+    It.Addr = Addr;
+    switch (It.K) {
+    case Item::Align:
+      It.Size = unsigned((It.AlignTo - (Addr % It.AlignTo)) % It.AlignTo);
+      break;
+    case Item::Data:
+      It.Size = unsigned(It.DataBytes.size() + 4 * It.WordValues.size());
+      break;
+    case Item::Instruction: {
+      // Build operands with placeholder symbols resolved to a far dummy.
+      uint8_t MemSize = 4;
+      for (const auto &M : Mnemonics)
+        if (M.Op == It.Op) {
+          MemSize = M.MemSize;
+          break;
+        }
+      Operand Ex[MaxExplicit];
+      unsigned NumEx = 0;
+      for (const auto &P : It.Ops) {
+        if (NumEx >= MaxExplicit)
+          return err(It.LineNo, "too many operands");
+        Operand O;
+        // Temporarily bind unresolved symbols far away (except for the
+        // rel8-only jecxz, which must assume a nearby target).
+        if (P.K == POperand::Sym && !Symbols.count(P.Symbol))
+          O = Operand::imm(It.Op == OP_jecxz ? int64_t(Addr) : 0x7FFF0000, 4);
+        else if (P.K == POperand::Mem && !P.DispSymbol.empty() &&
+                 !Symbols.count(P.DispSymbol))
+          O = Operand::mem(P.Base, 0x7FFF0000, MemSize, P.Index, P.Scale);
+        else if (!resolveOperand(P, MemSize, O))
+          return err(It.LineNo, "undefined symbol in operand");
+        Ex[NumEx++] = O;
+      }
+      // Direct branches take a pc operand.
+      if ((It.Op == OP_jmp || It.Op == OP_call || opcodeIsCondBranch(It.Op)) &&
+          NumEx == 1 && Ex[0].isImm())
+        Ex[0] = Operand::pc(AppPc(Ex[0].getImm()));
+      Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+      unsigned NumSrcs = 0, NumDsts = 0;
+      if (!buildCanonicalOperands(It.Op, Ex, NumEx, Srcs, NumSrcs, Dsts,
+                                  NumDsts))
+        return err(It.LineNo, "operands do not fit instruction");
+      uint8_t Buf[MaxInstrLength];
+      EncodeOptions Opts;
+      Opts.AllowShortBranches = false;
+      int Len = encodeInstr(It.Op, 0, Srcs, NumSrcs, Dsts, NumDsts, Addr, Buf,
+                            Opts);
+      if (Len < 0)
+        return err(It.LineNo, "no encoding for operand combination");
+      It.Size = unsigned(Len);
+      break;
+    }
+    }
+    Addr += It.Size;
+  }
+
+  // Bind labels now that every item has an address.
+  for (const auto &[Name, ItemIdx] : LabelToItem)
+    Symbols[Name] = ItemIdx < Items.size() ? Items[ItemIdx].Addr : Addr;
+
+  // Pass 2: encode with real symbol values.
+  Out.LoadAddr = OrgAddr;
+  Out.Bytes.assign(Addr - OrgAddr, 0);
+  for (auto &It : Items) {
+    uint8_t *Dst = Out.Bytes.data() + (It.Addr - OrgAddr);
+    switch (It.K) {
+    case Item::Align:
+      std::memset(Dst, 0x90, It.Size); // nop padding
+      break;
+    case Item::Data: {
+      std::memcpy(Dst, It.DataBytes.data(), It.DataBytes.size());
+      uint8_t *W = Dst + It.DataBytes.size();
+      for (size_t K = 0; K != It.WordValues.size(); ++K) {
+        uint32_t V;
+        if (It.WordIsSymbol[K]) {
+          auto SIt = Symbols.find(It.WordSymbols[K]);
+          if (SIt == Symbols.end())
+            return err(It.LineNo, "undefined symbol " + It.WordSymbols[K]);
+          V = SIt->second;
+        } else {
+          V = uint32_t(It.WordValues[K]);
+        }
+        std::memcpy(W + 4 * K, &V, 4);
+      }
+      break;
+    }
+    case Item::Instruction: {
+      uint8_t MemSize = 4;
+      for (const auto &M : Mnemonics)
+        if (M.Op == It.Op) {
+          MemSize = M.MemSize;
+          break;
+        }
+      Operand Ex[MaxExplicit];
+      unsigned NumEx = 0;
+      for (const auto &P : It.Ops) {
+        Operand O;
+        if (!resolveOperand(P, MemSize, O))
+          return err(It.LineNo, "undefined symbol in operand");
+        Ex[NumEx++] = O;
+      }
+      if ((It.Op == OP_jmp || It.Op == OP_call || opcodeIsCondBranch(It.Op)) &&
+          NumEx == 1 && Ex[0].isImm())
+        Ex[0] = Operand::pc(AppPc(Ex[0].getImm()));
+      Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+      unsigned NumSrcs = 0, NumDsts = 0;
+      if (!buildCanonicalOperands(It.Op, Ex, NumEx, Srcs, NumSrcs, Dsts,
+                                  NumDsts))
+        return err(It.LineNo, "operands do not fit instruction");
+      uint8_t Buf[MaxInstrLength];
+      EncodeOptions Opts;
+      Opts.AllowShortBranches = false;
+      int Len = encodeInstr(It.Op, 0, Srcs, NumSrcs, Dsts, NumDsts, It.Addr,
+                            Buf, Opts);
+      if (Len < 0 || unsigned(Len) > It.Size)
+        return err(It.LineNo, "encoding changed size between passes");
+      std::memcpy(Dst, Buf, size_t(Len));
+      // Shrunk encodings (symbol landed in imm8 range) get nop padding.
+      std::memset(Dst + Len, 0x90, It.Size - unsigned(Len));
+      break;
+    }
+    }
+  }
+
+  auto EntryIt = Symbols.find(EntrySymbol);
+  if (EntryIt == Symbols.end())
+    return err(0, "entry symbol '" + EntrySymbol + "' is undefined");
+  Out.Entry = EntryIt->second;
+  Out.Symbols = Symbols;
+  return true;
+}
+
+bool Assembler::run(const std::string &Source, Program &Out,
+                    std::string &Error) {
+  size_t Pos = 0;
+  unsigned LineNo = 1;
+  while (Pos <= Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Source.size();
+    std::string Line = Source.substr(Pos, Eol - Pos);
+    if (!parseLine(Line, LineNo)) {
+      Error = ErrorText;
+      return false;
+    }
+    Pos = Eol + 1;
+    ++LineNo;
+    if (Eol == Source.size())
+      break;
+  }
+  if (!layoutAndEncode(Out)) {
+    Error = ErrorText;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool rio::assemble(const std::string &Source, Program &Out,
+                   std::string &Error) {
+  Assembler A;
+  return A.run(Source, Out, Error);
+}
+
+bool rio::loadProgram(Machine &M, const Program &Prog) {
+  if (!M.mem().writeBlock(Prog.LoadAddr, Prog.Bytes.data(),
+                          uint32_t(Prog.Bytes.size())))
+    return false;
+  M.cpu().Pc = Prog.Entry;
+  // Stack at the top of the application region, 16-byte aligned, with a
+  // little headroom.
+  uint32_t StackTop = (M.runtimeBase() - 64) & ~15u;
+  M.cpu().writeGpr32(REG_ESP, StackTop);
+  return true;
+}

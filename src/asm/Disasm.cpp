@@ -1,0 +1,59 @@
+//===- asm/Disasm.cpp - RIO-32 disassembler ---------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disasm.h"
+
+#include "ir/Instr.h"
+#include "ir/Print.h"
+#include "support/Arena.h"
+
+#include <cstdio>
+
+using namespace rio;
+
+int rio::disassembleOne(const uint8_t *Bytes, size_t Avail, AppPc Pc,
+                        std::string &Text) {
+  DecodedInstr DI;
+  if (!decodeInstr(Bytes, Avail, Pc, DI))
+    return -1;
+  Arena A(1024);
+  Instr *I = Instr::createDecoded(A, DI, Bytes, Pc);
+  Text = instrToAsm(*I);
+  return DI.Length;
+}
+
+std::string rio::disassembleRange(const uint8_t *Bytes, size_t Size,
+                                  AppPc Base, AppPc Lo, AppPc Hi) {
+  std::string Out;
+  char Line[64];
+  AppPc Pc = Lo;
+  while (Pc < Hi && Pc >= Base && Pc - Base < Size) {
+    const uint8_t *P = Bytes + (Pc - Base);
+    size_t Avail = Size - (Pc - Base);
+    std::string Text;
+    int Len = disassembleOne(P, Avail, Pc, Text);
+    if (Len < 0) {
+      std::snprintf(Line, sizeof(Line), "%08x: .byte 0x%02x\n", Pc, P[0]);
+      Out += Line;
+      ++Pc;
+      continue;
+    }
+    std::snprintf(Line, sizeof(Line), "%08x: ", Pc);
+    Out += Line;
+    for (int K = 0; K != Len; ++K) {
+      std::snprintf(Line, sizeof(Line), "%02x ", P[K]);
+      Out += Line;
+    }
+    for (int K = Len; K < 8; ++K)
+      Out += "   ";
+    Out += ' ';
+    Out += Text;
+    Out += '\n';
+    Pc += AppPc(Len);
+  }
+  return Out;
+}

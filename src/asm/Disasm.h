@@ -1,0 +1,34 @@
+//===- asm/Disasm.h - RIO-32 disassembler ----------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Range disassembly for debugging, examples, and the levels demo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ASM_DISASM_H
+#define RIO_ASM_DISASM_H
+
+#include "isa/Operand.h"
+
+#include <string>
+
+namespace rio {
+
+/// Disassembles [Lo, Hi) within \p Bytes (where Bytes[0] is address
+/// \p Base), one "address: bytes  mnemonic operands" line per instruction.
+/// Undecodable bytes produce a ".byte NN" line and resync one byte later.
+std::string disassembleRange(const uint8_t *Bytes, size_t Size, AppPc Base,
+                             AppPc Lo, AppPc Hi);
+
+/// Disassembles one instruction; returns its length or -1.
+int disassembleOne(const uint8_t *Bytes, size_t Avail, AppPc Pc,
+                   std::string &Text);
+
+} // namespace rio
+
+#endif // RIO_ASM_DISASM_H

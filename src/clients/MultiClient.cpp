@@ -1,0 +1,63 @@
+//===- clients/MultiClient.cpp - Client composition ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs several clients against one runtime — the paper's final Figure 5
+/// bar applies all four sample optimizations at once. Transformation hooks
+/// are applied in registration order (so e.g. redundant load removal sees
+/// the trace before strength reduction rewrites inc instructions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Clients.h"
+
+using namespace rio;
+
+void MultiClient::onInit(Runtime &RT) {
+  for (Client *C : Parts)
+    C->onInit(RT);
+}
+void MultiClient::onExit(Runtime &RT) {
+  for (Client *C : Parts)
+    C->onExit(RT);
+}
+void MultiClient::onThreadInit(Runtime &RT) {
+  for (Client *C : Parts)
+    C->onThreadInit(RT);
+}
+void MultiClient::onThreadExit(Runtime &RT) {
+  for (Client *C : Parts)
+    C->onThreadExit(RT);
+}
+void MultiClient::onBasicBlock(Runtime &RT, AppPc Tag, InstrList &Block) {
+  for (Client *C : Parts)
+    C->onBasicBlock(RT, Tag, Block);
+}
+void MultiClient::onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) {
+  for (Client *C : Parts)
+    C->onTrace(RT, Tag, Trace);
+}
+void MultiClient::onFragmentDeleted(Runtime &RT, AppPc Tag) {
+  for (Client *C : Parts)
+    C->onFragmentDeleted(RT, Tag);
+}
+bool MultiClient::onIndirectResolved(Runtime &RT, int BranchOp,
+                                     AppPc Target) {
+  for (Client *C : Parts)
+    if (!C->onIndirectResolved(RT, BranchOp, Target))
+      return false;
+  return true;
+}
+Client::EndTrace MultiClient::onEndTrace(Runtime &RT, AppPc TraceTag,
+                                         AppPc NextTag) {
+  for (Client *C : Parts) {
+    EndTrace Decision = C->onEndTrace(RT, TraceTag, NextTag);
+    if (Decision != EndTrace::Default)
+      return Decision;
+  }
+  return EndTrace::Default;
+}

@@ -1,0 +1,81 @@
+//===- clients/Shepherding.cpp - Program shepherding (security) ----------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A program-shepherding client in the spirit of the security system the
+/// paper cites as a driving non-optimization use of the interface
+/// (Section 1 / reference [23], "Secure execution via program
+/// shepherding"): because every indirect control transfer funnels through
+/// the runtime, a client can enforce a control-transfer policy the
+/// application cannot bypass.
+///
+/// Policy implemented here (the paper's headline one):
+///   - a `ret` may only transfer to a *valid return site* — an address
+///     immediately following some call instruction observed during block
+///     building;
+///   - optionally, indirect calls/jumps may only target previously
+///     observed block entries (code the runtime has vetted).
+///
+/// Valid return sites are harvested for free in the basic-block hook: the
+/// runtime necessarily builds the caller's block (recording the site)
+/// before the call executes, hence before the matching return.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Clients.h"
+
+#include "api/dr_api.h"
+
+using namespace rio;
+
+void ShepherdingClient::onBasicBlock(Runtime &RT, AppPc Tag,
+                                     InstrList &Block) {
+  (void)RT;
+  // Record the block's extent (for the into-the-middle check) and harvest
+  // return sites: the address after any call terminator. Only terminators
+  // are decoded (Level 3); the body stays a cheap bundle.
+  AppPc End = Tag;
+  for (Instr &I : Block) {
+    if (I.isLabel())
+      continue;
+    if (I.rawBitsValid() && I.appAddr() >= Tag)
+      End = std::max(End, I.appAddr() + I.rawLength());
+    if (!I.isBundle() && I.isCall() && I.rawBitsValid())
+      ValidReturnSites.insert(I.appAddr() + I.rawLength());
+  }
+  BlockExtents[Tag] = End;
+}
+
+bool ShepherdingClient::onIndirectResolved(Runtime &RT, int BranchOp,
+                                           AppPc Target) {
+  // Model the cost of the policy check (a hashtable probe piggybacked on
+  // the IBL, as the shepherding paper describes).
+  RT.machine().chargeCycles(CheckCost);
+  ++TransfersChecked;
+
+  bool Ok = true;
+  if (BranchOp == OP_ret || BranchOp == OP_ret_imm) {
+    Ok = ValidReturnSites.count(Target) != 0;
+  } else if (RestrictIndirectTargets) {
+    // Indirect calls/jumps must not land in the *middle* of already-vetted
+    // code (the classic unintended-instruction attack). Targets at block
+    // entries or in code not yet seen (about to be vetted at build time)
+    // pass.
+    auto It = BlockExtents.upper_bound(Target);
+    if (It != BlockExtents.begin()) {
+      --It;
+      if (Target > It->first && Target < It->second)
+        Ok = false;
+    }
+  }
+  if (Ok)
+    return true;
+
+  ++Violations;
+  LastViolationTarget = Target;
+  return !Enforce; // report-only mode lets execution continue
+}

@@ -1,0 +1,100 @@
+//===- clients/StrengthReduce.cpp - inc/dec -> add/sub 1 (paper Fig. 3) ------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Section 4.2 / Figure 3 client, kept as close to the
+/// published listing as the C++ hook class allows. On the Pentium 4, `inc`
+/// is slower than `add 1` (and `dec` slower than `sub 1`) because of the
+/// partial-flags merge; the transformation is legal only when the CF
+/// difference cannot be observed: scan forward until some instruction
+/// *writes* CF without reading it first — then the stale CF is dead.
+///
+//===----------------------------------------------------------------------===//
+
+#include "clients/Clients.h"
+
+#include "api/dr_api.h"
+
+using namespace rio;
+
+namespace {
+
+/// Figure 3's inc2add: returns true (and performs the replacement) if the
+/// eflags difference between inc and add is invisible in this trace.
+bool inc2add(void *context, Instr *instr, InstrList *trace) {
+  Instr *in;
+  uint32_t eflags;
+  int opcode = instr_get_opcode(instr);
+  bool ok_to_replace = false;
+  /* add writes CF, inc does not, check ok! */
+  for (in = instr; in != NULL; in = instr_get_next(in)) {
+    eflags = instr_get_eflags(in);
+    if ((eflags & EFLAGS_READ_CF) != 0)
+      return false;
+    /* if writes but doesn't read, we can replace */
+    if ((eflags & EFLAGS_WRITE_CF) != 0) {
+      ok_to_replace = true;
+      break;
+    }
+    /* simplification: stop at first exit */
+    if (instr_is_exit_cti(in))
+      return false;
+  }
+  if (!ok_to_replace)
+    return false;
+  if (opcode == OP_inc)
+    in = INSTR_CREATE_add(context, instr_get_dst(instr, 0),
+                          OPND_CREATE_INT8(1));
+  else
+    in = INSTR_CREATE_sub(context, instr_get_dst(instr, 0),
+                          OPND_CREATE_INT8(1));
+  if (in == NULL)
+    return false;
+  instr_set_prefixes(in, instr_get_prefixes(instr));
+  instrlist_replace(trace, instr, in);
+  instr_destroy(context, instr);
+  return true;
+}
+
+} // namespace
+
+void StrengthReduceClient::onInit(Runtime &RT) {
+  Enable = proc_get_family(&RT) == FAMILY_PENTIUM_IV;
+  NumExamined = 0;
+  NumConverted = 0;
+}
+
+void StrengthReduceClient::onExit(Runtime &RT) {
+  (void)RT;
+  if (!Verbose)
+    return;
+  if (Enable)
+    dr_printf("converted %llu out of %llu\n",
+              (unsigned long long)NumConverted,
+              (unsigned long long)NumExamined);
+  else
+    dr_printf("kept original inc/dec\n");
+}
+
+void StrengthReduceClient::onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) {
+  (void)Tag;
+  if (!Enable)
+    return;
+  void *context = &RT;
+  Instr *instr, *next_instr;
+  for (instr = instrlist_first(&Trace); instr != NULL; instr = next_instr) {
+    next_instr = instr_get_next(instr);
+    if (instr->isBundle() || instr->isLabel())
+      continue;
+    int opcode = instr_get_opcode(instr);
+    if (opcode == OP_inc || opcode == OP_dec) {
+      ++NumExamined;
+      if (inc2add(context, instr, &Trace))
+        ++NumConverted;
+    }
+  }
+}

@@ -1,0 +1,58 @@
+//===- core/Analysis.cpp - Small analyses over linear code ------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analysis.h"
+
+#include "isa/Eflags.h"
+
+using namespace rio;
+
+bool rio::flagsLiveAt(Instr *From) {
+  uint32_t Written = 0; // read-mask space (bits 0-5)
+  for (Instr *I = From; I; I = I->next()) {
+    if (I->isLabel())
+      continue;
+    if (I->isBundle())
+      return true; // cannot see inside; be conservative
+    uint32_t Effect = I->getEflags();
+    uint32_t Reads = Effect & EFLAGS_READ_ALL;
+    if (Reads & ~Written)
+      return true;
+    Written |= (Effect & EFLAGS_WRITE_ALL) >> 6;
+    if (Written == EFLAGS_READ_ALL)
+      return false;
+    if (I->isCti())
+      return true; // control may leave with flags still partially unwritten
+  }
+  return true; // fell off the list with flags unwritten
+}
+
+bool rio::registerLiveAt(Instr *From, Register Reg) {
+  for (Instr *I = From; I; I = I->next()) {
+    if (I->isLabel())
+      continue;
+    if (I->isBundle())
+      return true;
+    // Reads: source operands and address computations of destinations.
+    for (unsigned Idx = 0, N = I->numSrcs(); Idx != N; ++Idx)
+      if (I->getSrc(Idx).usesRegister(Reg))
+        return true;
+    bool FullyWritten = false;
+    for (unsigned Idx = 0, N = I->numDsts(); Idx != N; ++Idx) {
+      const Operand &Dst = I->getDst(Idx);
+      if (Dst.isMem() && Dst.usesRegister(Reg))
+        return true; // address computation reads the register
+      if (Dst.isReg() && Dst.getReg() == Reg && isGpr32(Reg))
+        FullyWritten = true;
+    }
+    if (FullyWritten)
+      return false;
+    if (I->isCti())
+      return true;
+  }
+  return true;
+}

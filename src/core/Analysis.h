@@ -1,0 +1,38 @@
+//===- core/Analysis.h - Small analyses over linear code -------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analyses over linear InstrLists. The restriction of optimization units
+/// to linear streams (paper Section 3.1) is exactly what keeps these
+/// analyses trivial and cheap; the eflags-liveness scan is the reason the
+/// Level 2 representation exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_ANALYSIS_H
+#define RIO_CORE_ANALYSIS_H
+
+#include "ir/InstrList.h"
+
+namespace rio {
+
+/// Returns true if any arithmetic flag may be read before being rewritten,
+/// scanning forward from \p From (inclusive) to the end of its list.
+/// Conservative at control-transfer instructions: if control can leave the
+/// fragment while some flag is still unwritten, the flags count as live.
+bool flagsLiveAt(Instr *From);
+
+/// Returns true if register \p Reg may be read before being fully
+/// rewritten, scanning forward from \p From. Conservative at CTIs, partial
+/// (byte) register writes, and memory operands using \p Reg for
+/// addressing. Used by the redundant-load-removal client to check that a
+/// scratch register choice is safe.
+bool registerLiveAt(Instr *From, Register Reg);
+
+} // namespace rio
+
+#endif // RIO_CORE_ANALYSIS_H

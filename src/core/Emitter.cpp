@@ -1,0 +1,631 @@
+//===- core/Emitter.cpp - Block building, emission, and linking -------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fragment construction: lifting application code, mangling it for cache
+/// residence (calls push *application* return addresses — transparency),
+/// emitting bodies plus exit stubs into the cache, and link management.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "ir/Build.h"
+#include "support/Compiler.h"
+
+using namespace rio;
+
+//===----------------------------------------------------------------------===//
+// Cache allocation
+//===----------------------------------------------------------------------===//
+
+uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
+  uint32_t &Cursor =
+      Kind == Fragment::Kind::Trace ? TraceCacheCursor : BbCacheCursor;
+  uint32_t End = Kind == Fragment::Kind::Trace ? TraceCacheEnd : BbCacheEnd;
+  uint32_t Addr = (Cursor + 3) & ~3u;
+  if (Addr + Size > End) {
+    M.fault("code cache exhausted");
+    return 0;
+  }
+  Cursor = Addr + Size;
+  return Addr;
+}
+
+//===----------------------------------------------------------------------===//
+// Client transformation cost accounting
+//===----------------------------------------------------------------------===//
+
+uint64_t Runtime::clientTransformCost(InstrList &IL) const {
+  // Cost scales with the level of detail actually reached, mirroring the
+  // Table 2 asymmetry: bundles/raw instructions were never examined; Level
+  // 2 cost a light decode; Level 3 a full decode; Level 4 a full encode.
+  const CostModel &CM = M.cost();
+  uint64_t Cost = 0;
+  for (Instr &I : IL) {
+    switch (I.level()) {
+    case Instr::Level::Bundle:
+    case Instr::Level::Raw:
+      break;
+    case Instr::Level::OpcodeKnown:
+      Cost += CM.ClientDecodeLevel02;
+      break;
+    case Instr::Level::Decoded:
+      Cost += CM.ClientDecodeLevel3;
+      break;
+    case Instr::Level::Synth:
+      Cost += CM.ClientDecodeLevel3 + CM.ClientEncodeLevel4;
+      break;
+    }
+  }
+  return Cost;
+}
+
+//===----------------------------------------------------------------------===//
+// Mangling
+//===----------------------------------------------------------------------===//
+
+void Runtime::mangleForCache(InstrList &IL) {
+  Arena &A = IL.arena();
+  for (Instr *I = IL.first(); I;) {
+    Instr *Next = I->next();
+    if (I->isBundle() || I->isLabel()) {
+      I = Next;
+      continue;
+    }
+    Opcode Op = I->getOpcode();
+
+    if (Op == OP_call) {
+      // call T  ==>  push $app_return ; jmp T
+      // The pushed return address must be the *application* address, never
+      // a cache address (transparency; paper Sections 2 and 5).
+      AppPc Ret = I->appAddr() + I->rawLength();
+      Instr *Push =
+          Instr::createSynth(A, OP_push, {Operand::imm(int64_t(Ret), 4)});
+      Instr *Jmp =
+          Instr::createSynth(A, OP_jmp, {Operand::pc(I->branchTarget())});
+      Jmp->setAppAddr(I->appAddr());
+      IL.insertBefore(I, Push);
+      IL.replace(I, Jmp);
+      I = Next;
+      continue;
+    }
+
+    if (Op == OP_call_ind) {
+      // call RM ==> spill scratch; compute target; push $app_return;
+      //             jmp_ind [IbTargetSlot]
+      // The target is computed *before* the push, matching hardware
+      // semantics when RM addresses through esp.
+      AppPc Ret = I->appAddr() + I->rawLength();
+      Operand Rm = I->getSrc(0);
+      Register Scratch = REG_EAX;
+      while (Rm.usesRegister(Scratch))
+        Scratch = Register(Scratch + 1);
+      Operand Spill = Operand::memAbs(Slots.SpillSlots, 4);
+      Operand TargetSlot = Operand::memAbs(Slots.IbTargetSlot, 4);
+      Instr *Seq[6] = {
+          Instr::createSynth(A, OP_mov, {Spill, Operand::reg(Scratch)}),
+          Instr::createSynth(A, OP_mov, {Operand::reg(Scratch), Rm}),
+          Instr::createSynth(A, OP_mov, {TargetSlot, Operand::reg(Scratch)}),
+          Instr::createSynth(A, OP_mov, {Operand::reg(Scratch), Spill}),
+          Instr::createSynth(A, OP_push, {Operand::imm(int64_t(Ret), 4)}),
+          Instr::createSynth(A, OP_jmp_ind, {TargetSlot}),
+      };
+      for (Instr *S : Seq) {
+        assert(S && "mangle sequence creation failed");
+        S->setAppAddr(I->appAddr());
+        IL.insertBefore(I, S);
+      }
+      IL.remove(I);
+      I = Next;
+      continue;
+    }
+
+    if (Op == OP_jecxz && I->getSrc(0).isPc()) {
+      // jecxz only has a rel8 form and cannot reach an exit stub; bounce
+      // through a nearby trampoline that can:
+      //   jecxz L ; ... ; L: jmp T
+      Instr *Local = Instr::createLabel(A);
+      Instr *Far =
+          Instr::createSynth(A, OP_jmp, {Operand::pc(I->getSrc(0).getPc())});
+      Far->setAppAddr(I->appAddr());
+      I->setBranchTargetLabel(Local);
+      IL.append(Local);
+      IL.append(Far);
+      I = Next;
+      continue;
+    }
+
+    assert(Op != OP_call && "unmangled call left in cache-bound list");
+    I = Next;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Fragment emission
+//===----------------------------------------------------------------------===//
+
+Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
+                                unsigned NumInstrs) {
+  // Identify exits: direct CTIs whose target is an application pc operand
+  // (intra-fragment branches are label-bound), plus indirect CTIs.
+  struct PendingExit {
+    Instr *Cti;
+    AppPc TargetTag;    // 0 for indirect
+    InstrList *Custom;  // client custom stub
+    bool AlwaysThrough;
+  };
+  std::vector<PendingExit> Pending;
+  for (Instr &I : IL) {
+    if (I.isBundle() || I.isLabel())
+      continue;
+    if (!I.isCti())
+      continue;
+    if (I.isIndirectCti()) {
+      Pending.push_back({&I, 0, nullptr, false});
+      continue;
+    }
+    assert(I.numSrcs() >= 1 && "direct CTI without target operand");
+    if (I.getSrc(0).isInstr())
+      continue; // internal branch to a label
+    assert(!I.isCall() && "calls must be mangled before emission");
+    Pending.push_back({&I, I.getSrc(0).getPc(), nullptr, false});
+  }
+
+  // Attach client custom stubs registered during the hook.
+  for (const CustomStub &CS : PendingCustomStubs)
+    for (PendingExit &PE : Pending)
+      if (PE.Cti == CS.ExitCti) {
+        PE.Custom = CS.Stub;
+        PE.AlwaysThrough = CS.AlwaysThrough;
+      }
+  PendingCustomStubs.clear();
+
+  // Sizing pass for the body.
+  EmitResult Sizing;
+  if (!emitInstrList(IL, /*BaseAddr=*/0x7F000000, nullptr, 0,
+                     /*AllowShortBranches=*/false, Sizing)) {
+    M.fault("fragment body failed to encode");
+    return nullptr;
+  }
+
+  // Stub layout: stubs follow the body. Each stub is
+  //   [custom client instrs] mov [ExitIdSlot], $exit_id ; jmp dispatcher
+  // (10 + 5 bytes for the fixed part).
+  unsigned StubBytes = 0;
+  std::vector<unsigned> StubOffset(Pending.size(), 0);
+  std::vector<unsigned> CustomSize(Pending.size(), 0);
+  unsigned BodySize = Sizing.TotalSize;
+  for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
+    if (Pending[Idx].TargetTag == 0)
+      continue; // indirect exits resolve through the IBL, not stubs
+    StubOffset[Idx] = BodySize + StubBytes;
+    unsigned Custom = 0;
+    if (Pending[Idx].Custom) {
+      int Len = Pending[Idx].Custom->encodedLength(0x7F000000, false);
+      if (Len < 0) {
+        M.fault("custom exit stub failed to encode");
+        return nullptr;
+      }
+      Custom = unsigned(Len);
+    }
+    CustomSize[Idx] = Custom;
+    StubBytes += Custom + 15;
+  }
+
+  uint32_t Base = allocCache(BodySize + StubBytes, Kind);
+  if (!Base)
+    return nullptr;
+
+  auto *Frag = new Fragment();
+  Fragments.emplace_back(Frag);
+  Frag->Tag = Tag;
+  Frag->FragKind = Kind;
+  Frag->CacheAddr = Base;
+  Frag->CodeSize = BodySize;
+  Frag->StubsSize = StubBytes;
+  Frag->NumInstrs = NumInstrs;
+
+  // Create exit records and retarget direct exit CTIs at their stubs.
+  for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
+    PendingExit &PE = Pending[Idx];
+    FragmentExit Exit;
+    Exit.SourceAppPc = PE.Cti->appAddr();
+    if (PE.TargetTag == 0) {
+      Exit.ExitKind = FragmentExit::Kind::Indirect;
+      Frag->Exits.push_back(Exit);
+      continue;
+    }
+    Exit.ExitKind = FragmentExit::Kind::Direct;
+    Exit.TargetTag = PE.TargetTag;
+    Exit.StubAddr = Base + StubOffset[Idx];
+    Exit.ExitId = uint32_t(ExitRecords.size());
+    ExitRecords.emplace_back(Frag, unsigned(Frag->Exits.size()));
+    Exit.AlwaysThroughStub = PE.AlwaysThrough;
+    PE.Cti->setBranchTarget(Exit.StubAddr);
+    Frag->Exits.push_back(Exit);
+  }
+
+  // Final body emission.
+  EmitResult Placement;
+  if (!emitInstrList(IL, Base, M.mem().data() + Base,
+                     M.mem().size() - Base, /*AllowShortBranches=*/false,
+                     Placement)) {
+    M.fault("fragment body failed to encode at placement");
+    return nullptr;
+  }
+  assert(Placement.TotalSize == BodySize && "body size changed at placement");
+
+  // Record exit CTI addresses for link patching.
+  for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
+    FragmentExit &Exit = Frag->Exits[Idx];
+    if (Exit.ExitKind != FragmentExit::Kind::Direct)
+      continue;
+    unsigned Off = Placement.offsetOf(Pending[Idx].Cti);
+    assert(Off != ~0u && "exit CTI missing from placement");
+    Exit.CtiAddr = Base + Off;
+    Exit.CtiLen =
+        unsigned(Pending[Idx].Cti->encodedLength(Exit.CtiAddr, false));
+  }
+
+  // Emit stubs.
+  for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
+    if (Pending[Idx].TargetTag == 0)
+      continue;
+    FragmentExit &Exit = Frag->Exits[Idx];
+    uint32_t StubPc = Exit.StubAddr;
+    if (Pending[Idx].Custom) {
+      EmitResult StubRes;
+      if (!emitInstrList(*Pending[Idx].Custom, StubPc,
+                         M.mem().data() + StubPc, CustomSize[Idx] + 16,
+                         false, StubRes)) {
+        M.fault("custom exit stub failed to encode at placement");
+        return nullptr;
+      }
+      StubPc += StubRes.TotalSize;
+    }
+    // mov [ExitIdSlot], $exit_id  (10 bytes)
+    {
+      Arena Tmp(256);
+      Instr *Mov = Instr::createSynth(
+          Tmp, OP_mov, {Operand::memAbs(Slots.ExitIdSlot, 4),
+                        Operand::imm(int64_t(Exit.ExitId), 4)});
+      uint8_t Buf[MaxInstrLength];
+      int Len = Mov->encode(StubPc, Buf, false);
+      assert(Len == 10 && "unexpected stub mov length");
+      M.mem().writeBlock(StubPc, Buf, unsigned(Len));
+      StubPc += unsigned(Len);
+      // jmp dispatcher (5 bytes)
+      Instr *Jmp = Instr::createSynth(
+          Tmp, OP_jmp, {Operand::pc(Slots.DispatcherEntry)});
+      Len = Jmp->encode(StubPc, Buf, false);
+      assert(Len == 5 && "unexpected stub jmp length");
+      M.mem().writeBlock(StubPc, Buf, unsigned(Len));
+      Exit.StubJmpAddr = StubPc;
+      Exit.StubJmpLen = unsigned(Len);
+      StubPc += unsigned(Len);
+    }
+  }
+
+  M.invalidateDecodeRange(Base, Base + BodySize + StubBytes);
+  return Frag;
+}
+
+//===----------------------------------------------------------------------===//
+// Basic block building
+//===----------------------------------------------------------------------===//
+
+Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
+  maybeFlushForSpace();
+  BlockScan Scan;
+  const uint8_t *Image = M.mem().data();
+  uint32_t AppSize = M.runtimeBase();
+  if (!scanBlock(Image, AppSize, 0, Tag, Config.MaxBlockInstrs, Scan)) {
+    M.fault("cannot decode basic block at tag " + std::to_string(Tag));
+    return nullptr;
+  }
+
+  Arena BuildArena(1u << 14);
+  InstrList IL(BuildArena);
+  // The paper's default representation: one Level 0 bundle for the body
+  // plus a fully decoded terminating CTI.
+  if (!liftBlock(IL, Image, AppSize, 0, Tag, Config.MaxBlockInstrs,
+                 Config.BbLift)) {
+    M.fault("cannot lift basic block at tag " + std::to_string(Tag));
+    return nullptr;
+  }
+  // Every path out of the block needs an exit: the fall-through of a
+  // conditional branch, the continuation after a block-ending syscall, and
+  // the artificial termination at the instruction cap all get an appended
+  // jump to the fall-through application address.
+  bool NeedFallThroughExit = !Scan.EndsInCti;
+  if (Scan.EndsInCti && IL.last() && IL.last()->isCondBranch())
+    NeedFallThroughExit = true;
+  if (NeedFallThroughExit) {
+    Instr *Jmp = Instr::createSynth(BuildArena, OP_jmp,
+                                    {Operand::pc(Scan.FallThrough)});
+    Jmp->setAppAddr(Scan.FallThrough);
+    IL.append(Jmp);
+  }
+
+  chargeRuntime(M.cost().BlockBuildFixed +
+                uint64_t(M.cost().BlockBuildPerInstr) * Scan.NumInstrs);
+
+  if (TheClient) {
+    CurrentFragmentTag = Tag;
+    TheClient->onBasicBlock(*this, Tag, IL);
+  }
+  // Level-of-detail cost: pay for whatever representation this list
+  // actually reached — the runtime's forced lift level plus anything the
+  // client decoded or synthesized (DESIGN.md, Ablation B).
+  chargeRuntime(clientTransformCost(IL));
+
+  mangleForCache(IL);
+  Fragment *Frag = emitFragment(Tag, IL, Fragment::Kind::BasicBlock,
+                                Scan.NumInstrs);
+  if (!Frag)
+    return nullptr;
+  if (Shadow) {
+    // Trace-recording stand-in: never registered, never linked.
+    ShadowBbs[Tag] = Frag;
+    ++Stats.counter("shadow_blocks_built");
+    return Frag;
+  }
+  Frag->IsTraceHead = Config.EnableTraces && MarkedHeads.count(Tag) &&
+                      MarkedHeads[Tag];
+  Table[Tag] = Frag;
+  ++Stats.counter("basic_blocks_built");
+  linkNewFragment(Frag);
+  return Frag;
+}
+
+//===----------------------------------------------------------------------===//
+// Linking
+//===----------------------------------------------------------------------===//
+
+void Runtime::patchRel32(uint32_t CtiAddr, unsigned CtiLen,
+                         uint32_t NewTarget) {
+  uint32_t Rel = NewTarget - (CtiAddr + CtiLen);
+  M.mem().write32(CtiAddr + CtiLen - 4, Rel);
+  M.invalidateDecodeRange(CtiAddr, CtiAddr + CtiLen);
+}
+
+void Runtime::linkExit(Fragment *From, FragmentExit &Exit, Fragment *To) {
+  (void)From;
+  if (Exit.Linked || Exit.ExitKind != FragmentExit::Kind::Direct)
+    return;
+  assert(Exit.TargetTag == To->Tag && "linking exit to wrong fragment");
+  if (Exit.AlwaysThroughStub)
+    patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, To->CacheAddr);
+  else
+    patchRel32(Exit.CtiAddr, Exit.CtiLen, To->CacheAddr);
+  Exit.Linked = true;
+  Exit.LinkedTo = To;
+  To->IncomingLinks.push_back(Exit.ExitId);
+  ++Stats.counter("links_made");
+}
+
+void Runtime::unlinkExit(FragmentExit &Exit) {
+  if (!Exit.Linked)
+    return;
+  if (Exit.AlwaysThroughStub)
+    patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, Slots.DispatcherEntry);
+  else
+    patchRel32(Exit.CtiAddr, Exit.CtiLen, Exit.StubAddr);
+  if (Exit.LinkedTo) {
+    auto &Incoming = Exit.LinkedTo->IncomingLinks;
+    for (size_t Idx = 0; Idx != Incoming.size(); ++Idx)
+      if (Incoming[Idx] == Exit.ExitId) {
+        Incoming[Idx] = Incoming.back();
+        Incoming.pop_back();
+        break;
+      }
+  }
+  Exit.Linked = false;
+  Exit.LinkedTo = nullptr;
+  ++Stats.counter("links_removed");
+}
+
+void Runtime::unlinkOutgoing(Fragment *Frag) {
+  for (FragmentExit &Exit : Frag->Exits)
+    unlinkExit(Exit);
+}
+
+void Runtime::unlinkIncoming(Fragment *Frag) {
+  std::vector<uint32_t> Incoming = Frag->IncomingLinks;
+  for (uint32_t ExitId : Incoming) {
+    auto [Owner, ExitIdx] = ExitRecords[ExitId];
+    unlinkExit(Owner->Exits[ExitIdx]);
+  }
+  Frag->IncomingLinks.clear();
+}
+
+void Runtime::linkNewFragment(Fragment *Frag) {
+  if (!Config.LinkDirectBranches)
+    return;
+  // Outgoing eager links to already-present fragments; incoming links form
+  // lazily on each future dispatch through the stubs.
+  for (FragmentExit &Exit : Frag->Exits) {
+    if (Exit.ExitKind != FragmentExit::Kind::Direct)
+      continue;
+    Fragment *To = lookupFragment(Exit.TargetTag);
+    if (!To)
+      continue;
+    if (To->IsTraceHead && Config.EnableTraces && !To->isTrace())
+      continue; // trace heads stay unlinked so the dispatcher counts them
+    linkExit(Frag, Exit, To);
+  }
+}
+
+void Runtime::flushCaches() {
+  if (TraceGenActive)
+    abortTrace();
+  // Delete every live fragment: dissolve links, notify the client, drop
+  // the lookup tables, and hand the cache space back. The old bytes are
+  // left in place (only the cursors reset), so execution that is still
+  // suspended inside flushed code remains well-defined until new
+  // fragments overwrite it: stale exits resolve through their (persistent)
+  // exit records and fall back to the dispatcher. New emissions only
+  // happen from this runtime's own dispatcher, which always resumes
+  // suspended cache execution first.
+  for (const auto &Frag : Fragments) {
+    if (Frag->Doomed)
+      continue;
+    Frag->Doomed = true;
+    if (TheClient)
+      TheClient->onFragmentDeleted(*this, Frag->Tag);
+    ++Stats.counter("fragments_deleted");
+  }
+  Table.clear();
+  ShadowBbs.clear();
+  M.invalidateDecodeRange(BbCacheStart, TraceCacheEnd);
+  BbCacheCursor = BbCacheStart;
+  TraceCacheCursor = BbCacheEnd;
+  ++Stats.counter("cache_flushes");
+}
+
+void Runtime::maybeFlushForSpace() {
+  // Keep enough headroom for the largest conceivable fragment; flushing
+  // mid-emission would invalidate in-flight state.
+  constexpr uint32_t Headroom = 8 * 1024;
+  if (BbCacheEnd - BbCacheCursor < Headroom ||
+      TraceCacheEnd - TraceCacheCursor < Headroom)
+    flushCaches();
+}
+
+void Runtime::deleteFragment(Fragment *Frag) {
+  unlinkIncoming(Frag);
+  unlinkOutgoing(Frag);
+  auto It = Table.find(Frag->Tag);
+  if (It != Table.end() && It->second == Frag)
+    Table.erase(It);
+  Frag->Doomed = true;
+  DoomedFragments.push_back(Frag);
+  if (TheClient)
+    TheClient->onFragmentDeleted(*this, Frag->Tag);
+  ++Stats.counter("fragments_deleted");
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive replacement (paper Section 3.4)
+//===----------------------------------------------------------------------===//
+
+InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
+  Fragment *Frag = lookupFragment(Tag);
+  if (!Frag)
+    return nullptr;
+
+  // Decode the fragment body instruction by instruction.
+  struct Row {
+    uint32_t Addr;
+    Instr *I;
+  };
+  std::vector<Row> Rows;
+  uint32_t Pc = Frag->CacheAddr;
+  uint32_t End = Frag->CacheAddr + Frag->CodeSize;
+  const uint8_t *Mem = M.mem().data();
+  while (Pc < End) {
+    DecodedInstr DI;
+    if (!decodeInstr(Mem + Pc, End - Pc, Pc, DI))
+      return nullptr;
+    // Skip emitter nop padding.
+    Instr *I = Instr::createDecoded(A, DI, Mem + Pc, Pc);
+    Rows.push_back({Pc, I});
+    Pc += DI.Length;
+  }
+
+  // Map direct CTI targets: intra-fragment -> labels; stubs/links -> the
+  // exit's application target tag.
+  auto *IL = new (A.allocate(sizeof(InstrList), alignof(InstrList)))
+      InstrList(A);
+  std::map<uint32_t, Instr *> Labels; // cache addr -> label instr
+  for (Row &R : Rows) {
+    if (!R.I->isCti() || R.I->isIndirectCti())
+      continue;
+    // Exit CTIs are identified by their recorded address, *not* by where
+    // they currently point: a linked exit may point at another fragment —
+    // or back into this one (a self-loop link). Translate them back to
+    // their application target tag.
+    bool IsExit = false;
+    for (const FragmentExit &Exit : Frag->Exits) {
+      if (Exit.ExitKind == FragmentExit::Kind::Direct &&
+          Exit.CtiAddr == R.Addr) {
+        R.I->setBranchTarget(Exit.TargetTag);
+        R.I->setExitCti(true);
+        IsExit = true;
+        break;
+      }
+    }
+    if (IsExit)
+      continue;
+    AppPc Target = R.I->branchTarget();
+    if (Target >= Frag->CacheAddr && Target < End) {
+      if (!Labels.count(Target))
+        Labels[Target] = Instr::createLabel(A);
+      continue;
+    }
+    return nullptr; // direct CTI that is neither exit nor internal: corrupt
+  }
+
+  for (Row &R : Rows) {
+    auto LIt = Labels.find(R.Addr);
+    if (LIt != Labels.end())
+      IL->append(LIt->second);
+    IL->append(R.I);
+  }
+  // Bind label operands now that labels are placed.
+  for (Row &R : Rows) {
+    if (!R.I->isCti() || R.I->isIndirectCti() || R.I->isExitCti())
+      continue;
+    auto LIt = Labels.find(R.I->branchTarget());
+    if (LIt != Labels.end())
+      R.I->setBranchTargetLabel(LIt->second);
+  }
+  return IL;
+}
+
+bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
+  Fragment *Old = lookupFragment(Tag);
+  if (!Old)
+    return false;
+
+  unsigned NumInstrs = 0;
+  for (Instr &I : IL)
+    if (!I.isLabel())
+      ++NumInstrs;
+
+  chargeRuntime(M.cost().FragmentReplaceCost + clientTransformCost(IL));
+
+  Fragment *New = emitFragment(Tag, IL, Old->FragKind, NumInstrs);
+  if (!New)
+    return false;
+  New->IsTraceHead = Old->IsTraceHead;
+
+  // "All links targeting and originating from the old fragment are
+  // immediately modified to use the new fragment." Incoming links are
+  // re-pointed; outgoing links of the old fragment are severed so that the
+  // thread currently inside it leaves at its next branch.
+  std::vector<uint32_t> Incoming = Old->IncomingLinks;
+  for (uint32_t ExitId : Incoming) {
+    auto [Owner, ExitIdx] = ExitRecords[ExitId];
+    FragmentExit &Exit = Owner->Exits[ExitIdx];
+    unlinkExit(Exit);
+    if (Config.LinkDirectBranches)
+      linkExit(Owner, Exit, New);
+  }
+  Old->IncomingLinks.clear();
+  unlinkOutgoing(Old);
+
+  Table[Tag] = New;
+  Old->Doomed = true;
+  DoomedFragments.push_back(Old);
+  if (TheClient)
+    TheClient->onFragmentDeleted(*this, Tag);
+  linkNewFragment(New);
+  ++Stats.counter("fragments_replaced");
+  return true;
+}

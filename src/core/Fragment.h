@@ -1,0 +1,96 @@
+//===- core/Fragment.h - Code cache fragments -------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *fragment* is a basic block or a trace in the code cache (the paper's
+/// terminology, Section 2). Each fragment records its exits: the exit CTI's
+/// position for link patching, the exit stub, the target application tag
+/// for direct exits, and whether a client custom stub forces control
+/// through the stub even when linked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_FRAGMENT_H
+#define RIO_CORE_FRAGMENT_H
+
+#include "isa/Operand.h"
+
+#include <vector>
+
+namespace rio {
+
+struct Fragment;
+
+/// One exit from a fragment.
+struct FragmentExit {
+  enum class Kind {
+    Direct,  ///< direct branch with a known target tag
+    Indirect ///< indirect branch (ret / jmp* / call*) resolved at runtime
+  };
+  Kind ExitKind = Kind::Direct;
+
+  /// Target application address (Direct exits only).
+  AppPc TargetTag = 0;
+
+  /// Cache address of the exit CTI (the instruction to patch when linking).
+  uint32_t CtiAddr = 0;
+  /// Length in bytes of the exit CTI (rel32 sits in the last 4 bytes).
+  unsigned CtiLen = 0;
+
+  /// Cache address of this exit's stub.
+  uint32_t StubAddr = 0;
+  /// Cache address of the stub's final jmp (patched when linking *through*
+  /// the stub) and its length.
+  uint32_t StubJmpAddr = 0;
+  unsigned StubJmpLen = 0;
+
+  /// Client custom stub: control must flow through the stub even when the
+  /// exit is linked (paper Section 3.2).
+  bool AlwaysThroughStub = false;
+
+  /// Link state.
+  bool Linked = false;
+  Fragment *LinkedTo = nullptr;
+
+  /// Global exit-record index (what the stub stores into EXIT_ID_SLOT).
+  uint32_t ExitId = 0;
+
+  /// App address of the *source* CTI this exit descends from (0 when
+  /// synthesized); used for the backward-branch trace-head heuristic.
+  AppPc SourceAppPc = 0;
+};
+
+/// A basic block or trace resident in the code cache.
+struct Fragment {
+  enum class Kind { BasicBlock, Trace };
+
+  AppPc Tag = 0; ///< original application address (unique fragment id)
+  Kind FragKind = Kind::BasicBlock;
+
+  uint32_t CacheAddr = 0; ///< body start in the code cache
+  unsigned CodeSize = 0;  ///< body size in bytes (stubs excluded)
+  unsigned StubsSize = 0; ///< bytes of stubs following the body
+  unsigned NumInstrs = 0; ///< instruction count of the body
+
+  std::vector<FragmentExit> Exits;
+
+  /// Exits of *other* fragments currently linked to this fragment
+  /// (identified by ExitId); used to unlink incoming on deletion.
+  std::vector<uint32_t> IncomingLinks;
+
+  /// Marked as a trace head (counter maintained by the runtime).
+  bool IsTraceHead = false;
+
+  /// Pending deletion (replaced fragments are freed lazily; paper §3.4).
+  bool Doomed = false;
+
+  bool isTrace() const { return FragKind == Kind::Trace; }
+};
+
+} // namespace rio
+
+#endif // RIO_CORE_FRAGMENT_H

@@ -1,0 +1,419 @@
+//===- core/Runtime.cpp - Dispatcher and execution engine -------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "support/Compiler.h"
+
+using namespace rio;
+
+Client::~Client() = default;
+
+AppPc CleanCallContext::ibTarget() const {
+  uint32_t Value = 0;
+  RT.machine().mem().read32(RT.slots().IbTargetSlot, Value);
+  return Value;
+}
+
+Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
+                 const RuntimeRegion &Region, HookMode Hooks)
+    : M(M), Config(Config), TheClient(TheClient), Hooks(Hooks) {
+  uint32_t Base = Region.Base ? Region.Base : M.runtimeBase();
+  uint32_t Size = Region.Size
+                      ? Region.Size
+                      : (M.runtimeBase() + M.config().RuntimeRegionSize - Base);
+  assert(Base >= M.runtimeBase() && Size > 0x2000 &&
+         "runtime region must lie inside the machine's runtime region");
+  Slots.DispatcherEntry = Base + 0x00;
+  Slots.ExitIdSlot = Base + 0x10;
+  Slots.IbTargetSlot = Base + 0x14;
+  Slots.FlagsSlot = Base + 0x18;
+  Slots.ClientTlsSlot = Base + 0x1C;
+  Slots.SpillSlots = Base + 0x20;   // 8 x 4 bytes
+  Slots.ScratchSlots = Base + 0x40; // 16 x 4 bytes
+
+  // Thread-private basic-block cache in the lower half of the remaining
+  // region, trace cache in the upper half.
+  uint32_t CacheStart = Base + 0x1000;
+  uint32_t CacheBytes = Size - 0x1000;
+  BbCacheStart = CacheStart;
+  BbCacheCursor = CacheStart;
+  BbCacheEnd = CacheStart + CacheBytes / 2;
+  TraceCacheCursor = BbCacheEnd;
+  TraceCacheEnd = Base + Size;
+
+  if (TheClient && Hooks == HookMode::All) {
+    TheClient->onInit(*this);
+    TheClient->onThreadInit(*this);
+    ClientInitDone = true;
+  }
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::chargeRuntime(uint64_t Cycles) {
+  M.chargeCycles(Cycles);
+  RuntimeCycles += Cycles;
+}
+
+Fragment *Runtime::lookupFragment(AppPc Tag) {
+  auto It = Table.find(Tag);
+  return It == Table.end() ? nullptr : It->second;
+}
+
+void Runtime::markTraceHead(AppPc Tag) {
+  MarkedHeads[Tag] = true;
+  if (Fragment *Frag = lookupFragment(Tag)) {
+    if (!Frag->isTrace() && !Frag->IsTraceHead) {
+      Frag->IsTraceHead = true;
+      // Future executions must pass through the dispatcher to be counted.
+      unlinkIncoming(Frag);
+      ++Stats.counter("trace_heads");
+    }
+  } else {
+    ++Stats.counter("trace_heads");
+  }
+}
+
+uint32_t Runtime::registerCleanCall(std::function<void(CleanCallContext &)> Fn) {
+  CleanCalls.push_back(std::move(Fn));
+  return uint32_t(CleanCalls.size() - 1);
+}
+
+void Runtime::serviceCleanCall(uint32_t Id) {
+  ++Stats.counter("clean_calls");
+  chargeRuntime(M.cost().CleanCallCost);
+  if (Id >= CleanCalls.size()) {
+    M.fault("clean call with unregistered id " + std::to_string(Id));
+    return;
+  }
+  CleanCallContext Ctx{*this, CurrentFragmentTag};
+  CleanCalls[Id](Ctx);
+}
+
+void Runtime::setCustomExitStub(Instr *ExitCti, InstrList *Stub,
+                                bool AlwaysThroughStub) {
+  PendingCustomStubs.push_back({ExitCti, Stub, AlwaysThroughStub});
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level run loops
+//===----------------------------------------------------------------------===//
+
+RunResult Runtime::run() { return runFor(~0ull); }
+
+RunResult Runtime::runFor(uint64_t MaxInstructions) {
+  uint64_t Deadline = M.instructionsExecuted() >= ~0ull - MaxInstructions
+                          ? ~0ull
+                          : M.instructionsExecuted() + MaxInstructions;
+  RunResult Result;
+  if (ThreadFinished) {
+    Result = finishRun(/*Quantum=*/false);
+  } else if (Config.Mode == ExecMode::Emulate) {
+    Result = runEmulated(Deadline);
+  } else {
+    Result = runCached(Deadline);
+  }
+  if (TheClient && ClientInitDone && !Result.QuantumExpired) {
+    TheClient->onThreadExit(*this);
+    TheClient->onExit(*this);
+    ClientInitDone = false;
+  }
+  return Result;
+}
+
+RunResult Runtime::finishRun(bool Quantum) {
+  RunResult Result;
+  Result.Status = M.status();
+  Result.ExitCode = M.exitCode();
+  Result.FaultReason = M.faultReason();
+  Result.Cycles = M.cycles();
+  Result.Instructions = M.instructionsExecuted();
+  Result.ThreadDone = ThreadFinished;
+  Result.QuantumExpired = Quantum && M.status() == RunStatus::Running &&
+                          !ThreadFinished;
+  return Result;
+}
+
+RunResult Runtime::runEmulated(uint64_t Deadline) {
+  // Pure interpretation: the Table 1 baseline. Every application
+  // instruction pays the emulation dispatch overhead.
+  const unsigned Overhead = M.cost().EmulateOverhead;
+  while (M.status() == RunStatus::Running) {
+    if (M.instructionsExecuted() >= Deadline)
+      return finishRun(/*Quantum=*/true);
+    chargeRuntime(Overhead);
+    StepResult Step = M.step();
+    if (Step.Kind == StepKind::ClientCall)
+      M.fault("clientcall executed under emulation");
+    if (Step.Kind == StepKind::ThreadExited) {
+      ThreadFinished = true;
+      break;
+    }
+  }
+  return finishRun(/*Quantum=*/false);
+}
+
+RunResult Runtime::runCached(uint64_t Deadline) {
+  AppPc Target;
+  switch (ResumePoint) {
+  case Resume::Fresh:
+    Target = M.cpu().Pc;
+    break;
+  case Resume::AtDispatcher:
+    Target = ResumeTag;
+    break;
+  case Resume::InCache:
+    Target = executeFrom(ResumeCachePc, Deadline);
+    if (Target == 0) {
+      if (ResumePoint == Resume::InCache && M.status() == RunStatus::Running &&
+          !ThreadFinished)
+        return finishRun(/*Quantum=*/true);
+      if (TraceGenActive)
+        abortTrace();
+      return finishRun(/*Quantum=*/false);
+    }
+    break;
+  }
+  ResumePoint = Resume::Fresh;
+
+  while (M.status() == RunStatus::Running) {
+    if (M.instructionsExecuted() >= Deadline) {
+      ResumePoint = Resume::AtDispatcher;
+      ResumeTag = Target;
+      return finishRun(/*Quantum=*/true);
+    }
+    Fragment *Frag = lookupFragment(Target);
+    if (!Frag)
+      Frag = buildBasicBlock(Target);
+    if (!Frag)
+      break; // buildBasicBlock faulted the machine
+    if (inTraceGen() && Frag->isTrace()) {
+      // Trace recording needs block-by-block control flow; run a shadow
+      // basic block instead of the trace that shadows this tag.
+      auto It = ShadowBbs.find(Target);
+      Frag = It != ShadowBbs.end() ? It->second
+                                   : buildBasicBlock(Target, /*Shadow=*/true);
+      if (!Frag)
+        break;
+    }
+    noteDispatch(Frag);
+    // Trace finalization may have replaced the fragment under this tag;
+    // trace generation may also have just ended (making the shadowed trace
+    // runnable again) or begun (requiring a shadow block); and any build
+    // above may have triggered a full cache flush. Re-resolve, rebuilding
+    // if a flush took this tag with it.
+    if (!inTraceGen()) {
+      Frag = lookupFragment(Target);
+      if (!Frag)
+        Frag = buildBasicBlock(Target);
+      if (!Frag)
+        break; // faulted
+    }
+    ++Stats.counter("dispatches");
+    chargeRuntime(M.cost().DispatchCost);
+    if (inTraceGen())
+      unlinkOutgoing(Frag); // record every block transition at the dispatcher
+    CurrentFragmentTag = Frag->Tag;
+    Target = executeFrom(Frag->CacheAddr, Deadline);
+    if (Target == 0) {
+      if (ResumePoint == Resume::InCache && M.status() == RunStatus::Running &&
+          !ThreadFinished)
+        return finishRun(/*Quantum=*/true);
+      break;
+    }
+  }
+  if (TraceGenActive)
+    abortTrace();
+  return finishRun(/*Quantum=*/false);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache execution
+//===----------------------------------------------------------------------===//
+
+AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
+  M.cpu().Pc = CachePc;
+  for (;;) {
+    AppPc Pc = M.cpu().Pc;
+
+    if (M.instructionsExecuted() >= Deadline) {
+      // Quantum expired mid-cache: suspend right here.
+      ResumePoint = Resume::InCache;
+      ResumeCachePc = Pc;
+      return 0;
+    }
+
+    if (Pc == Slots.DispatcherEntry) {
+      // An exit stub recorded its id and transferred to us.
+      uint32_t ExitId = 0;
+      M.mem().read32(Slots.ExitIdSlot, ExitId);
+      if (ExitId >= ExitRecords.size()) {
+        M.fault("stub recorded bad exit id");
+        return 0;
+      }
+      auto [Owner, ExitIdx] = ExitRecords[ExitId];
+      FragmentExit &Exit = Owner->Exits[ExitIdx];
+      assert(Exit.ExitKind == FragmentExit::Kind::Direct &&
+             "indirect exits do not use stubs");
+      AppPc Target = Exit.TargetTag;
+      LastTransitionBackwardBranch =
+          Exit.SourceAppPc != 0 && Target <= Exit.SourceAppPc;
+
+      // Trace-head discovery: targets of backward branches and targets of
+      // trace exits become trace heads (the NET heuristic, Section 3.5).
+      if (Config.EnableTraces && !inTraceGen()) {
+        if (Exit.SourceAppPc && Target <= Exit.SourceAppPc)
+          markTraceHead(Target);
+        else if (Owner->isTrace())
+          markTraceHead(Target);
+      }
+
+      Fragment *To = lookupFragment(Target);
+
+      // Exits to trace heads do not link; instead the stub increments the
+      // head's execution counter and jumps straight on to the head
+      // fragment — a few cycles, not a context switch (DynamoRIO keeps the
+      // counter bump inside the stub). Only a hot counter surfaces to the
+      // dispatcher, to enter trace generation mode.
+      if (To && Config.EnableTraces && !inTraceGen() && To->IsTraceHead &&
+          !To->isTrace()) {
+        chargeRuntime(M.cost().HeadCounterCost);
+        ++Stats.counter("head_counter_bumps");
+        unsigned &Counter = HeadCounters[Target];
+        if (++Counter >= Config.TraceThreshold) {
+          --Counter; // the dispatcher's noteDispatch re-counts this arrival
+          ++Stats.counter("context_switches");
+          chargeRuntime(M.cost().ContextSwitchCost);
+          return Target;
+        }
+        M.cpu().Pc = To->CacheAddr;
+        continue;
+      }
+
+      // Full context switch back to the dispatcher.
+      ++Stats.counter("context_switches");
+      chargeRuntime(M.cost().ContextSwitchCost);
+
+      // Lazy linking: if the target fragment exists now, wire the exit up
+      // so future executions bypass this context switch.
+      if (Config.LinkDirectBranches && !Owner->Doomed && To &&
+          !(To->IsTraceHead && Config.EnableTraces && !To->isTrace()))
+        linkExit(Owner, Exit, To);
+      return Target;
+    }
+
+    if (!M.inRuntimeRegion(Pc)) {
+      // An indirect branch executed in the cache resolved to an application
+      // address: this is the indirect-branch lookup moment.
+      AppPc SiteCachePc = M.lastPc();
+      AppPc Resume = 0;
+      AppPc Next = handleIndirectArrival(Pc, SiteCachePc, Resume);
+      if (Next != 0)
+        return Next; // context switch to the dispatcher
+      if (M.status() != RunStatus::Running)
+        return 0;
+      M.cpu().Pc = Resume; // IBL hit: continue inside the cache
+      continue;
+    }
+
+    StepResult Step = M.step();
+    switch (Step.Kind) {
+    case StepKind::Ok:
+    case StepKind::ThreadSpawned:
+      break;
+    case StepKind::ClientCall:
+      serviceCleanCall(Step.ClientCallId);
+      if (M.status() != RunStatus::Running)
+        return 0;
+      break;
+    case StepKind::ThreadExited:
+      ThreadFinished = true;
+      return 0;
+    case StepKind::Faulted:
+      // The fault happened inside cache code; report it in application
+      // terms, as DynamoRIO's transparent fault delivery does: identify
+      // the fragment (hence the original code) the faulting pc belongs to.
+      annotateCacheFault(Pc);
+      return 0;
+    case StepKind::Exited:
+      return 0;
+    }
+  }
+}
+
+void Runtime::annotateCacheFault(uint32_t CachePc) {
+  for (const auto &Frag : Fragments) {
+    if (Frag->Doomed)
+      continue;
+    if (CachePc >= Frag->CacheAddr &&
+        CachePc < Frag->CacheAddr + Frag->CodeSize) {
+      M.fault(M.faultReason() + " (in the " +
+              (Frag->isTrace() ? "trace" : "basic block") +
+              " for application address " + std::to_string(Frag->Tag) + ")");
+      return;
+    }
+  }
+}
+
+AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
+                                     AppPc &Resume) {
+  LastTransitionBackwardBranch = false;
+
+  if (TheClient) {
+    // Security vetting hook (program shepherding). The transferring
+    // instruction sits at SiteCachePc in the cache.
+    const DecodedInstr *Site = M.fetchDecode(SiteCachePc);
+    int BranchOp = Site ? int(Site->Op) : int(OP_INVALID);
+    if (!TheClient->onIndirectResolved(*this, BranchOp, Target)) {
+      ++Stats.counter("security_violations_enforced");
+      M.fault("security policy violation: indirect transfer to " +
+              std::to_string(Target));
+      return Target; // dispatcher loop observes the fault and stops
+    }
+  }
+
+  if (!Config.LinkIndirectBranches) {
+    // Without indirect linking every indirect branch is a full context
+    // switch back to the dispatcher (the "+link direct" rung of Table 1).
+    ++Stats.counter("context_switches");
+    ++Stats.counter("ib_dispatcher_returns");
+    chargeRuntime(M.cost().ContextSwitchCost);
+    return Target;
+  }
+
+  // In-cache hashtable lookup (IBL).
+  ++Stats.counter("ibl_lookups");
+  chargeRuntime(M.cost().IblLookupCost);
+  Fragment *To = lookupFragment(Target);
+  if (!To || inTraceGen()) {
+    ++Stats.counter("ibl_misses");
+    ++Stats.counter("context_switches");
+    chargeRuntime(M.cost().ContextSwitchCost);
+    return Target;
+  }
+  if (To->IsTraceHead && Config.EnableTraces && !To->isTrace()) {
+    // Count the head cheaply (as the stubs do) and continue in-cache; a
+    // hot head surfaces to the dispatcher for trace generation.
+    chargeRuntime(M.cost().HeadCounterCost);
+    ++Stats.counter("head_counter_bumps");
+    unsigned &Counter = HeadCounters[Target];
+    if (++Counter >= Config.TraceThreshold) {
+      --Counter;
+      ++Stats.counter("context_switches");
+      chargeRuntime(M.cost().ContextSwitchCost);
+      return Target;
+    }
+  }
+  ++Stats.counter("ibl_hits");
+  // The translated indirect branch is an indirect jump through the BTB
+  // (not the return-address stack) — the paper's Pentium penalty.
+  if (!M.predictors().predictIndirect(SiteCachePc, To->CacheAddr))
+    chargeRuntime(M.cost().MispredictPenalty);
+  Resume = To->CacheAddr;
+  return 0;
+}

@@ -1,0 +1,303 @@
+//===- core/Runtime.h - The DynamoRIO-style runtime -------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime of Figure 1 in the paper: dispatcher, basic block builder,
+/// thread-private basic-block and trace caches, direct linking, indirect
+/// branch lookup (IBL), NET trace building with trace-head counters, exit
+/// stubs (including client custom stubs), fragment deletion, and adaptive
+/// fragment replacement (dr_decode_fragment / dr_replace_fragment).
+///
+/// Mechanically, cache code is real encoded RIO-32 placed in the runtime
+/// region of the simulated address space and executed by the vm. Control
+/// returns to the runtime when:
+///   - the pc reaches the reserved dispatcher entry address (exit stubs
+///     jump there after recording their exit id), i.e. a context switch;
+///   - the pc lands back in the application region (an indirect branch
+///     executed in the cache resolved to an application address) — the IBL
+///     moment;
+///   - a clean call (OP_clientcall) or syscall/fault/exit occurs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_RUNTIME_H
+#define RIO_CORE_RUNTIME_H
+
+#include "core/Client.h"
+#include "core/Fragment.h"
+#include "core/RuntimeConfig.h"
+#include "ir/Emit.h"
+#include "ir/InstrList.h"
+#include "support/Arena.h"
+#include "support/Statistics.h"
+#include "vm/Machine.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rio {
+
+/// Offsets of runtime-reserved slots within the runtime region. The slots
+/// are addressed absolutely by runtime-inserted code; they stand in for
+/// DynamoRIO's thread-local spill slots (paper Section 3.2).
+struct RuntimeSlots {
+  uint32_t DispatcherEntry; ///< reserved pc: reaching it = context switch
+  uint32_t ExitIdSlot;      ///< stubs record their exit id here
+  uint32_t IbTargetSlot;    ///< scratch for indirect-branch miss paths
+  uint32_t FlagsSlot;       ///< eflags preservation around inserted code
+  uint32_t ClientTlsSlot;   ///< generic client thread-local field
+  uint32_t SpillSlots;      ///< 8 register spill slots (4 bytes each)
+  uint32_t ScratchSlots;    ///< 16 scratch words for client use
+};
+
+/// A sub-range of the machine's runtime region assigned to one Runtime
+/// instance. Thread-private caches (paper Section 2) are realized by giving
+/// each thread's runtime a disjoint region: its own spill slots, dispatcher
+/// entry address, and basic-block/trace caches.
+struct RuntimeRegion {
+  uint32_t Base = 0; ///< 0: the whole machine runtime region
+  uint32_t Size = 0; ///< 0: everything from Base to the region end
+};
+
+/// How the runtime drives the client's lifecycle hooks.
+enum class HookMode {
+  All,  ///< fire init/thread-init at construction, thread-exit/exit at end
+  None, ///< an external scheduler (ThreadedRunner) fires the hooks
+};
+
+/// The result of running an application to completion under the runtime.
+struct RunResult {
+  RunStatus Status = RunStatus::Running;
+  int ExitCode = 0;
+  std::string FaultReason;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  /// This runtime's thread ended (thread_exit) though the program lives on.
+  bool ThreadDone = false;
+  /// runFor() exhausted its instruction budget (the thread is suspended).
+  bool QuantumExpired = false;
+};
+
+/// A clean-call context handed to client callbacks (paper Section 4.3's
+/// profiling routines). The callback may inspect machine state and rewrite
+/// fragments through the Runtime.
+struct CleanCallContext {
+  Runtime &RT;
+  /// Fragment the call was inserted into (tag).
+  AppPc FragmentTag;
+  /// For indirect-branch miss profiling: the branch target about to be
+  /// looked up (contents of the IB target slot).
+  AppPc ibTarget() const;
+};
+
+/// See file comment.
+class Runtime {
+public:
+  Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient = nullptr,
+          const RuntimeRegion &Region = RuntimeRegion(),
+          HookMode Hooks = HookMode::All);
+  ~Runtime();
+
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+
+  /// Runs the application (already loaded into the machine, pc at entry)
+  /// to completion under the runtime.
+  RunResult run();
+
+  /// Runs at most \p MaxInstructions machine instructions, then suspends
+  /// (QuantumExpired in the result) preserving all state; a later runFor or
+  /// run resumes exactly where execution stopped. The scheduling primitive
+  /// behind multi-threaded execution (core/ThreadedRunner).
+  RunResult runFor(uint64_t MaxInstructions);
+
+  Machine &machine() { return M; }
+  const RuntimeConfig &config() const { return Config; }
+  StatisticSet &stats() { return Stats; }
+  const RuntimeSlots &slots() const { return Slots; }
+  Client *client() { return TheClient; }
+
+  //===--------------------------------------------------------------------===
+  // Fragment queries
+  //===--------------------------------------------------------------------===
+
+  Fragment *lookupFragment(AppPc Tag);
+  /// Total fragments ever built (for tests/benches).
+  size_t numFragments() const { return Fragments.size(); }
+
+  /// Visits every live (non-doomed) fragment; used by benches and tools.
+  template <typename Fn> void forEachFragment(Fn Visit) const {
+    for (const auto &Frag : Fragments)
+      if (!Frag->Doomed)
+        Visit(*Frag);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Adaptive optimization extensions (paper Section 3.4)
+  //===--------------------------------------------------------------------===
+
+  /// Re-creates the InstrList of the fragment with tag \p Tag from the code
+  /// cache (dr_decode_fragment). Direct exits come back as CTIs targeting
+  /// application addresses; intra-fragment branches are bound to labels.
+  /// Returns null if no such fragment exists. The list is allocated from
+  /// \p A and remains owned by the caller.
+  InstrList *decodeFragment(Arena &A, AppPc Tag);
+
+  /// Replaces the fragment with tag \p Tag by the code in \p IL
+  /// (dr_replace_fragment). All links in and out are updated immediately;
+  /// the old fragment body is deleted lazily, so replacement is legal while
+  /// execution is logically inside the old fragment. Returns false if no
+  /// fragment with that tag exists or emission fails.
+  bool replaceFragment(AppPc Tag, InstrList &IL);
+
+  //===--------------------------------------------------------------------===
+  // Custom trace extensions (paper Section 3.5)
+  //===--------------------------------------------------------------------===
+
+  /// Marks \p Tag as a trace head (dr_mark_trace_head).
+  void markTraceHead(AppPc Tag);
+
+  /// Empties both code caches: every fragment is deleted (the client's
+  /// fragment-deleted hook fires for each), all links dissolve, and the
+  /// cache cursors reset. Called automatically when a bounded cache fills
+  /// (the "entire cache must be flushed" strategy the paper contrasts
+  /// adaptive replacement against), and available to clients.
+  void flushCaches();
+
+  //===--------------------------------------------------------------------===
+  // Clean calls and client services
+  //===--------------------------------------------------------------------===
+
+  /// Registers a callback; returns the id to give OP_clientcall.
+  uint32_t registerCleanCall(std::function<void(CleanCallContext &)> Fn);
+
+  /// Client custom exit stubs (paper Section 3.2): attach \p Stub to the
+  /// exit CTI \p ExitCti of the list currently being processed by a client
+  /// hook. Effective at emission.
+  void setCustomExitStub(Instr *ExitCti, InstrList *Stub,
+                         bool AlwaysThroughStub);
+
+  /// Transparent allocation for clients (dr_global_alloc): memory from the
+  /// runtime's arena, never from the application.
+  Arena &clientArena() { return ClientArena; }
+
+  /// Run-cost accounting hook for tests and benches.
+  uint64_t cyclesInRuntime() const { return RuntimeCycles; }
+
+private:
+  friend struct CleanCallContext;
+
+  //===--- dispatch (Runtime.cpp) ------------------------------------------===
+  RunResult runCached(uint64_t Deadline);
+  RunResult runEmulated(uint64_t Deadline);
+  RunResult finishRun(bool Quantum);
+  /// Executes cache code starting at \p CachePc until control returns to
+  /// the runtime. Returns the next application tag to dispatch to, or 0
+  /// when the program (or quantum, or this thread) stopped.
+  AppPc executeFrom(uint32_t CachePc, uint64_t Deadline);
+  AppPc handleIndirectArrival(AppPc Target, AppPc SiteCachePc, AppPc &Resume);
+  void serviceCleanCall(uint32_t Id);
+  void chargeRuntime(uint64_t Cycles);
+  /// Rewrites a cache-pc fault reason in application terms (fragment tag).
+  void annotateCacheFault(uint32_t CachePc);
+
+  //===--- building and linking (Emitter.cpp) -------------------------------===
+  Fragment *buildBasicBlock(AppPc Tag, bool Shadow = false);
+  Fragment *emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
+                         unsigned NumInstrs);
+  void mangleForCache(InstrList &IL);
+  void linkExit(Fragment *From, FragmentExit &Exit, Fragment *To);
+  void unlinkExit(FragmentExit &Exit);
+  void unlinkOutgoing(Fragment *Frag);
+  void unlinkIncoming(Fragment *Frag);
+  void linkNewFragment(Fragment *Frag);
+  void deleteFragment(Fragment *Frag);
+  void patchRel32(uint32_t CtiAddr, unsigned CtiLen, uint32_t NewTarget);
+  uint32_t allocCache(unsigned Size, Fragment::Kind Kind);
+  void maybeFlushForSpace();
+  uint64_t clientTransformCost(InstrList &IL) const;
+
+  //===--- traces (TraceBuilder.cpp) ----------------------------------------===
+  void noteDispatch(Fragment *Frag);
+  bool inTraceGen() const { return TraceGenActive; }
+  void traceGenStep(AppPc NextTag);
+  void finalizeTrace();
+  void abortTrace();
+  InstrList *buildTraceList(const std::vector<AppPc> &Blocks,
+                            unsigned &NumInstrs);
+  void inlineIndirectCheck(InstrList &IL, Instr *IndirectCti, AppPc NextTag,
+                           InstrList &MissCode);
+
+  Machine &M;
+  RuntimeConfig Config;
+  Client *TheClient;
+  StatisticSet Stats;
+  RuntimeSlots Slots{};
+
+  Arena FragArena{1u << 16};   ///< fragment metadata + build-time lists
+  Arena ClientArena{1u << 16}; ///< dr_global_alloc backing store
+
+  std::unordered_map<AppPc, Fragment *> Table;
+  /// Per-tag basic blocks used while recording a trace whose path crosses
+  /// an existing trace: trace generation must observe individual blocks,
+  /// so trace fragments are shadowed by plain blocks during recording.
+  std::unordered_map<AppPc, Fragment *> ShadowBbs;
+  std::vector<std::unique_ptr<Fragment>> Fragments;
+  std::vector<std::pair<Fragment *, unsigned>> ExitRecords;
+  std::vector<Fragment *> DoomedFragments;
+
+  // Cache allocation cursors.
+  uint32_t BbCacheStart = 0;
+  uint32_t BbCacheCursor = 0;
+  uint32_t BbCacheEnd = 0;
+  uint32_t TraceCacheCursor = 0;
+  uint32_t TraceCacheEnd = 0;
+
+  // Trace-head counters, keyed by tag.
+  std::unordered_map<AppPc, unsigned> HeadCounters;
+  std::unordered_map<AppPc, bool> MarkedHeads;
+
+  // How control most recently returned to the dispatcher: true when it was
+  // a *direct backward branch* (the NET end-of-trace condition); indirect
+  // transfers (returns, indirect jumps) do not end traces by direction.
+  bool LastTransitionBackwardBranch = false;
+
+  // Trace-generation state.
+  bool TraceGenActive = false;
+  AppPc TraceGenHead = 0;
+  std::vector<AppPc> TraceGenBlocks;
+  unsigned TraceGenInstrs = 0;
+
+  // Custom stub registrations (valid between a client hook and emission).
+  struct CustomStub {
+    Instr *ExitCti;
+    InstrList *Stub;
+    bool AlwaysThrough;
+  };
+  std::vector<CustomStub> PendingCustomStubs;
+
+  std::vector<std::function<void(CleanCallContext &)>> CleanCalls;
+  AppPc CurrentFragmentTag = 0;
+
+  uint64_t RuntimeCycles = 0;
+  bool ClientInitDone = false;
+  HookMode Hooks = HookMode::All;
+
+  // Suspension state for runFor (quantum-sliced execution).
+  enum class Resume { Fresh, AtDispatcher, InCache };
+  Resume ResumePoint = Resume::Fresh;
+  AppPc ResumeTag = 0;
+  uint32_t ResumeCachePc = 0;
+  bool ThreadFinished = false;
+};
+
+} // namespace rio
+
+#endif // RIO_CORE_RUNTIME_H

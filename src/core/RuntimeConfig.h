@@ -1,0 +1,92 @@
+//===- core/RuntimeConfig.h - Runtime feature configuration ----------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature switches for the runtime. The ladder of Table 1 in the paper is
+/// expressed directly here:
+///
+///   emulation            Mode = Emulate
+///   + basic block cache  Mode = Cache, all links off, traces off
+///   + link direct        LinkDirectBranches = true
+///   + link indirect      LinkIndirectBranches = true (in-cache IBL)
+///   + traces             EnableTraces = true
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_RUNTIMECONFIG_H
+#define RIO_CORE_RUNTIMECONFIG_H
+
+#include "ir/Build.h"
+
+namespace rio {
+
+enum class ExecMode {
+  Emulate, ///< pure interpretation, no code cache
+  Cache,   ///< copy code into the cache and run it there
+};
+
+struct RuntimeConfig {
+  ExecMode Mode = ExecMode::Cache;
+
+  /// Patch direct exits to jump straight to their target fragment.
+  bool LinkDirectBranches = true;
+
+  /// Resolve indirect branch targets with the in-cache hashtable lookup
+  /// (IBL) instead of a full context switch back to the dispatcher.
+  bool LinkIndirectBranches = true;
+
+  /// Build traces out of hot basic block sequences (NET).
+  bool EnableTraces = true;
+
+  /// Executions of a trace head before trace generation starts.
+  unsigned TraceThreshold = 50;
+
+  /// Maximum basic blocks stitched into one trace.
+  unsigned MaxTraceBlocks = 16;
+
+  /// Maximum instructions lifted into one basic block.
+  unsigned MaxBlockInstrs = 256;
+
+  /// Representation level for freshly built basic blocks. The paper's
+  /// default is a Level 0 bundle plus a decoded terminator; forcing higher
+  /// levels costs real build cycles (the Ablation B bench measures this).
+  LiftLevel BbLift = LiftLevel::Bundle0;
+
+  /// Inline the hot target of indirect branches inside traces, guarded by a
+  /// compare (paper Section 3 / 4.3). When off, an indirect branch always
+  /// ends the trace.
+  bool InlineIndirectInTraces = true;
+
+  /// Convenience constructors for the Table 1 ladder.
+  static RuntimeConfig emulate() {
+    RuntimeConfig C;
+    C.Mode = ExecMode::Emulate;
+    return C;
+  }
+  static RuntimeConfig bbCacheOnly() {
+    RuntimeConfig C;
+    C.LinkDirectBranches = false;
+    C.LinkIndirectBranches = false;
+    C.EnableTraces = false;
+    return C;
+  }
+  static RuntimeConfig linkDirect() {
+    RuntimeConfig C = bbCacheOnly();
+    C.LinkDirectBranches = true;
+    return C;
+  }
+  static RuntimeConfig linkIndirect() {
+    RuntimeConfig C = linkDirect();
+    C.LinkIndirectBranches = true;
+    return C;
+  }
+  static RuntimeConfig full() { return RuntimeConfig(); }
+};
+
+} // namespace rio
+
+#endif // RIO_CORE_RUNTIMECONFIG_H

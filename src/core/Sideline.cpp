@@ -1,0 +1,70 @@
+//===- core/Sideline.cpp - Sideline (off-critical-path) optimization --------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sideline.h"
+
+#include <algorithm>
+
+using namespace rio;
+
+void SidelineOptimizer::onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) {
+  (void)RT;
+  (void)Trace;
+  Pending.push_back(Tag);
+}
+
+void SidelineOptimizer::onFragmentDeleted(Runtime &RT, AppPc Tag) {
+  // Note: queued tags are NOT dropped here — when a trace supersedes the
+  // basic block under the same tag, the block's deletion hook fires right
+  // after the trace was queued. Stale entries are instead filtered in
+  // processOne, which re-validates that a live trace still shadows the
+  // tag before optimizing.
+  Inner.onFragmentDeleted(RT, Tag);
+}
+
+bool SidelineOptimizer::processOne(Runtime &RT) {
+  while (!Pending.empty()) {
+    AppPc Tag = Pending.front();
+    Pending.pop_front();
+    Fragment *Frag = RT.lookupFragment(Tag);
+    if (!Frag || !Frag->isTrace())
+      continue; // vanished or superseded since queuing
+
+    InstrList *IL = RT.decodeFragment(RT.clientArena(), Tag);
+    if (!IL)
+      continue;
+
+    // The optimizer thread's cycles are free to the application. Measure
+    // everything this optimization charged and refund all but the
+    // replacement's relink (synchronization) cost.
+    Machine &M = RT.machine();
+    uint64_t Before = M.cycles();
+    Inner.onTrace(RT, Tag, *IL);
+    if (!RT.replaceFragment(Tag, *IL))
+      continue;
+    uint64_t Charged = M.cycles() - Before;
+    uint64_t SyncCost = M.cost().FragmentReplaceCost;
+    if (Charged > SyncCost)
+      M.refundCycles(Charged - SyncCost);
+    RT.stats().counter("sideline_traces_optimized") += 1;
+    ++Optimized;
+    return true;
+  }
+  return false;
+}
+
+RunResult rio::runWithSideline(Runtime &RT, SidelineOptimizer &Sideline,
+                               uint64_t Quantum) {
+  RunResult Last;
+  for (;;) {
+    Last = RT.runFor(Quantum);
+    if (!Last.QuantumExpired)
+      return Last;
+    // The sideline worked while the application ran on its own core.
+    Sideline.processOne(RT);
+  }
+}

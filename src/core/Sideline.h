@@ -1,0 +1,85 @@
+//===- core/Sideline.h - Sideline (off-critical-path) optimization ---------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's proposed "sideline optimization" (Section 3.4): "We plan to
+/// investigate using a concurrent thread for sideline optimization using
+/// this low-overhead trace replacement." Implemented here as the paper
+/// sketches it: trace transformations are taken *off the application's
+/// critical path* — traces are emitted unoptimized, queued, and optimized
+/// by a (simulated) concurrent optimizer thread that installs results via
+/// the same dr_decode_fragment / dr_replace_fragment machinery clients
+/// use. Per the paper, "if the application thread remains in the code
+/// cache until after the replacement is complete, no synchronization cost
+/// is incurred": the optimizer's transformation cycles are not charged to
+/// the application; only the replacement's relink work is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_SIDELINE_H
+#define RIO_CORE_SIDELINE_H
+
+#include "core/Runtime.h"
+
+#include <deque>
+
+namespace rio {
+
+/// Wraps an optimization client, deferring its trace hook to sideline
+/// processing. All other hooks forward unchanged.
+class SidelineOptimizer : public Client {
+public:
+  /// \p Inner is the optimization client whose trace transformations are
+  /// deferred (not owned). Its basic-block and end-trace hooks still run
+  /// synchronously — only trace *transformation* moves off the hot path.
+  explicit SidelineOptimizer(Client &Inner) : Inner(Inner) {}
+
+  void onInit(Runtime &RT) override { Inner.onInit(RT); }
+  void onExit(Runtime &RT) override { Inner.onExit(RT); }
+  void onThreadInit(Runtime &RT) override { Inner.onThreadInit(RT); }
+  void onThreadExit(Runtime &RT) override { Inner.onThreadExit(RT); }
+  void onBasicBlock(Runtime &RT, AppPc Tag, InstrList &Block) override {
+    Inner.onBasicBlock(RT, Tag, Block);
+  }
+  void onFragmentDeleted(Runtime &RT, AppPc Tag) override;
+  bool onIndirectResolved(Runtime &RT, int BranchOp, AppPc Target) override {
+    return Inner.onIndirectResolved(RT, BranchOp, Target);
+  }
+  EndTrace onEndTrace(Runtime &RT, AppPc TraceTag, AppPc NextTag) override {
+    return Inner.onEndTrace(RT, TraceTag, NextTag);
+  }
+
+  /// Queues the trace for sideline optimization instead of transforming it
+  /// now (the trace is emitted as-is; the app keeps running).
+  void onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) override;
+
+  /// One unit of sideline work: pops a queued trace, runs the inner
+  /// client's transformation over its decoded body, and installs the
+  /// result via fragment replacement. Returns false when the queue is
+  /// empty. The transformation cycles are free to the application (they
+  /// happen on the idle processor); only the relink cost is charged.
+  bool processOne(Runtime &RT);
+
+  size_t pendingCount() const { return Pending.size(); }
+  uint64_t tracesOptimized() const { return Optimized; }
+
+private:
+  Client &Inner;
+  std::deque<AppPc> Pending;
+  uint64_t Optimized = 0;
+};
+
+/// Drives an application thread and the sideline optimizer concurrently
+/// (simulated): the application runs in quanta; between quanta the
+/// sideline drains one queued trace — work that overlapped with the
+/// application on another core.
+RunResult runWithSideline(Runtime &RT, SidelineOptimizer &Sideline,
+                          uint64_t Quantum = 3000);
+
+} // namespace rio
+
+#endif // RIO_CORE_SIDELINE_H

@@ -1,0 +1,126 @@
+//===- core/ThreadedRunner.cpp - Multi-threaded application support ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadedRunner.h"
+
+#include "support/Compiler.h"
+
+using namespace rio;
+
+ThreadedRunner::ThreadedRunner(Machine &M, const RuntimeConfig &Config,
+                               Client *SharedClient, uint64_t Quantum)
+    : M(M), Config(Config), SharedClient(SharedClient), Quantum(Quantum) {}
+
+ThreadedRunner::~ThreadedRunner() = default;
+
+Runtime *ThreadedRunner::runtimeFor(unsigned Tid) {
+  return Tid < Runtimes.size() ? Runtimes[Tid].get() : nullptr;
+}
+
+Runtime &ThreadedRunner::ensureRuntime(unsigned Tid) {
+  if (Tid < Runtimes.size() && Runtimes[Tid])
+    return *Runtimes[Tid];
+  assert(Tid < MaxThreads && "thread limit exceeded");
+  // Thread-private region: a fixed 1/MaxThreads slice per thread.
+  uint32_t Slice = M.config().RuntimeRegionSize / MaxThreads;
+  RuntimeRegion Region;
+  Region.Base = M.runtimeBase() + Tid * Slice;
+  Region.Size = Slice;
+  if (Runtimes.size() <= Tid) {
+    Runtimes.resize(Tid + 1);
+    Finished.resize(Tid + 1, false);
+  }
+  Runtimes[Tid] = std::make_unique<Runtime>(M, Config, SharedClient, Region,
+                                            HookMode::None);
+  if (SharedClient) {
+    if (!InitFired) {
+      SharedClient->onInit(*Runtimes[Tid]);
+      InitFired = true;
+    }
+    SharedClient->onThreadInit(*Runtimes[Tid]);
+  }
+  return *Runtimes[Tid];
+}
+
+RunResult ThreadedRunner::run() {
+  RunResult Last;
+  ensureRuntime(0);
+  while (M.status() == RunStatus::Running) {
+    bool AnyAlive = false;
+    for (unsigned Tid = 0; Tid != M.numThreads(); ++Tid) {
+      if (!M.threadAlive(Tid))
+        continue;
+      if (Tid < Finished.size() && Finished[Tid])
+        continue;
+      AnyAlive = true;
+      M.switchToThread(Tid);
+      Runtime &RT = ensureRuntime(Tid);
+      Last = RT.runFor(Quantum);
+      if (Last.ThreadDone) {
+        Finished[Tid] = true;
+        if (SharedClient)
+          SharedClient->onThreadExit(RT);
+      }
+      if (M.status() != RunStatus::Running)
+        break;
+    }
+    if (!AnyAlive)
+      break; // every thread exited without a process exit
+  }
+  if (SharedClient && InitFired && !Runtimes.empty() && Runtimes[0]) {
+    // Fire the remaining thread-exit hooks and the process-exit hook once.
+    for (unsigned Tid = 0; Tid != Runtimes.size(); ++Tid)
+      if (Runtimes[Tid] && !(Tid < Finished.size() && Finished[Tid]))
+        SharedClient->onThreadExit(*Runtimes[Tid]);
+    SharedClient->onExit(*Runtimes[0]);
+  }
+  Last.Status = M.status();
+  Last.ExitCode = M.exitCode();
+  Last.FaultReason = M.faultReason();
+  Last.Cycles = M.cycles();
+  Last.Instructions = M.instructionsExecuted();
+  return Last;
+}
+
+RunResult rio::runThreadedNative(Machine &M, uint64_t Quantum) {
+  std::vector<bool> Done;
+  while (M.status() == RunStatus::Running) {
+    bool AnyAlive = false;
+    for (unsigned Tid = 0; Tid != M.numThreads(); ++Tid) {
+      if (Done.size() <= Tid)
+        Done.resize(Tid + 1, false);
+      if (!M.threadAlive(Tid) || Done[Tid])
+        continue;
+      AnyAlive = true;
+      M.switchToThread(Tid);
+      uint64_t Deadline = M.instructionsExecuted() + Quantum;
+      while (M.status() == RunStatus::Running &&
+             M.instructionsExecuted() < Deadline) {
+        StepResult Step = M.step();
+        if (Step.Kind == StepKind::ThreadExited) {
+          Done[Tid] = true;
+          break;
+        }
+        if (Step.Kind == StepKind::ClientCall) {
+          M.fault("clientcall executed natively");
+          break;
+        }
+      }
+      if (M.status() != RunStatus::Running)
+        break;
+    }
+    if (!AnyAlive)
+      break;
+  }
+  RunResult R;
+  R.Status = M.status();
+  R.ExitCode = M.exitCode();
+  R.FaultReason = M.faultReason();
+  R.Cycles = M.cycles();
+  R.Instructions = M.instructionsExecuted();
+  return R;
+}

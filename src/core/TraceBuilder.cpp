@@ -1,0 +1,347 @@
+//===- core/TraceBuilder.cpp - NET trace building ----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace construction (paper Sections 2 and 3.5). Certain basic blocks are
+/// trace heads — targets of backward branches, exits of existing traces, or
+/// blocks marked by the client. A counter per head is incremented on each
+/// dispatcher arrival; at the threshold the runtime enters trace generation
+/// mode and stitches the subsequently executed blocks into a trace,
+/// consulting the client's end-trace hook before each extension. Indirect
+/// branches crossed by the trace are inlined behind a compare against the
+/// recorded next block, with a miss path at the bottom of the trace that
+/// hands the real target to the IBL — preserving linear control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "core/Analysis.h"
+#include "ir/Build.h"
+#include "support/Compiler.h"
+
+using namespace rio;
+
+void Runtime::noteDispatch(Fragment *Frag) {
+  if (!Config.EnableTraces)
+    return;
+  if (inTraceGen()) {
+    traceGenStep(Frag->Tag);
+    return;
+  }
+  if (!Frag->IsTraceHead || Frag->isTrace())
+    return;
+  unsigned &Counter = HeadCounters[Frag->Tag];
+  ++Counter;
+  if (Counter < Config.TraceThreshold)
+    return;
+  // Hot: enter trace generation mode starting at this head.
+  TraceGenActive = true;
+  TraceGenHead = Frag->Tag;
+  TraceGenBlocks.clear();
+  TraceGenBlocks.push_back(Frag->Tag);
+  TraceGenInstrs = Frag->NumInstrs;
+  ++Stats.counter("trace_generations_started");
+}
+
+void Runtime::traceGenStep(AppPc NextTag) {
+  assert(TraceGenActive && !TraceGenBlocks.empty() &&
+         "trace-gen step without an active trace");
+
+  bool EndNow;
+  Client::EndTrace Decision =
+      TheClient ? TheClient->onEndTrace(*this, TraceGenHead, NextTag)
+                : Client::EndTrace::Default;
+  // Hard caps apply regardless of the client's wishes.
+  bool AtCap = TraceGenBlocks.size() >= Config.MaxTraceBlocks ||
+               TraceGenInstrs >= 4 * Config.MaxBlockInstrs;
+  switch (Decision) {
+  case Client::EndTrace::End:
+    EndNow = true;
+    break;
+  case Client::EndTrace::Continue:
+    EndNow = AtCap;
+    break;
+  case Client::EndTrace::Default: {
+    // Dynamo's NET rule: stop at a backward (taken direct) branch or upon
+    // reaching an existing trace or trace head. Indirect transfers (e.g.
+    // returns) do not end a trace by direction — inlining them is the
+    // point of trace building.
+    Fragment *Next = lookupFragment(NextTag);
+    EndNow = AtCap || NextTag == TraceGenHead ||
+             (Next && (Next->isTrace() || Next->IsTraceHead)) ||
+             LastTransitionBackwardBranch;
+    break;
+  }
+  default:
+    RIO_UNREACHABLE("bad end-trace decision");
+  }
+
+  if (!EndNow) {
+    TraceGenBlocks.push_back(NextTag);
+    if (Fragment *Next = lookupFragment(NextTag))
+      TraceGenInstrs += Next->NumInstrs;
+    else
+      TraceGenInstrs += 8; // block not built yet; estimate
+    return;
+  }
+  finalizeTrace();
+}
+
+void Runtime::abortTrace() {
+  TraceGenActive = false;
+  TraceGenBlocks.clear();
+  HeadCounters.erase(TraceGenHead);
+}
+
+void Runtime::finalizeTrace() {
+  TraceGenActive = false;
+  std::vector<AppPc> Blocks = std::move(TraceGenBlocks);
+  TraceGenBlocks.clear();
+  HeadCounters.erase(TraceGenHead);
+  maybeFlushForSpace();
+
+  unsigned NumInstrs = 0;
+  InstrList *IL = buildTraceList(Blocks, NumInstrs);
+  if (!IL) {
+    // Could not materialize (application code changed / undecodable):
+    // permanently demote the head so we do not retry forever.
+    if (Fragment *Head = lookupFragment(TraceGenHead))
+      Head->IsTraceHead = false;
+    MarkedHeads[TraceGenHead] = false;
+    return;
+  }
+
+  chargeRuntime(uint64_t(M.cost().TraceBuildPerInstr) * NumInstrs +
+                M.cost().BlockBuildFixed);
+
+  if (TheClient) {
+    CurrentFragmentTag = TraceGenHead;
+    TheClient->onTrace(*this, TraceGenHead, *IL);
+    chargeRuntime(clientTransformCost(*IL));
+  }
+
+  mangleForCache(*IL);
+
+  Fragment *Old = lookupFragment(TraceGenHead);
+  if (Old)
+    deleteFragment(Old);
+  Fragment *Trace =
+      emitFragment(TraceGenHead, *IL, Fragment::Kind::Trace, NumInstrs);
+  if (!Trace)
+    return;
+  Trace->IsTraceHead = false;
+  MarkedHeads[TraceGenHead] = false;
+  Table[TraceGenHead] = Trace;
+  linkNewFragment(Trace);
+  ++Stats.counter("traces_built");
+  Stats.counter("trace_blocks_total") += Blocks.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Trace materialization
+//===----------------------------------------------------------------------===//
+
+InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
+                                   unsigned &NumInstrs) {
+  Arena &A = FragArena;
+  auto *IL =
+      new (A.allocate(sizeof(InstrList), alignof(InstrList))) InstrList(A);
+  auto *MissCode =
+      new (A.allocate(sizeof(InstrList), alignof(InstrList))) InstrList(A);
+
+  const uint8_t *Image = M.mem().data();
+  uint32_t AppSize = M.runtimeBase();
+  NumInstrs = 0;
+
+  // Indirect-branch inlining happens as a post-pass once the whole trace
+  // body exists, so that the eflags-liveness analysis can see the real
+  // continuation (and skip the flag save/restore when flags are dead).
+  struct PendingInline {
+    Instr *Cti;
+    AppPc NextTag;
+  };
+  std::vector<PendingInline> Inlines;
+
+  for (size_t BlockIdx = 0; BlockIdx != Blocks.size(); ++BlockIdx) {
+    AppPc Tag = Blocks[BlockIdx];
+    bool IsLast = BlockIdx + 1 == Blocks.size();
+    AppPc NextTag = IsLast ? 0 : Blocks[BlockIdx + 1];
+
+    BlockScan Scan;
+    if (!scanBlock(Image, AppSize, 0, Tag, Config.MaxBlockInstrs, Scan))
+      return nullptr;
+    InstrList BlockIL(A);
+    // "When performing optimizations, DynamoRIO fully decodes all
+    // instructions in a trace's InstrList, but keeps their raw bit
+    // pointers valid (Level 3)."
+    if (!liftBlock(BlockIL, Image, AppSize, 0, Tag, Config.MaxBlockInstrs,
+                   LiftLevel::Decoded3))
+      return nullptr;
+    NumInstrs += Scan.NumInstrs;
+
+    Instr *Term = BlockIL.last();
+    bool TermIsCti = Scan.EndsInCti;
+
+    if (!IsLast) {
+      if (!TermIsCti) {
+        // Syscall-ended or capped block: execution fell through to the
+        // next block; nothing to stitch.
+        if (Scan.FallThrough != NextTag)
+          return nullptr; // recorded successor does not match fall-through
+      } else if (Term->isCondBranch()) {
+        AppPc Taken = Term->branchTarget();
+        if (Taken == NextTag) {
+          if (Term->getOpcode() == OP_jecxz) {
+            // jecxz has no inverse; branch around an exit jump instead.
+            Instr *OnTrace = Instr::createLabel(A);
+            Term->setBranchTargetLabel(OnTrace);
+            Instr *Exit = Instr::createSynth(
+                A, OP_jmp, {Operand::pc(Scan.FallThrough)});
+            Exit->setAppAddr(Term->appAddr());
+            BlockIL.append(Exit);
+            BlockIL.append(OnTrace);
+          } else {
+            // Invert so the on-trace path falls through: superior layout
+            // is the core benefit of traces.
+            Opcode Inverted = invertCondBranch(Term->getOpcode());
+            Instr *NewBr = Instr::createSynth(
+                A, Inverted, {Operand::pc(Scan.FallThrough)});
+            NewBr->setAppAddr(Term->appAddr());
+            BlockIL.replace(Term, NewBr);
+          }
+          ++Stats.counter("trace_branches_inverted");
+        } else if (Scan.FallThrough != NextTag) {
+          return nullptr; // conditional branch went somewhere off-trace
+        }
+      } else if (Term->getOpcode() == OP_jmp) {
+        if (Term->branchTarget() != NextTag)
+          return nullptr; // jmp not to the recorded next block
+        BlockIL.remove(Term); // elide: blocks become adjacent
+        ++Stats.counter("trace_jmps_elided");
+      } else if (Term->getOpcode() == OP_call) {
+        // Inline the call: push the application return address and fall
+        // through into the callee (the next block).
+        if (Term->branchTarget() != NextTag)
+          return nullptr; // call not to the recorded next block
+        AppPc Ret = Term->appAddr() + Term->rawLength();
+        Instr *Push =
+            Instr::createSynth(A, OP_push, {Operand::imm(int64_t(Ret), 4)});
+        Push->setAppAddr(Term->appAddr());
+        BlockIL.replace(Term, Push);
+        ++Stats.counter("trace_calls_inlined");
+      } else if (Term->isIndirectCti()) {
+        if (!Config.InlineIndirectInTraces)
+          return nullptr; // should have been an end condition
+        Inlines.push_back({Term, NextTag});
+      } else {
+        return nullptr; // unexpected terminator mid-trace
+      }
+    } else {
+      // Last block: keep its terminator; make sure every path exits.
+      if (!TermIsCti || Term->isCondBranch()) {
+        Instr *Jmp = Instr::createSynth(A, OP_jmp,
+                                        {Operand::pc(Scan.FallThrough)});
+        Jmp->setAppAddr(Term ? Term->appAddr() : Tag);
+        BlockIL.append(Jmp);
+      }
+    }
+
+    IL->splice(BlockIL);
+  }
+
+  for (const PendingInline &PI : Inlines)
+    inlineIndirectCheck(*IL, PI.Cti, PI.NextTag, *MissCode);
+
+  // The miss paths of inlined indirect-branch checks live at the bottom of
+  // the trace, below every on-trace path (paper Figure 4).
+  IL->splice(*MissCode);
+  return IL;
+}
+
+void Runtime::inlineIndirectCheck(InstrList &IL, Instr *IndirectCti,
+                                  AppPc NextTag, InstrList &MissCode) {
+  (void)MissCode; // miss code is inline (jecxz is rel8-only)
+  Arena &A = IL.arena();
+  Opcode Op = IndirectCti->getOpcode();
+
+  // The check must not touch eflags: the branch may leave the trace to an
+  // unknown continuation where flags are live. Like DynamoRIO, we build
+  // the equality test out of lea (no flags) and jecxz (reads only ecx):
+  //
+  //   mov  [spill], ecx
+  //   mov  ecx, <target>          ; pop for ret / load for jmp*/call*
+  //   lea  ecx, [ecx - NextTag]
+  //   jecxz match
+  //   lea  ecx, [ecx + NextTag]   ; miss: recover the real target
+  //   mov  [IbTargetSlot], ecx
+  //   mov  ecx, [spill]
+  //   jmp  *[IbTargetSlot]        ; to the IBL
+  // match:
+  //   mov  ecx, [spill]
+  //   <trace continues>
+  Operand Ecx = Operand::reg(REG_ECX);
+  Operand EcxMem = Operand::mem(REG_ECX, -int32_t(NextTag), 4);
+  Operand EcxMemBack = Operand::mem(REG_ECX, int32_t(NextTag), 4);
+  Operand Spill = Operand::memAbs(Slots.SpillSlots + 4, 4);
+  Operand TargetSlot = Operand::memAbs(Slots.IbTargetSlot, 4);
+  AppPc Site = IndirectCti->appAddr();
+
+  auto add = [&](Instr *I) {
+    assert(I && "failed to create check instruction");
+    I->setAppAddr(Site);
+    IL.insertBefore(IndirectCti, I);
+    return I;
+  };
+
+  add(Instr::createSynth(A, OP_mov, {Spill, Ecx}));
+  switch (Op) {
+  case OP_ret:
+  case OP_ret_imm: {
+    add(Instr::createSynth(A, OP_mov, {Ecx, Operand::mem(REG_ESP, 0, 4)}));
+    int32_t Pop = 4;
+    if (Op == OP_ret_imm)
+      Pop += int32_t(IndirectCti->getSrc(0).getImm());
+    add(Instr::createSynth(
+        A, OP_lea, {Operand::reg(REG_ESP), Operand::mem(REG_ESP, Pop, 4)}));
+    break;
+  }
+  case OP_jmp_ind:
+    add(Instr::createSynth(A, OP_mov, {Ecx, IndirectCti->getSrc(0)}));
+    break;
+  case OP_call_ind: {
+    // Compute the target before pushing (hardware operand order; the
+    // operand may address through esp).
+    add(Instr::createSynth(A, OP_mov, {Ecx, IndirectCti->getSrc(0)}));
+    AppPc Ret = IndirectCti->appAddr() + IndirectCti->rawLength();
+    add(Instr::createSynth(A, OP_push, {Operand::imm(int64_t(Ret), 4)}));
+    break;
+  }
+  default:
+    RIO_UNREACHABLE("not an indirect CTI");
+  }
+
+  add(Instr::createSynth(A, OP_lea, {Ecx, EcxMem}));
+  Instr *MatchLabel = Instr::createLabel(A);
+  Instr *Jecxz = Instr::createSynth(A, OP_jecxz, {Operand::pc(0)});
+  Jecxz->setBranchTargetLabel(MatchLabel);
+  Jecxz->setAppAddr(Site);
+  IL.insertBefore(IndirectCti, Jecxz);
+
+  // Miss path (falls through from jecxz).
+  add(Instr::createSynth(A, OP_lea, {Ecx, EcxMemBack}));
+  add(Instr::createSynth(A, OP_mov, {TargetSlot, Ecx}));
+  add(Instr::createSynth(A, OP_mov, {Ecx, Spill}));
+  add(Instr::createSynth(A, OP_jmp_ind, {TargetSlot}));
+
+  // Hit path.
+  IL.insertBefore(IndirectCti, MatchLabel);
+  add(Instr::createSynth(A, OP_mov, {Ecx, Spill}));
+
+  IL.remove(IndirectCti);
+  ++Stats.counter("indirect_branches_inlined");
+}

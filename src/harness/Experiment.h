@@ -1,0 +1,94 @@
+//===- harness/Experiment.h - Benchmark experiment runner --------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared machinery behind the bench binaries: run a (workload,
+/// runtime configuration, client) combination on a fresh machine and
+/// report normalized execution time the way the paper does — "the ratio
+/// of our time to native execution time, so smaller is better".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_HARNESS_EXPERIMENT_H
+#define RIO_HARNESS_EXPERIMENT_H
+
+#include "clients/Clients.h"
+#include "core/Runtime.h"
+#include "workloads/Workloads.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rio {
+
+/// The client configurations of Figure 5, plus instrumentation extras.
+enum class ClientKind {
+  None,          ///< base DynamoRIO (no client)
+  Null,          ///< hook plumbing, no transformation
+  Inscount,      ///< instruction counting instrumentation
+  Rlr,           ///< redundant load removal (S4.1)
+  StrengthReduce,///< inc/dec -> add/sub 1 (S4.2)
+  IBDispatch,    ///< adaptive indirect branch dispatch (S4.3)
+  CustomTraces,  ///< call-inlining traces (S4.4)
+  AllFour,       ///< the combined configuration (Figure 5's last bar)
+};
+
+const char *clientKindName(ClientKind Kind);
+
+/// Owns the client objects for one run (AllFour composes four of them).
+class ClientBundle {
+public:
+  explicit ClientBundle(ClientKind Kind);
+  ~ClientBundle();
+
+  /// The client to hand the runtime; null for ClientKind::None.
+  Client *client() { return Top; }
+
+private:
+  std::vector<std::unique_ptr<Client>> Owned;
+  Client *Top = nullptr;
+};
+
+/// Result of one measured run.
+struct Outcome {
+  RunStatus Status = RunStatus::Running;
+  int ExitCode = 0;
+  std::string Output;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  StatisticSet Stats;
+};
+
+/// Runs \p Prog natively (no runtime) under \p Cost.
+Outcome runNativeProgram(const Program &Prog,
+                         const CostModel &Cost = CostModel());
+
+/// Runs \p Prog under the runtime with \p Config and \p Kind.
+Outcome runUnderRuntime(const Program &Prog, const RuntimeConfig &Config,
+                        ClientKind Kind, const CostModel &Cost = CostModel());
+
+/// Convenience: builds the workload at \p Scale (default scale if <= 0)
+/// and returns {native, under-runtime} outcomes, asserting both produce
+/// identical application output (transparency).
+struct NormalizedRun {
+  Outcome Native;
+  Outcome Rio;
+  double Normalized = 0; ///< Rio.Cycles / Native.Cycles
+  bool Transparent = false;
+};
+NormalizedRun measure(const Workload &W, const RuntimeConfig &Config,
+                      ClientKind Kind, int Scale = 0,
+                      const CostModel &Cost = CostModel());
+
+/// Geometric mean of a list of ratios.
+double geomean(const std::vector<double> &Values);
+
+} // namespace rio
+
+#endif // RIO_HARNESS_EXPERIMENT_H

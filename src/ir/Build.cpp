@@ -1,0 +1,106 @@
+//===- ir/Build.cpp - Lifting raw bytes into InstrLists --------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Build.h"
+
+#include "support/Compiler.h"
+
+using namespace rio;
+
+bool rio::scanBlock(const uint8_t *Bytes, size_t Size, AppPc Base, AppPc Pc,
+                    unsigned MaxInstrs, BlockScan &Scan) {
+  Scan = BlockScan();
+  AppPc Cur = Pc;
+  for (unsigned N = 0; N != MaxInstrs; ++N) {
+    if (Cur < Base || Cur >= Base + Size)
+      return false;
+    const uint8_t *P = Bytes + (Cur - Base);
+    size_t Avail = Size - (Cur - Base);
+    Opcode Op;
+    uint32_t Eflags;
+    int Len;
+    if (!decodeOpcodeAndEflags(P, Avail, Op, Eflags, Len))
+      return false;
+    ++Scan.NumInstrs;
+    Scan.ByteLength += unsigned(Len);
+    Cur += AppPc(Len);
+    if (opcodeIsCti(Op)) {
+      Scan.EndsInCti = true;
+      break;
+    }
+    if (opcodeInfo(Op).Flags & OPF_SYSCALL) {
+      Scan.EndsInSyscall = true;
+      break;
+    }
+  }
+  Scan.FallThrough = Cur;
+  return true;
+}
+
+bool rio::liftBlock(InstrList &IL, const uint8_t *Bytes, size_t Size,
+                    AppPc Base, AppPc Pc, unsigned MaxInstrs, LiftLevel Level) {
+  Arena &A = IL.arena();
+  AppPc Cur = Pc;
+  AppPc BundleStart = Pc;
+  unsigned BundleLen = 0;
+
+  auto flushBundle = [&]() {
+    if (BundleLen == 0)
+      return;
+    IL.append(Instr::createBundle(A, Bytes + (BundleStart - Base), BundleLen,
+                                  BundleStart));
+    BundleLen = 0;
+  };
+
+  for (unsigned N = 0; N != MaxInstrs; ++N) {
+    if (Cur < Base || Cur >= Base + Size)
+      return false;
+    const uint8_t *P = Bytes + (Cur - Base);
+    size_t Avail = Size - (Cur - Base);
+
+    // Peek at the opcode to know whether this is the terminating CTI.
+    Opcode Op;
+    uint32_t Eflags;
+    int Len;
+    if (!decodeOpcodeAndEflags(P, Avail, Op, Eflags, Len))
+      return false;
+    bool IsTerminator =
+        opcodeIsCti(Op) || (opcodeInfo(Op).Flags & OPF_SYSCALL) != 0;
+
+    if (IsTerminator || Level != LiftLevel::Bundle0) {
+      Instr *I = nullptr;
+      if (IsTerminator || Level == LiftLevel::Decoded3 ||
+          Level == LiftLevel::Synth4) {
+        DecodedInstr DI;
+        if (!decodeInstr(P, Avail, Cur, DI))
+          return false;
+        I = Instr::createDecoded(A, DI, P, Cur);
+        if (!IsTerminator && Level == LiftLevel::Synth4)
+          I->invalidateRawBits();
+      } else if (Level == LiftLevel::Opcode2) {
+        I = Instr::createOpcodeKnown(A, P, unsigned(Len), Cur, Op, Eflags);
+      } else {
+        I = Instr::createRaw(A, P, unsigned(Len), Cur);
+      }
+      flushBundle();
+      IL.append(I);
+    } else {
+      // Accumulate into the current Level 0 bundle.
+      if (BundleLen == 0)
+        BundleStart = Cur;
+      BundleLen += unsigned(Len);
+    }
+
+    Cur += AppPc(Len);
+    if (IsTerminator)
+      return true;
+  }
+  // Hit the instruction cap without a CTI; flush what we have. The caller
+  // decides how to terminate the block (the runtime appends a jump).
+  flushBundle();
+  return true;
+}

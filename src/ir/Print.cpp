@@ -1,0 +1,156 @@
+//===- ir/Print.cpp - Textual rendering of instructions --------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Print.h"
+
+#include "isa/Eflags.h"
+#include "isa/OperandLayout.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace rio;
+
+static std::string fmt(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+static std::string fmt(const char *Format, ...) {
+  char Buf[128];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Buf, sizeof(Buf), Format, Args);
+  va_end(Args);
+  return Buf;
+}
+
+std::string rio::operandToString(const Operand &Op) {
+  switch (Op.kind()) {
+  case Operand::NullKind:
+    return "<null>";
+  case Operand::RegKind:
+    return fmt("%%%s", registerName(Op.getReg()));
+  case Operand::ImmKind:
+    return fmt("$0x%" PRIx64, uint64_t(Op.getImm()));
+  case Operand::PcKind:
+    return fmt("0x%08x", Op.getPc());
+  case Operand::InstrKind:
+    return fmt("<label %p>", Op.getInstr());
+  case Operand::MemKind: {
+    std::string S;
+    if (Op.getDisp() != 0 || (Op.getBase() == REG_NULL &&
+                              Op.getIndex() == REG_NULL))
+      S += fmt("0x%x", unsigned(Op.getDisp()));
+    S += "(";
+    if (Op.getBase() != REG_NULL)
+      S += fmt("%%%s", registerName(Op.getBase()));
+    if (Op.getIndex() != REG_NULL)
+      S += fmt(",%%%s,%u", registerName(Op.getIndex()), Op.getScale());
+    S += ")";
+    if (Op.sizeBytes() != 4)
+      S += fmt("[%u]", Op.sizeBytes());
+    return S;
+  }
+  }
+  return "<?>";
+}
+
+std::string rio::eflagsToString(uint32_t Effect) {
+  static const char FlagChars[] = "CPAZSO";
+  std::string S;
+  if (Effect & EFLAGS_READ_ALL) {
+    S += 'R';
+    for (unsigned I = 0; I != 6; ++I)
+      if (Effect & (1u << I))
+        S += FlagChars[I];
+  }
+  if (Effect & EFLAGS_WRITE_ALL) {
+    S += 'W';
+    for (unsigned I = 0; I != 6; ++I)
+      if (Effect & (1u << (I + 6)))
+        S += FlagChars[I];
+  }
+  if (S.empty())
+    S = "-";
+  return S;
+}
+
+static std::string rawBytesToString(const Instr &I) {
+  std::string S;
+  for (unsigned Idx = 0; Idx != I.rawLength(); ++Idx)
+    S += fmt("%02x ", I.rawBits()[Idx]);
+  if (!S.empty())
+    S.pop_back();
+  return S;
+}
+
+std::string rio::instrToString(Instr &I) {
+  switch (I.level()) {
+  case Instr::Level::Bundle:
+    return fmt("<bundle %u bytes> ", I.rawLength()) + rawBytesToString(I);
+  case Instr::Level::Raw:
+    return rawBytesToString(I);
+  case Instr::Level::OpcodeKnown:
+    return rawBytesToString(I) + "  " + opcodeName(I.getOpcode()) + "  " +
+           eflagsToString(I.getEflags());
+  case Instr::Level::Decoded:
+  case Instr::Level::Synth: {
+    std::string S;
+    if (I.rawBitsValid())
+      S = rawBytesToString(I) + "  ";
+    S += opcodeName(I.getOpcode());
+    S += "  ";
+    for (unsigned Idx = 0; Idx != I.numSrcs(); ++Idx) {
+      S += operandToString(I.getSrc(Idx));
+      S += ' ';
+    }
+    if (I.numDsts()) {
+      S += "-> ";
+      for (unsigned Idx = 0; Idx != I.numDsts(); ++Idx) {
+        S += operandToString(I.getDst(Idx));
+        S += ' ';
+      }
+    }
+    S += ' ';
+    S += eflagsToString(I.getEflags());
+    return S;
+  }
+  }
+  return "<?>";
+}
+
+std::string rio::instrToAsm(Instr &I) {
+  if (I.isBundle())
+    return fmt("<bundle %u bytes>", I.rawLength());
+  if (I.isLabel())
+    return fmt("<label %p>:", static_cast<void *>(&I));
+  I.upgradeToDecoded();
+  Operand Ex[MaxExplicit];
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = I.numSrcs(), NumDsts = I.numDsts();
+  for (unsigned Idx = 0; Idx != NumSrcs; ++Idx)
+    Srcs[Idx] = I.getSrc(Idx);
+  for (unsigned Idx = 0; Idx != NumDsts; ++Idx)
+    Dsts[Idx] = I.getDst(Idx);
+  unsigned NumEx =
+      getExplicitOperands(I.getOpcode(), Srcs, NumSrcs, Dsts, NumDsts, Ex);
+  std::string S = opcodeName(I.getOpcode());
+  for (unsigned Idx = 0; Idx != NumEx; ++Idx) {
+    S += Idx ? ", " : " ";
+    S += operandToString(Ex[Idx]);
+  }
+  return S;
+}
+
+std::string rio::instrListToString(InstrList &IL) {
+  std::string S;
+  for (Instr &I : IL) {
+    S += instrToString(I);
+    S += '\n';
+  }
+  return S;
+}

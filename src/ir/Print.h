@@ -1,0 +1,45 @@
+//===- ir/Print.h - Textual rendering of instructions ---------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pretty-printing of operands, Instrs and InstrLists in an AT&T-flavoured
+/// syntax close to the paper's Figure 2 ("0xc(%esi) -> %eax" style), used
+/// by the disassembler, examples and test diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_IR_PRINT_H
+#define RIO_IR_PRINT_H
+
+#include "ir/InstrList.h"
+
+#include <string>
+
+namespace rio {
+
+/// Renders one operand, e.g. "%eax", "$0x10", "0xc(%esi)".
+std::string operandToString(const Operand &Op);
+
+/// Renders an Instr at its current level of detail. A Level 0/1 Instr
+/// prints its raw bytes; Level 2 adds the opcode and eflags; Level 3/4 add
+/// full operands in "srcs -> dsts" form, mirroring the paper's Figure 2.
+std::string instrToString(Instr &I);
+
+/// Renders an Instr in conventional assembly syntax ("mov %eax, 0x8(%esp)")
+/// using only the explicit operands.
+std::string instrToAsm(Instr &I);
+
+/// Renders a whole list, one instruction per line.
+std::string instrListToString(InstrList &IL);
+
+/// Renders the eflags effect mask in the paper's compact "WCPAZSO"/"R.."
+/// notation (e.g. cmp prints "WCPAZSO", jnl prints "RSO").
+std::string eflagsToString(uint32_t Effect);
+
+} // namespace rio
+
+#endif // RIO_IR_PRINT_H

@@ -1,0 +1,74 @@
+//===- isa/Eflags.h - Condition-code flag masks ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six IA-32 arithmetic flags and the read/write effect masks exported
+/// through the client API. The paper's Level 2 representation exists
+/// precisely to answer "does this instruction read or write eflags" cheaply
+/// (Section 3.1), and the strength-reduction client's legality check is a
+/// scan over EFLAGS_READ_CF / EFLAGS_WRITE_CF (Figure 3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_EFLAGS_H
+#define RIO_ISA_EFLAGS_H
+
+#include <cstdint>
+
+namespace rio {
+
+/// Bit positions of the arithmetic flags within the simulated eflags
+/// register (values chosen to match IA-32's EFLAGS layout).
+enum EflagsBit : uint32_t {
+  EFLAGS_CF = 1u << 0,
+  EFLAGS_PF = 1u << 2,
+  EFLAGS_AF = 1u << 4,
+  EFLAGS_ZF = 1u << 6,
+  EFLAGS_SF = 1u << 7,
+  EFLAGS_OF = 1u << 11,
+};
+
+/// Effect masks: one bit per flag for reads, a parallel set for writes.
+/// These are the values returned by instr_get_eflags() / instr_get_arith_flags
+/// in the client API, mirroring DynamoRIO's EFLAGS_READ_* / EFLAGS_WRITE_*.
+enum EflagsEffect : uint32_t {
+  EFLAGS_READ_CF = 1u << 0,
+  EFLAGS_READ_PF = 1u << 1,
+  EFLAGS_READ_AF = 1u << 2,
+  EFLAGS_READ_ZF = 1u << 3,
+  EFLAGS_READ_SF = 1u << 4,
+  EFLAGS_READ_OF = 1u << 5,
+
+  EFLAGS_WRITE_CF = 1u << 6,
+  EFLAGS_WRITE_PF = 1u << 7,
+  EFLAGS_WRITE_AF = 1u << 8,
+  EFLAGS_WRITE_ZF = 1u << 9,
+  EFLAGS_WRITE_SF = 1u << 10,
+  EFLAGS_WRITE_OF = 1u << 11,
+
+  EFLAGS_READ_ALL = 0x3F,
+  EFLAGS_WRITE_ALL = 0x3F << 6,
+  /// add/sub/cmp/neg and friends: write every arithmetic flag.
+  EFLAGS_WRITE_ARITH = EFLAGS_WRITE_ALL,
+  /// inc/dec: write everything *except* CF. This asymmetry is the entire
+  /// basis of the paper's inc -> add 1 strength-reduction example.
+  EFLAGS_WRITE_NO_CF = EFLAGS_WRITE_ALL & ~EFLAGS_WRITE_CF,
+};
+
+/// Converts a write mask to the read mask over the same flags.
+inline uint32_t eflagsWriteToRead(uint32_t WriteMask) {
+  return (WriteMask >> 6) & EFLAGS_READ_ALL;
+}
+
+/// Converts a read mask to the write mask over the same flags.
+inline uint32_t eflagsReadToWrite(uint32_t ReadMask) {
+  return (ReadMask & EFLAGS_READ_ALL) << 6;
+}
+
+} // namespace rio
+
+#endif // RIO_ISA_EFLAGS_H

@@ -1,0 +1,54 @@
+//===- isa/Encode.h - RIO-32 instruction encoder ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Encoding of RIO-32 instructions from their operand form. Per the paper
+/// (Section 3.1), full encoding is the expensive path — the encoder walks
+/// the candidate forms of the opcode and picks the first (shortest) one the
+/// operands fit, exactly the "find an instruction template that matches"
+/// process the paper describes. Level 0-3 instructions bypass all of this by
+/// copying their valid raw bits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_ENCODE_H
+#define RIO_ISA_ENCODE_H
+
+#include "isa/Decode.h"
+#include "isa/Opcodes.h"
+#include "isa/Operand.h"
+
+namespace rio {
+
+/// Encoder policy knobs.
+struct EncodeOptions {
+  /// Permit rel8 branch forms when the displacement fits. The runtime
+  /// encodes cache code with this off so that every exit branch is a
+  /// patchable rel32 (stable link/unlink), as DynamoRIO does.
+  bool AllowShortBranches = true;
+};
+
+/// Encodes one instruction given its canonical operands (see
+/// isa/OperandLayout.h). \p Pc is the address the instruction will live at
+/// (needed for pc-relative branches). Writes at most MaxInstrLength bytes
+/// to \p Out.
+/// \returns the encoded length in bytes, or -1 if no form matches.
+int encodeInstr(Opcode Op, uint8_t Prefixes, const Operand *Srcs,
+                unsigned NumSrcs, const Operand *Dsts, unsigned NumDsts,
+                AppPc Pc, uint8_t *Out,
+                const EncodeOptions &Opts = EncodeOptions());
+
+/// Convenience overload encoding a DecodedInstr (used by round-trip tests).
+inline int encodeInstr(const DecodedInstr &DI, AppPc Pc, uint8_t *Out,
+                       const EncodeOptions &Opts = EncodeOptions()) {
+  return encodeInstr(DI.Op, DI.Prefixes, DI.Srcs, DI.NumSrcs, DI.Dsts,
+                     DI.NumDsts, Pc, Out, Opts);
+}
+
+} // namespace rio
+
+#endif // RIO_ISA_ENCODE_H

@@ -1,0 +1,120 @@
+//===- isa/Opcodes.cpp - Opcode property table -----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Opcodes.h"
+
+#include "isa/Eflags.h"
+#include "support/Compiler.h"
+
+using namespace rio;
+
+namespace {
+
+// Shorthand for table readability.
+constexpr uint32_t WR_ARITH = EFLAGS_WRITE_ARITH;
+constexpr uint32_t WR_NO_CF = EFLAGS_WRITE_NO_CF;
+constexpr uint32_t RDWR_ALL = EFLAGS_READ_ALL | EFLAGS_WRITE_ALL;
+
+// Indexed by Opcode. Shift opcodes claim read+write of all flags because a
+// variable (CL) count of zero leaves flags untouched: a conditional write
+// must be treated as both a read and a write for liveness to stay sound.
+// Immediate-count shifts are refined to a pure write at full decode.
+const OpcodeInfo InfoTable[NUM_OPCODES] = {
+    /*OP_INVALID*/ {"<invalid>", 0, 0, 0},
+
+    /*OP_mov*/ {"mov", 0, 0, 1},
+    /*OP_mov_b*/ {"movb", 0, 0, 1},
+    /*OP_movzx_b*/ {"movzxb", 0, 0, 1},
+    /*OP_movzx_w*/ {"movzxw", 0, 0, 1},
+    /*OP_movsx_b*/ {"movsxb", 0, 0, 1},
+    /*OP_movsx_w*/ {"movsxw", 0, 0, 1},
+    /*OP_lea*/ {"lea", 0, 0, 1},
+    /*OP_xchg*/ {"xchg", 0, 0, 2},
+    /*OP_push*/ {"push", 0, 0, 1},
+    /*OP_pop*/ {"pop", 0, 0, 1},
+
+    /*OP_add*/ {"add", WR_ARITH, 0, 1},
+    /*OP_or*/ {"or", WR_ARITH, 0, 1},
+    /*OP_adc*/ {"adc", EFLAGS_READ_CF | WR_ARITH, 0, 1},
+    /*OP_sbb*/ {"sbb", EFLAGS_READ_CF | WR_ARITH, 0, 1},
+    /*OP_and*/ {"and", WR_ARITH, 0, 1},
+    /*OP_sub*/ {"sub", WR_ARITH, 0, 1},
+    /*OP_xor*/ {"xor", WR_ARITH, 0, 1},
+    /*OP_cmp*/ {"cmp", WR_ARITH, 0, 1},
+    /*OP_inc*/ {"inc", WR_NO_CF, 0, 1},
+    /*OP_dec*/ {"dec", WR_NO_CF, 0, 1},
+    /*OP_neg*/ {"neg", WR_ARITH, 0, 1},
+    /*OP_not*/ {"not", 0, 0, 1},
+    /*OP_test*/ {"test", WR_ARITH, 0, 1},
+    /*OP_imul*/ {"imul", WR_ARITH, 0, 4},
+    /*OP_mul*/ {"mul", WR_ARITH, 0, 4},
+    /*OP_idiv*/ {"idiv", WR_ARITH, 0, 24},
+    /*OP_cdq*/ {"cdq", 0, 0, 1},
+    /*OP_shl*/ {"shl", RDWR_ALL, 0, 1},
+    /*OP_shr*/ {"shr", RDWR_ALL, 0, 1},
+    /*OP_sar*/ {"sar", RDWR_ALL, 0, 1},
+
+    /*OP_jmp*/ {"jmp", 0, OPF_CTI | OPF_UNCOND_BRANCH, 1},
+    /*OP_jmp_ind*/ {"jmp", 0, OPF_CTI | OPF_INDIRECT, 1},
+    /*OP_call*/ {"call", 0, OPF_CTI | OPF_CALL, 1},
+    /*OP_call_ind*/ {"call", 0, OPF_CTI | OPF_CALL | OPF_INDIRECT, 1},
+    /*OP_ret*/ {"ret", 0, OPF_CTI | OPF_RET | OPF_INDIRECT, 1},
+    /*OP_ret_imm*/ {"ret", 0, OPF_CTI | OPF_RET | OPF_INDIRECT, 1},
+
+    /*OP_jo*/ {"jo", EFLAGS_READ_OF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jno*/ {"jno", EFLAGS_READ_OF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jb*/ {"jb", EFLAGS_READ_CF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnb*/ {"jnb", EFLAGS_READ_CF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jz*/ {"jz", EFLAGS_READ_ZF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnz*/ {"jnz", EFLAGS_READ_ZF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jbe*/
+    {"jbe", EFLAGS_READ_CF | EFLAGS_READ_ZF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnbe*/
+    {"jnbe", EFLAGS_READ_CF | EFLAGS_READ_ZF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_js*/ {"js", EFLAGS_READ_SF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jns*/ {"jns", EFLAGS_READ_SF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jp*/ {"jp", EFLAGS_READ_PF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnp*/ {"jnp", EFLAGS_READ_PF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jl*/
+    {"jl", EFLAGS_READ_SF | EFLAGS_READ_OF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnl*/
+    {"jnl", EFLAGS_READ_SF | EFLAGS_READ_OF, OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jle*/
+    {"jle", EFLAGS_READ_SF | EFLAGS_READ_OF | EFLAGS_READ_ZF,
+     OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jnle*/
+    {"jnle", EFLAGS_READ_SF | EFLAGS_READ_OF | EFLAGS_READ_ZF,
+     OPF_CTI | OPF_COND_BRANCH, 1},
+    /*OP_jecxz*/ {"jecxz", 0, OPF_CTI | OPF_COND_BRANCH, 1},
+
+    /*OP_int*/ {"int", 0, OPF_SYSCALL, 50},
+    /*OP_hlt*/ {"hlt", 0, OPF_SYSCALL, 1},
+    /*OP_nop*/ {"nop", 0, 0, 1},
+
+    /*OP_movsd*/ {"movsd", 0, OPF_FP, 1},
+    /*OP_addsd*/ {"addsd", 0, OPF_FP, 3},
+    /*OP_subsd*/ {"subsd", 0, OPF_FP, 3},
+    /*OP_mulsd*/ {"mulsd", 0, OPF_FP, 5},
+    /*OP_divsd*/ {"divsd", 0, OPF_FP, 20},
+    /*OP_ucomisd*/ {"ucomisd", WR_ARITH, OPF_FP, 3},
+    /*OP_cvtsi2sd*/ {"cvtsi2sd", 0, OPF_FP, 4},
+    /*OP_cvttsd2si*/ {"cvttsd2si", 0, OPF_FP, 4},
+
+    /*OP_clientcall*/ {"clientcall", 0, 0, 1},
+    /*OP_savef*/ {"savef", EFLAGS_READ_ALL, 0, 5},
+    /*OP_restf*/ {"restf", EFLAGS_WRITE_ALL, 0, 5},
+    /*OP_label*/ {"<label>", 0, OPF_PSEUDO, 0},
+};
+
+} // namespace
+
+const OpcodeInfo &rio::opcodeInfo(Opcode Op) {
+  assert(Op < NUM_OPCODES && "opcode out of range");
+  return InfoTable[Op];
+}
+
+const char *rio::opcodeName(Opcode Op) { return opcodeInfo(Op).Name; }

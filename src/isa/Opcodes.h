@@ -1,0 +1,181 @@
+//===- isa/Opcodes.h - RIO-32 opcode enumeration and properties ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The RIO-32 opcode set: a faithful subset of IA-32 (authentic encodings,
+/// authentic eflags behaviour) plus two extensions used by the runtime:
+///
+///   - OP_clientcall  (0F 04 imm32): a "clean call" from code-cache code
+///     into a registered client routine; stands in for DynamoRIO's inserted
+///     native calls to client profiling code (paper Section 4.3).
+///   - OP_label: a zero-length pseudo-instruction used as a branch target
+///     inside an InstrList under construction (never encoded).
+///
+/// Static properties of each opcode (name, eflags read/write masks,
+/// control-flow class, base cycle cost) live in the OpcodeInfo table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_OPCODES_H
+#define RIO_ISA_OPCODES_H
+
+#include <cstdint>
+
+namespace rio {
+
+enum Opcode : uint16_t {
+  OP_INVALID = 0,
+
+  // Data movement.
+  OP_mov,     ///< 32-bit move (reg/mem/imm forms).
+  OP_mov_b,   ///< 8-bit move.
+  OP_movzx_b, ///< zero-extend byte to 32 bits.
+  OP_movzx_w, ///< zero-extend 16-bit memory to 32 bits.
+  OP_movsx_b, ///< sign-extend byte to 32 bits.
+  OP_movsx_w, ///< sign-extend 16-bit memory to 32 bits.
+  OP_lea,     ///< load effective address.
+  OP_xchg,    ///< exchange reg with reg/mem.
+  OP_push,    ///< push reg/mem/imm.
+  OP_pop,     ///< pop reg/mem.
+
+  // Integer arithmetic and logic.
+  OP_add,
+  OP_or,
+  OP_adc,
+  OP_sbb,
+  OP_and,
+  OP_sub,
+  OP_xor,
+  OP_cmp,
+  OP_inc,
+  OP_dec,
+  OP_neg,
+  OP_not,
+  OP_test,
+  OP_imul, ///< two- and three-operand signed multiply.
+  OP_mul,  ///< unsigned multiply edx:eax = eax * src.
+  OP_idiv, ///< signed divide of edx:eax.
+  OP_cdq,  ///< sign-extend eax into edx.
+  OP_shl,
+  OP_shr,
+  OP_sar,
+
+  // Control transfer.
+  OP_jmp,      ///< direct unconditional jump.
+  OP_jmp_ind,  ///< indirect jump through reg/mem.
+  OP_call,     ///< direct call.
+  OP_call_ind, ///< indirect call through reg/mem.
+  OP_ret,      ///< near return.
+  OP_ret_imm,  ///< near return popping imm16 extra bytes.
+
+  // Conditional jumps, in IA-32 condition-code order (0x70+cc / 0F 80+cc).
+  OP_jo,
+  OP_jno,
+  OP_jb,
+  OP_jnb,
+  OP_jz,
+  OP_jnz,
+  OP_jbe,
+  OP_jnbe,
+  OP_js,
+  OP_jns,
+  OP_jp,
+  OP_jnp,
+  OP_jl,
+  OP_jnl,
+  OP_jle,
+  OP_jnle,
+  OP_jecxz, ///< jump if ecx is zero (0xE3 rel8); reads no flags — the
+            ///< flags-transparent branch DynamoRIO builds its inlined
+            ///< indirect-branch comparisons from.
+
+  // System.
+  OP_int, ///< syscall gateway into the simulated OS.
+  OP_hlt, ///< halt (treated as program exit with code 0).
+  OP_nop,
+
+  // Scalar double-precision (SSE2-like, F2-prefixed authentic encodings).
+  OP_movsd,
+  OP_addsd,
+  OP_subsd,
+  OP_mulsd,
+  OP_divsd,
+  OP_ucomisd,
+  OP_cvtsi2sd,
+  OP_cvttsd2si,
+
+  // Runtime extensions.
+  OP_clientcall, ///< clean call into client code; 0F 04 imm32.
+  OP_savef,      ///< store eflags to memory; 0F 05 /0. Stands in for the
+                 ///< lahf/seto spill sequence DynamoRIO inserts around
+                 ///< flag-clobbering introduced code.
+  OP_restf,      ///< load eflags from memory; 0F 06 /0 (sahf/add pair).
+  OP_label,      ///< zero-length pseudo instruction (Level 4 only).
+
+  OP_LAST = OP_label,
+  NUM_OPCODES,
+};
+
+/// Boolean property flags for OpcodeInfo::Flags.
+enum OpcodeFlag : uint32_t {
+  OPF_CTI = 1u << 0,        ///< any control transfer instruction
+  OPF_COND_BRANCH = 1u << 1,///< conditional direct branch
+  OPF_UNCOND_BRANCH = 1u << 2, ///< direct jmp
+  OPF_CALL = 1u << 3,       ///< direct or indirect call
+  OPF_RET = 1u << 4,        ///< return
+  OPF_INDIRECT = 1u << 5,   ///< target computed at runtime
+  OPF_SYSCALL = 1u << 6,    ///< enters the simulated OS
+  OPF_FP = 1u << 7,         ///< scalar-double operation
+  OPF_PSEUDO = 1u << 8,     ///< never encoded (labels)
+};
+
+/// Static description of one opcode.
+struct OpcodeInfo {
+  const char *Name;      ///< mnemonic, e.g. "add"
+  uint32_t EflagsEffect; ///< EFLAGS_READ_* | EFLAGS_WRITE_* union
+  uint32_t Flags;        ///< OpcodeFlag union
+  uint8_t BaseCycles;    ///< cost-model base latency in cycles
+};
+
+/// Returns the static property record for \p Op. \p Op must be valid.
+const OpcodeInfo &opcodeInfo(Opcode Op);
+
+/// Returns the mnemonic for \p Op ("<invalid>" for OP_INVALID).
+const char *opcodeName(Opcode Op);
+
+inline bool opcodeIsCti(Opcode Op) {
+  return (opcodeInfo(Op).Flags & OPF_CTI) != 0;
+}
+inline bool opcodeIsCondBranch(Opcode Op) {
+  return (opcodeInfo(Op).Flags & OPF_COND_BRANCH) != 0;
+}
+inline bool opcodeIsCall(Opcode Op) {
+  return (opcodeInfo(Op).Flags & OPF_CALL) != 0;
+}
+inline bool opcodeIsReturn(Opcode Op) {
+  return (opcodeInfo(Op).Flags & OPF_RET) != 0;
+}
+inline bool opcodeIsIndirectCti(Opcode Op) {
+  const OpcodeInfo &Info = opcodeInfo(Op);
+  return (Info.Flags & OPF_CTI) && (Info.Flags & OPF_INDIRECT);
+}
+
+/// For a conditional jump opcode, returns its 4-bit IA-32 condition code
+/// (0 for OP_jo .. 15 for OP_jnle).
+inline unsigned condCodeOf(Opcode Op) { return unsigned(Op) - OP_jo; }
+
+/// Inverse of condCodeOf.
+inline Opcode condBranchForCode(unsigned Cc) { return Opcode(OP_jo + Cc); }
+
+/// Returns the conditional jump with the opposite condition (jz <-> jnz...).
+inline Opcode invertCondBranch(Opcode Op) {
+  return condBranchForCode(condCodeOf(Op) ^ 1);
+}
+
+} // namespace rio
+
+#endif // RIO_ISA_OPCODES_H

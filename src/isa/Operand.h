@@ -1,0 +1,198 @@
+//===- isa/Operand.h - Instruction operand model ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operands of RIO-32 instructions: registers, immediates, memory references
+/// (base + index*scale + displacement, with an access size), and code
+/// addresses (branch targets). Mirrors DynamoRIO's opnd_t.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_OPERAND_H
+#define RIO_ISA_OPERAND_H
+
+#include "isa/Registers.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace rio {
+
+/// An application code address (original program counter). The client API
+/// identifies fragments by their app_pc tag, as in the paper's Table 3.
+using AppPc = uint32_t;
+
+/// A single instruction operand.
+class Operand {
+public:
+  enum Kind : uint8_t {
+    NullKind, ///< unused slot
+    RegKind,  ///< a register
+    ImmKind,  ///< an immediate integer (stored sign-extended to 64 bits)
+    MemKind,  ///< memory reference [base + index*scale + disp], Size bytes
+    PcKind,   ///< a code address (direct branch target)
+    InstrKind ///< a branch target inside the same InstrList (label Instr)
+  };
+
+  Operand() = default;
+
+  static Operand reg(Register Reg) {
+    Operand Op;
+    Op.TheKind = RegKind;
+    Op.RegValue = Reg;
+    Op.Size = isGpr8(Reg) ? 1 : (isXmm(Reg) ? 8 : 4);
+    return Op;
+  }
+
+  static Operand imm(int64_t Value, uint8_t SizeBytes = 4) {
+    Operand Op;
+    Op.TheKind = ImmKind;
+    Op.ImmValue = Value;
+    Op.Size = SizeBytes;
+    return Op;
+  }
+
+  /// Builds a memory operand. \p SizeBytes is the access width (1, 2, 4, 8).
+  static Operand mem(Register Base, int32_t Disp, uint8_t SizeBytes = 4,
+                     Register Index = REG_NULL, uint8_t Scale = 1) {
+    assert((Base == REG_NULL || isGpr32(Base)) && "mem base must be 32-bit");
+    assert((Index == REG_NULL || isGpr32(Index)) && "mem index must be 32-bit");
+    assert(Index != REG_ESP && "esp cannot be an index register");
+    assert((Scale == 1 || Scale == 2 || Scale == 4 || Scale == 8) &&
+           "scale must be 1/2/4/8");
+    Operand Op;
+    Op.TheKind = MemKind;
+    Op.BaseReg = Base;
+    Op.IndexReg = Index;
+    Op.ScaleValue = Scale;
+    Op.DispValue = Disp;
+    Op.Size = SizeBytes;
+    return Op;
+  }
+
+  /// Absolute-address memory operand.
+  static Operand memAbs(uint32_t Address, uint8_t SizeBytes = 4) {
+    Operand Op = mem(REG_NULL, int32_t(Address), SizeBytes);
+    return Op;
+  }
+
+  static Operand pc(AppPc Target) {
+    Operand Op;
+    Op.TheKind = PcKind;
+    Op.PcValue = Target;
+    Op.Size = 4;
+    return Op;
+  }
+
+  /// Branch target pointing at a label Instr in the same list. Stored as an
+  /// opaque pointer; the InstrList encoder resolves it.
+  static Operand instr(void *Label) {
+    Operand Op;
+    Op.TheKind = InstrKind;
+    Op.InstrValue = Label;
+    Op.Size = 4;
+    return Op;
+  }
+
+  Kind kind() const { return TheKind; }
+  bool isNull() const { return TheKind == NullKind; }
+  bool isReg() const { return TheKind == RegKind; }
+  bool isImm() const { return TheKind == ImmKind; }
+  bool isMem() const { return TheKind == MemKind; }
+  bool isPc() const { return TheKind == PcKind; }
+  bool isInstr() const { return TheKind == InstrKind; }
+
+  Register getReg() const {
+    assert(isReg() && "not a register operand");
+    return RegValue;
+  }
+  int64_t getImm() const {
+    assert(isImm() && "not an immediate operand");
+    return ImmValue;
+  }
+  AppPc getPc() const {
+    assert(isPc() && "not a pc operand");
+    return PcValue;
+  }
+  void *getInstr() const {
+    assert(isInstr() && "not an instr operand");
+    return InstrValue;
+  }
+  Register getBase() const {
+    assert(isMem() && "not a memory operand");
+    return BaseReg;
+  }
+  Register getIndex() const {
+    assert(isMem() && "not a memory operand");
+    return IndexReg;
+  }
+  uint8_t getScale() const {
+    assert(isMem() && "not a memory operand");
+    return ScaleValue;
+  }
+  int32_t getDisp() const {
+    assert(isMem() && "not a memory operand");
+    return DispValue;
+  }
+
+  /// Access width in bytes (meaningful for Reg/Imm/Mem operands).
+  uint8_t sizeBytes() const { return Size; }
+  void setSizeBytes(uint8_t Bytes) { Size = Bytes; }
+
+  /// True if this operand reads register \p Reg when used as a source, or
+  /// contributes it to an address computation (mem base/index).
+  bool usesRegister(Register Reg) const {
+    if (isReg())
+      return RegValue == Reg || containingGpr(RegValue) == Reg ||
+             containingGpr(Reg) == RegValue;
+    if (isMem())
+      return BaseReg == Reg || IndexReg == Reg;
+    return false;
+  }
+
+  /// Structural equality (same kind and same fields).
+  bool operator==(const Operand &Other) const {
+    if (TheKind != Other.TheKind || Size != Other.Size)
+      return false;
+    switch (TheKind) {
+    case NullKind:
+      return true;
+    case RegKind:
+      return RegValue == Other.RegValue;
+    case ImmKind:
+      return ImmValue == Other.ImmValue;
+    case MemKind:
+      return BaseReg == Other.BaseReg && IndexReg == Other.IndexReg &&
+             ScaleValue == Other.ScaleValue && DispValue == Other.DispValue;
+    case PcKind:
+      return PcValue == Other.PcValue;
+    case InstrKind:
+      return InstrValue == Other.InstrValue;
+    }
+    return false;
+  }
+  bool operator!=(const Operand &Other) const { return !(*this == Other); }
+
+private:
+  Kind TheKind = NullKind;
+  uint8_t Size = 0;
+  // Register operand.
+  Register RegValue = REG_NULL;
+  // Memory operand.
+  Register BaseReg = REG_NULL;
+  Register IndexReg = REG_NULL;
+  uint8_t ScaleValue = 1;
+  int32_t DispValue = 0;
+  // Immediate / pc / instr operands.
+  int64_t ImmValue = 0;
+  AppPc PcValue = 0;
+  void *InstrValue = nullptr;
+};
+
+} // namespace rio
+
+#endif // RIO_ISA_OPERAND_H

@@ -1,0 +1,381 @@
+//===- isa/OperandLayout.cpp - Canonical operand layouts ------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/OperandLayout.h"
+
+#include "support/Compiler.h"
+
+using namespace rio;
+
+static Operand stackSlot(int32_t Disp) {
+  return Operand::mem(REG_ESP, Disp, /*SizeBytes=*/4);
+}
+
+bool rio::buildCanonicalOperands(Opcode Op, const Operand *Ex, unsigned NumEx,
+                                 Operand *Srcs, unsigned &NumSrcs,
+                                 Operand *Dsts, unsigned &NumDsts) {
+  NumSrcs = 0;
+  NumDsts = 0;
+  auto Src = [&](Operand O) {
+    assert(NumSrcs < MaxSrcs && "too many sources");
+    Srcs[NumSrcs++] = O;
+  };
+  auto Dst = [&](Operand O) {
+    assert(NumDsts < MaxDsts && "too many destinations");
+    Dsts[NumDsts++] = O;
+  };
+  Operand Esp = Operand::reg(REG_ESP);
+
+  switch (Op) {
+  case OP_mov:
+  case OP_mov_b:
+  case OP_movzx_b:
+  case OP_movzx_w:
+  case OP_movsx_b:
+  case OP_movsx_w:
+  case OP_lea:
+  case OP_cvtsi2sd:
+  case OP_cvttsd2si:
+  case OP_movsd:
+    if (NumEx != 2)
+      return false;
+    Src(Ex[1]);
+    Dst(Ex[0]);
+    return true;
+
+  case OP_xchg:
+    if (NumEx != 2)
+      return false;
+    Src(Ex[0]);
+    Src(Ex[1]);
+    Dst(Ex[0]);
+    Dst(Ex[1]);
+    return true;
+
+  case OP_push:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Esp);
+    Dst(Esp);
+    Dst(stackSlot(-4));
+    return true;
+
+  case OP_pop:
+    if (NumEx != 1)
+      return false;
+    Src(Esp);
+    Src(stackSlot(0));
+    Dst(Ex[0]);
+    Dst(Esp);
+    return true;
+
+  case OP_add:
+  case OP_or:
+  case OP_adc:
+  case OP_sbb:
+  case OP_and:
+  case OP_sub:
+  case OP_xor:
+  case OP_addsd:
+  case OP_subsd:
+  case OP_mulsd:
+  case OP_divsd:
+    if (NumEx != 2)
+      return false;
+    Src(Ex[1]);
+    Src(Ex[0]);
+    Dst(Ex[0]);
+    return true;
+
+  case OP_cmp:
+  case OP_test:
+  case OP_ucomisd:
+    if (NumEx != 2)
+      return false;
+    Src(Ex[1]);
+    Src(Ex[0]);
+    return true;
+
+  case OP_inc:
+  case OP_dec:
+  case OP_neg:
+  case OP_not:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Dst(Ex[0]);
+    return true;
+
+  case OP_imul:
+    if (NumEx == 2) {
+      Src(Ex[1]);
+      Src(Ex[0]);
+      Dst(Ex[0]);
+      return true;
+    }
+    if (NumEx == 3) {
+      // imul r, rm, imm: canonical S={imm, rm}, D={r}.
+      Src(Ex[2]);
+      Src(Ex[1]);
+      Dst(Ex[0]);
+      return true;
+    }
+    return false;
+
+  case OP_mul:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Operand::reg(REG_EAX));
+    Dst(Operand::reg(REG_EAX));
+    Dst(Operand::reg(REG_EDX));
+    return true;
+
+  case OP_idiv:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Operand::reg(REG_EAX));
+    Src(Operand::reg(REG_EDX));
+    Dst(Operand::reg(REG_EAX));
+    Dst(Operand::reg(REG_EDX));
+    return true;
+
+  case OP_cdq:
+    if (NumEx != 0)
+      return false;
+    Src(Operand::reg(REG_EAX));
+    Dst(Operand::reg(REG_EDX));
+    return true;
+
+  case OP_shl:
+  case OP_shr:
+  case OP_sar:
+    if (NumEx != 2)
+      return false;
+    Src(Ex[1]);
+    Src(Ex[0]);
+    Dst(Ex[0]);
+    return true;
+
+  case OP_jmp:
+  case OP_jmp_ind:
+  case OP_jo:
+  case OP_jno:
+  case OP_jb:
+  case OP_jnb:
+  case OP_jz:
+  case OP_jnz:
+  case OP_jbe:
+  case OP_jnbe:
+  case OP_js:
+  case OP_jns:
+  case OP_jp:
+  case OP_jnp:
+  case OP_jl:
+  case OP_jnl:
+  case OP_jle:
+  case OP_jnle:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    return true;
+
+  case OP_jecxz:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Operand::reg(REG_ECX));
+    return true;
+
+  case OP_call:
+  case OP_call_ind:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Esp);
+    Dst(Esp);
+    Dst(stackSlot(-4));
+    return true;
+
+  case OP_ret:
+    if (NumEx != 0)
+      return false;
+    Src(Esp);
+    Src(stackSlot(0));
+    Dst(Esp);
+    return true;
+
+  case OP_ret_imm:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    Src(Esp);
+    Src(stackSlot(0));
+    Dst(Esp);
+    return true;
+
+  case OP_int:
+  case OP_clientcall:
+    if (NumEx != 1)
+      return false;
+    Src(Ex[0]);
+    return true;
+
+  case OP_savef:
+    if (NumEx != 1 || !Ex[0].isMem())
+      return false;
+    Dst(Ex[0]);
+    return true;
+
+  case OP_restf:
+    if (NumEx != 1 || !Ex[0].isMem())
+      return false;
+    Src(Ex[0]);
+    return true;
+
+  case OP_hlt:
+  case OP_nop:
+  case OP_label:
+    return NumEx == 0;
+
+  case OP_INVALID:
+  default:
+    return false;
+  }
+}
+
+unsigned rio::getExplicitOperands(Opcode Op, const Operand *Srcs,
+                                  unsigned NumSrcs, const Operand *Dsts,
+                                  unsigned NumDsts, Operand *Ex) {
+  (void)NumDsts;
+  switch (Op) {
+  case OP_mov:
+  case OP_mov_b:
+  case OP_movzx_b:
+  case OP_movzx_w:
+  case OP_movsx_b:
+  case OP_movsx_w:
+  case OP_lea:
+  case OP_cvtsi2sd:
+  case OP_cvttsd2si:
+  case OP_movsd:
+    assert(NumSrcs >= 1 && NumDsts >= 1 && "malformed instruction");
+    Ex[0] = Dsts[0];
+    Ex[1] = Srcs[0];
+    return 2;
+
+  case OP_xchg:
+    Ex[0] = Dsts[0];
+    Ex[1] = Dsts[1];
+    return 2;
+
+  case OP_push:
+    Ex[0] = Srcs[0];
+    return 1;
+
+  case OP_pop:
+    Ex[0] = Dsts[0];
+    return 1;
+
+  case OP_add:
+  case OP_or:
+  case OP_adc:
+  case OP_sbb:
+  case OP_and:
+  case OP_sub:
+  case OP_xor:
+  case OP_addsd:
+  case OP_subsd:
+  case OP_mulsd:
+  case OP_divsd:
+    Ex[0] = Dsts[0];
+    Ex[1] = Srcs[0];
+    return 2;
+
+  case OP_cmp:
+  case OP_test:
+  case OP_ucomisd:
+    Ex[0] = Srcs[1];
+    Ex[1] = Srcs[0];
+    return 2;
+
+  case OP_inc:
+  case OP_dec:
+  case OP_neg:
+  case OP_not:
+    Ex[0] = Dsts[0];
+    return 1;
+
+  case OP_imul:
+    if (NumSrcs == 2 && Srcs[0].isImm()) {
+      Ex[0] = Dsts[0];
+      Ex[1] = Srcs[1];
+      Ex[2] = Srcs[0];
+      return 3;
+    }
+    Ex[0] = Dsts[0];
+    Ex[1] = Srcs[0];
+    return 2;
+
+  case OP_mul:
+  case OP_idiv:
+    Ex[0] = Srcs[0];
+    return 1;
+
+  case OP_shl:
+  case OP_shr:
+  case OP_sar:
+    Ex[0] = Dsts[0];
+    Ex[1] = Srcs[0];
+    return 2;
+
+  case OP_jmp:
+  case OP_jmp_ind:
+  case OP_jo:
+  case OP_jno:
+  case OP_jb:
+  case OP_jnb:
+  case OP_jz:
+  case OP_jnz:
+  case OP_jbe:
+  case OP_jnbe:
+  case OP_js:
+  case OP_jns:
+  case OP_jp:
+  case OP_jnp:
+  case OP_jl:
+  case OP_jnl:
+  case OP_jle:
+  case OP_jnle:
+  case OP_jecxz:
+  case OP_call:
+  case OP_call_ind:
+  case OP_ret_imm:
+  case OP_int:
+  case OP_clientcall:
+  case OP_restf:
+    Ex[0] = Srcs[0];
+    return 1;
+
+  case OP_savef:
+    Ex[0] = Dsts[0];
+    return 1;
+
+  case OP_cdq:
+  case OP_ret:
+  case OP_hlt:
+  case OP_nop:
+  case OP_label:
+    return 0;
+
+  case OP_INVALID:
+  default:
+    RIO_UNREACHABLE("getExplicitOperands on invalid opcode");
+  }
+}

@@ -1,0 +1,79 @@
+//===- isa/OperandLayout.h - Canonical operand layouts --------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical source/destination operand layout of every RIO-32 opcode.
+///
+/// Like DynamoRIO's instr_t, a fully decoded instruction carries *all* of
+/// its operands, implicit ones included (e.g. `push eax` reads eax and esp
+/// and writes esp and the stack slot). The client-facing macros take only
+/// explicit operands and fill in the implicit ones — "The macro takes as
+/// arguments only those operands that are explicit and automatically fills
+/// in the implicit operands" (paper Section 3.2). This file is the single
+/// source of truth for that mapping:
+///
+///   buildCanonicalOperands: explicit assembly operands -> full src/dst sets
+///   getExplicitOperands:    full src/dst sets -> explicit assembly operands
+///
+/// Canonical layouts (S = sources in order, D = destinations in order);
+/// for two-operand ALU ops the *right* assembly operand is S0 and the left
+/// (read-modify-write) operand is S1/D0:
+///
+///   mov/movb/movzx/movsx/lea/cvt*  dst, src   S={src}          D={dst}
+///   xchg a, b                                 S={a,b}          D={a,b}
+///   push x                                    S={x,esp}        D={esp,[esp-4]}
+///   pop x                                     S={esp,[esp]}    D={x,esp}
+///   add-like dst, src                         S={src,dst}      D={dst}
+///   cmp/test/ucomisd a, b                     S={b,a}          D={}
+///   inc/dec/neg/not x                         S={x}            D={x}
+///   imul r, rm                                S={rm,r}         D={r}
+///   imul r, rm, imm                           S={imm,rm}       D={r}
+///   mul rm                                    S={rm,eax}       D={eax,edx}
+///   idiv rm                                   S={rm,eax,edx}   D={eax,edx}
+///   cdq                                       S={eax}          D={edx}
+///   shl/shr/sar x, count                      S={count,x}      D={x}
+///   jmp/jcc/call tgt                          S={tgt[,esp]}    D={[esp,[esp-4]]}
+///   jmp/call indirect rm                      S={rm[,esp]}     D={[esp,[esp-4]]}
+///   ret                                       S={esp,[esp]}    D={esp}
+///   ret imm                                   S={imm,esp,[esp]} D={esp}
+///   addsd-like xmm, src                       S={src,xmm}      D={xmm}
+///   int/clientcall imm                        S={imm}          D={}
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_OPERANDLAYOUT_H
+#define RIO_ISA_OPERANDLAYOUT_H
+
+#include "isa/Opcodes.h"
+#include "isa/Operand.h"
+
+namespace rio {
+
+/// Upper bounds on canonical operand counts (idiv/ret_imm have 3 sources).
+constexpr unsigned MaxSrcs = 4;
+constexpr unsigned MaxDsts = 2;
+/// Explicit (assembly-level) operands are at most 3 (imul r, rm, imm).
+constexpr unsigned MaxExplicit = 3;
+
+/// Expands explicit operands into the canonical source/destination arrays,
+/// synthesizing implicit operands (esp, stack slots, eax/edx, ...).
+/// Returns false if \p NumExplicit does not fit any form of \p Op.
+bool buildCanonicalOperands(Opcode Op, const Operand *Explicit,
+                            unsigned NumExplicit, Operand *Srcs,
+                            unsigned &NumSrcs, Operand *Dsts,
+                            unsigned &NumDsts);
+
+/// Projects canonical operand arrays back onto the explicit assembly
+/// operands (what the encoder encodes and the disassembler prints).
+/// Returns the number of explicit operands written to \p Explicit.
+unsigned getExplicitOperands(Opcode Op, const Operand *Srcs, unsigned NumSrcs,
+                             const Operand *Dsts, unsigned NumDsts,
+                             Operand *Explicit);
+
+} // namespace rio
+
+#endif // RIO_ISA_OPERANDLAYOUT_H

@@ -1,0 +1,31 @@
+//===- isa/Registers.cpp - Register names ----------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Registers.h"
+
+#include <cstring>
+
+using namespace rio;
+
+static const char *const RegNames[] = {
+    "<null>", "eax",  "ecx",  "edx",  "ebx",  "esp",  "ebp",  "esi",  "edi",
+    "al",     "cl",   "dl",   "bl",   "ah",   "ch",   "dh",   "bh",   "xmm0",
+    "xmm1",   "xmm2", "xmm3", "xmm4", "xmm5", "xmm6", "xmm7"};
+
+const char *rio::registerName(Register Reg) {
+  assert(Reg <= REG_LAST && "register out of range");
+  return RegNames[Reg];
+}
+
+Register rio::registerFromName(const char *Name, size_t Len) {
+  for (unsigned I = 1; I <= REG_LAST; ++I) {
+    const char *Candidate = RegNames[I];
+    if (std::strlen(Candidate) == Len && std::strncmp(Candidate, Name, Len) == 0)
+      return Register(I);
+  }
+  return REG_NULL;
+}

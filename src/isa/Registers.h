@@ -1,0 +1,98 @@
+//===- isa/Registers.h - RIO-32 register model ----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers of the RIO-32 ISA: the eight IA-32 general-purpose registers,
+/// their low/high byte sub-registers, and eight scalar-double registers
+/// (stand-ins for SSE2 XMM registers, holding one double each).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_ISA_REGISTERS_H
+#define RIO_ISA_REGISTERS_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace rio {
+
+/// Register identifiers. The 3-bit hardware encoding of each register is
+/// its enumerator value minus the first enumerator of its class.
+enum Register : uint8_t {
+  REG_NULL = 0,
+
+  // 32-bit general-purpose registers (IA-32 encoding order).
+  REG_EAX,
+  REG_ECX,
+  REG_EDX,
+  REG_EBX,
+  REG_ESP,
+  REG_EBP,
+  REG_ESI,
+  REG_EDI,
+
+  // 8-bit sub-registers (IA-32 encoding order: low bytes then high bytes).
+  REG_AL,
+  REG_CL,
+  REG_DL,
+  REG_BL,
+  REG_AH,
+  REG_CH,
+  REG_DH,
+  REG_BH,
+
+  // Scalar-double registers.
+  REG_XMM0,
+  REG_XMM1,
+  REG_XMM2,
+  REG_XMM3,
+  REG_XMM4,
+  REG_XMM5,
+  REG_XMM6,
+  REG_XMM7,
+
+  REG_LAST = REG_XMM7,
+};
+
+inline bool isGpr32(Register Reg) { return Reg >= REG_EAX && Reg <= REG_EDI; }
+inline bool isGpr8(Register Reg) { return Reg >= REG_AL && Reg <= REG_BH; }
+inline bool isXmm(Register Reg) { return Reg >= REG_XMM0 && Reg <= REG_XMM7; }
+
+/// Returns the 3-bit field used to encode \p Reg in ModRM/SIB bytes.
+inline uint8_t regEncoding(Register Reg) {
+  assert(Reg != REG_NULL && "REG_NULL has no encoding");
+  if (isGpr32(Reg))
+    return Reg - REG_EAX;
+  if (isGpr8(Reg))
+    return Reg - REG_AL;
+  assert(isXmm(Reg) && "unknown register class");
+  return Reg - REG_XMM0;
+}
+
+/// Returns the 32-bit register that backs the byte register \p Reg
+/// (e.g. AH -> EAX), or \p Reg itself for full-width registers.
+inline Register containingGpr(Register Reg) {
+  if (!isGpr8(Reg))
+    return Reg;
+  return Register(REG_EAX + ((Reg - REG_AL) & 3));
+}
+
+/// True if \p Reg names bits 15:8 of its containing register (AH/CH/DH/BH).
+inline bool isHighByte(Register Reg) {
+  return Reg >= REG_AH && Reg <= REG_BH;
+}
+
+/// Returns the canonical lower-case name, e.g. "eax", "al", "xmm3".
+const char *registerName(Register Reg);
+
+/// Parses a register name; returns REG_NULL if \p Name is not a register.
+Register registerFromName(const char *Name, size_t Len);
+
+} // namespace rio
+
+#endif // RIO_ISA_REGISTERS_H

@@ -1,0 +1,35 @@
+//===- support/Compiler.h - Portability and diagnostics helpers ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small compiler portability helpers shared by every library in the tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_COMPILER_H
+#define RIO_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rio {
+
+/// Marks a point in the program that can never be reached; aborts with a
+/// message if it is. Used instead of assert(false) so that release builds
+/// still trap instead of running off the end of a function.
+[[noreturn]] inline void unreachableInternal(const char *Msg, const char *File,
+                                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+} // namespace rio
+
+#define RIO_UNREACHABLE(msg) ::rio::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // RIO_SUPPORT_COMPILER_H

@@ -1,0 +1,74 @@
+//===- support/OutStream.cpp ----------------------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/OutStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace rio;
+
+OutStream::~OutStream() = default;
+
+void OutStream::printf(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  vprintf(Fmt, Args);
+  va_end(Args);
+}
+
+void OutStream::vprintf(const char *Fmt, va_list Args) {
+  char Small[256];
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(Small, sizeof(Small), Fmt, Copy);
+  va_end(Copy);
+  if (Needed < 0)
+    return;
+  if (static_cast<size_t>(Needed) < sizeof(Small)) {
+    write(Small, Needed);
+    return;
+  }
+  std::string Big(static_cast<size_t>(Needed) + 1, '\0');
+  std::vsnprintf(Big.data(), Big.size(), Fmt, Args);
+  write(Big.data(), Needed);
+}
+
+OutStream &OutStream::operator<<(const char *Str) {
+  write(Str, std::strlen(Str));
+  return *this;
+}
+
+OutStream &OutStream::operator<<(const std::string &Str) {
+  write(Str.data(), Str.size());
+  return *this;
+}
+
+OutStream &OutStream::operator<<(int64_t Value) {
+  printf("%" PRId64, Value);
+  return *this;
+}
+
+OutStream &OutStream::operator<<(uint64_t Value) {
+  printf("%" PRIu64, Value);
+  return *this;
+}
+
+OutStream &OutStream::operator<<(double Value) {
+  printf("%g", Value);
+  return *this;
+}
+
+OutStream &rio::outs() {
+  static FileOutStream Stream(stdout);
+  return Stream;
+}
+
+OutStream &rio::errs() {
+  static FileOutStream Stream(stderr);
+  return Stream;
+}

@@ -1,0 +1,85 @@
+//===- support/OutStream.h - Runtime-owned output streams ----------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Output streams owned by the runtime, never by the simulated application.
+///
+/// The paper requires that client I/O not share buffering with the
+/// application (Section 3.2: "DynamoRIO provides routines for input/output
+/// ... that do not interfere with the application"). In this reproduction
+/// the application's output is a byte vector inside the simulated machine;
+/// OutStream writes land in completely separate storage, so the transparency
+/// tests can compare application output bit-for-bit across configurations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_OUTSTREAM_H
+#define RIO_SUPPORT_OUTSTREAM_H
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace rio {
+
+/// A minimal printf-style output sink. Concrete sinks either buffer into a
+/// std::string (tests) or forward to a stdio FILE (tools).
+class OutStream {
+public:
+  virtual ~OutStream();
+
+  /// Appends raw bytes to the stream.
+  virtual void write(const char *Data, size_t Size) = 0;
+
+  /// printf-style formatted output.
+  void printf(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  void vprintf(const char *Fmt, va_list Args);
+
+  OutStream &operator<<(const char *Str);
+  OutStream &operator<<(const std::string &Str);
+  OutStream &operator<<(int64_t Value);
+  OutStream &operator<<(uint64_t Value);
+  OutStream &operator<<(int Value) { return *this << int64_t(Value); }
+  OutStream &operator<<(unsigned Value) { return *this << uint64_t(Value); }
+  OutStream &operator<<(double Value);
+};
+
+/// Buffers all output in memory; used by tests and by dr_printf capture.
+class StringOutStream : public OutStream {
+public:
+  void write(const char *Data, size_t Size) override {
+    Buffer.append(Data, Size);
+  }
+  const std::string &str() const { return Buffer; }
+  void clear() { Buffer.clear(); }
+
+private:
+  std::string Buffer;
+};
+
+/// Forwards to a stdio FILE (not owned).
+class FileOutStream : public OutStream {
+public:
+  explicit FileOutStream(std::FILE *File) : File(File) {}
+  void write(const char *Data, size_t Size) override {
+    std::fwrite(Data, 1, Size, File);
+  }
+
+private:
+  std::FILE *File;
+};
+
+/// Returns a process-wide stream bound to stdout (for tools and benches).
+OutStream &outs();
+
+/// Returns a process-wide stream bound to stderr.
+OutStream &errs();
+
+} // namespace rio
+
+#endif // RIO_SUPPORT_OUTSTREAM_H

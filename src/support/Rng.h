@@ -1,0 +1,57 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ---------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (xorshift64*). Workload generators and the
+/// property-based tests need reproducible randomness that does not depend on
+/// the host C++ library's distribution implementations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_RNG_H
+#define RIO_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rio {
+
+/// xorshift64* generator; identical sequences on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull)
+      : State(Seed ? Seed : 1) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow needs a positive bound");
+    return next() % Bound;
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(nextBelow(uint64_t(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rio
+
+#endif // RIO_SUPPORT_RNG_H

@@ -1,0 +1,18 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "support/OutStream.h"
+
+using namespace rio;
+
+void StatisticSet::print(OutStream &OS) const {
+  for (const auto &[Name, Value] : Counters)
+    OS.printf("%-40s %12llu\n", Name.c_str(),
+              static_cast<unsigned long long>(Value));
+}

@@ -1,0 +1,53 @@
+//===- support/Statistics.h - Named counters for runtime events ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set of named 64-bit counters. The runtime exposes its flow-chart
+/// edge counts (Figure 1 of the paper: context switches, link bypasses, IBL
+/// hits and misses, trace builds, ...) through a StatisticSet so that tests
+/// and the bench harness can assert on them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_STATISTICS_H
+#define RIO_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace rio {
+
+class OutStream;
+
+/// An ordered collection of named counters. Lookup creates the counter on
+/// first use so call sites stay one-liners.
+class StatisticSet {
+public:
+  /// Returns a mutable reference to the counter named \p Name.
+  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
+
+  /// Returns the counter value, or 0 if it was never touched.
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+
+  void clear() { Counters.clear(); }
+
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  /// Prints "name: value" lines, sorted by name.
+  void print(OutStream &OS) const;
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace rio
+
+#endif // RIO_SUPPORT_STATISTICS_H

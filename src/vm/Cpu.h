@@ -1,0 +1,75 @@
+//===- vm/Cpu.h - Simulated CPU register state -----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural state of one simulated hardware context: the eight GPRs,
+/// eight scalar-double registers, the six arithmetic eflags, and the pc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_VM_CPU_H
+#define RIO_VM_CPU_H
+
+#include "isa/Eflags.h"
+#include "isa/Registers.h"
+#include "isa/Operand.h"
+
+#include <cstring>
+
+namespace rio {
+
+/// One thread's register file.
+struct CpuState {
+  uint32_t Gpr[8] = {0};
+  double Xmm[8] = {0};
+  uint32_t Eflags = 0;
+  AppPc Pc = 0;
+
+  uint32_t readGpr32(Register Reg) const {
+    assert(isGpr32(Reg) && "not a 32-bit register");
+    return Gpr[Reg - REG_EAX];
+  }
+  void writeGpr32(Register Reg, uint32_t Value) {
+    assert(isGpr32(Reg) && "not a 32-bit register");
+    Gpr[Reg - REG_EAX] = Value;
+  }
+
+  uint8_t readGpr8(Register Reg) const {
+    assert(isGpr8(Reg) && "not a byte register");
+    uint32_t Full = Gpr[containingGpr(Reg) - REG_EAX];
+    return isHighByte(Reg) ? uint8_t(Full >> 8) : uint8_t(Full);
+  }
+  void writeGpr8(Register Reg, uint8_t Value) {
+    assert(isGpr8(Reg) && "not a byte register");
+    uint32_t &Full = Gpr[containingGpr(Reg) - REG_EAX];
+    if (isHighByte(Reg))
+      Full = (Full & 0xFFFF00FFu) | (uint32_t(Value) << 8);
+    else
+      Full = (Full & 0xFFFFFF00u) | Value;
+  }
+
+  double readXmm(Register Reg) const {
+    assert(isXmm(Reg) && "not an xmm register");
+    return Xmm[Reg - REG_XMM0];
+  }
+  void writeXmm(Register Reg, double Value) {
+    assert(isXmm(Reg) && "not an xmm register");
+    Xmm[Reg - REG_XMM0] = Value;
+  }
+
+  bool flag(uint32_t Bit) const { return (Eflags & Bit) != 0; }
+  void setFlag(uint32_t Bit, bool Value) {
+    if (Value)
+      Eflags |= Bit;
+    else
+      Eflags &= ~Bit;
+  }
+};
+
+} // namespace rio
+
+#endif // RIO_VM_CPU_H

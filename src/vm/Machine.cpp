@@ -1,0 +1,817 @@
+//===- vm/Machine.cpp - The simulated machine -------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "vm/Syscall.h"
+#include "support/Compiler.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+using namespace rio;
+
+Machine::Machine(const MachineConfig &Config)
+    : Config(Config), Mem(Config.AppRegionSize + Config.RuntimeRegionSize) {}
+
+void Machine::fault(const std::string &Reason) {
+  Status = RunStatus::Faulted;
+  FaultReason = Reason;
+}
+
+const DecodedInstr *Machine::fetchDecode(AppPc Pc) {
+  auto It = DecodeCache.find(Pc);
+  if (It != DecodeCache.end())
+    return &It->second;
+  if (Pc >= Mem.size())
+    return nullptr;
+  DecodedInstr DI;
+  if (!decodeInstr(Mem.data() + Pc, Mem.size() - Pc, Pc, DI))
+    return nullptr;
+  auto [NewIt, Inserted] = DecodeCache.emplace(Pc, DI);
+  (void)Inserted;
+  return &NewIt->second;
+}
+
+void Machine::invalidateDecodeRange(uint32_t Lo, uint32_t Hi) {
+  for (auto It = DecodeCache.begin(); It != DecodeCache.end();) {
+    if (It->first >= Lo && It->first < Hi)
+      It = DecodeCache.erase(It);
+    else
+      ++It;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Operand evaluation
+//===----------------------------------------------------------------------===//
+
+bool Machine::memAddr(const Operand &Op, uint32_t &Addr) const {
+  assert(Op.isMem() && "not a memory operand");
+  uint32_t A = uint32_t(Op.getDisp());
+  if (Op.getBase() != REG_NULL)
+    A += cpu().readGpr32(Op.getBase());
+  if (Op.getIndex() != REG_NULL)
+    A += cpu().readGpr32(Op.getIndex()) * Op.getScale();
+  Addr = A;
+  return true;
+}
+
+bool Machine::readOp32(const Operand &Op, uint32_t &Value) {
+  switch (Op.kind()) {
+  case Operand::RegKind:
+    // Byte registers zero-extend when read in a 32-bit context (the only
+    // such case is a shift's CL count operand).
+    Value = isGpr8(Op.getReg()) ? cpu().readGpr8(Op.getReg())
+                                : cpu().readGpr32(Op.getReg());
+    return true;
+  case Operand::ImmKind:
+    Value = uint32_t(Op.getImm());
+    return true;
+  case Operand::PcKind:
+    Value = Op.getPc();
+    return true;
+  case Operand::MemKind: {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.read32(Addr, Value);
+  }
+  default:
+    return false;
+  }
+}
+
+bool Machine::writeOp32(const Operand &Op, uint32_t Value) {
+  if (Op.isReg()) {
+    cpu().writeGpr32(Op.getReg(), Value);
+    return true;
+  }
+  if (Op.isMem()) {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.write32(Addr, Value);
+  }
+  return false;
+}
+
+bool Machine::readOp8(const Operand &Op, uint8_t &Value) {
+  if (Op.isReg()) {
+    Value = cpu().readGpr8(Op.getReg());
+    return true;
+  }
+  if (Op.isImm()) {
+    Value = uint8_t(Op.getImm());
+    return true;
+  }
+  if (Op.isMem()) {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.read8(Addr, Value);
+  }
+  return false;
+}
+
+bool Machine::writeOp8(const Operand &Op, uint8_t Value) {
+  if (Op.isReg()) {
+    cpu().writeGpr8(Op.getReg(), Value);
+    return true;
+  }
+  if (Op.isMem()) {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.write8(Addr, Value);
+  }
+  return false;
+}
+
+bool Machine::readOpF64(const Operand &Op, double &Value) {
+  if (Op.isReg()) {
+    Value = cpu().readXmm(Op.getReg());
+    return true;
+  }
+  if (Op.isMem()) {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.readF64(Addr, Value);
+  }
+  return false;
+}
+
+bool Machine::writeOpF64(const Operand &Op, double Value) {
+  if (Op.isReg()) {
+    cpu().writeXmm(Op.getReg(), Value);
+    return true;
+  }
+  if (Op.isMem()) {
+    uint32_t Addr;
+    memAddr(Op, Addr);
+    return Mem.writeF64(Addr, Value);
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Flag computation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool parityEven(uint32_t Value) {
+  uint8_t B = uint8_t(Value);
+  B ^= B >> 4;
+  B ^= B >> 2;
+  B ^= B >> 1;
+  return (B & 1) == 0;
+}
+
+void setPZS(CpuState &St, uint32_t Result) {
+  St.setFlag(EFLAGS_PF, parityEven(Result));
+  St.setFlag(EFLAGS_ZF, Result == 0);
+  St.setFlag(EFLAGS_SF, (Result >> 31) != 0);
+}
+
+/// add/adc result flags; \p CarryIn is 0 or 1.
+uint32_t doAdd(CpuState &St, uint32_t A, uint32_t B, uint32_t CarryIn,
+               bool WriteCarry = true) {
+  uint64_t Wide = uint64_t(A) + B + CarryIn;
+  uint32_t Result = uint32_t(Wide);
+  if (WriteCarry)
+    St.setFlag(EFLAGS_CF, (Wide >> 32) != 0);
+  St.setFlag(EFLAGS_OF, (((A ^ Result) & (B ^ Result)) >> 31) != 0);
+  St.setFlag(EFLAGS_AF, (((A ^ B ^ Result) >> 4) & 1) != 0);
+  setPZS(St, Result);
+  return Result;
+}
+
+/// sub/sbb/cmp result flags.
+uint32_t doSub(CpuState &St, uint32_t A, uint32_t B, uint32_t BorrowIn,
+               bool WriteCarry = true) {
+  uint64_t Rhs = uint64_t(B) + BorrowIn;
+  uint32_t Result = uint32_t(A - B - BorrowIn);
+  if (WriteCarry)
+    St.setFlag(EFLAGS_CF, uint64_t(A) < Rhs);
+  St.setFlag(EFLAGS_OF, (((A ^ B) & (A ^ Result)) >> 31) != 0);
+  St.setFlag(EFLAGS_AF, (((A ^ B ^ Result) >> 4) & 1) != 0);
+  setPZS(St, Result);
+  return Result;
+}
+
+void doLogicFlags(CpuState &St, uint32_t Result) {
+  St.setFlag(EFLAGS_CF, false);
+  St.setFlag(EFLAGS_OF, false);
+  St.setFlag(EFLAGS_AF, false);
+  setPZS(St, Result);
+}
+
+bool condHolds(const CpuState &St, unsigned Cc) {
+  bool CF = St.flag(EFLAGS_CF);
+  bool PF = St.flag(EFLAGS_PF);
+  bool ZF = St.flag(EFLAGS_ZF);
+  bool SF = St.flag(EFLAGS_SF);
+  bool OF = St.flag(EFLAGS_OF);
+  bool Result;
+  switch (Cc >> 1) {
+  case 0:
+    Result = OF;
+    break; // o / no
+  case 1:
+    Result = CF;
+    break; // b / nb
+  case 2:
+    Result = ZF;
+    break; // z / nz
+  case 3:
+    Result = CF || ZF;
+    break; // be / nbe
+  case 4:
+    Result = SF;
+    break; // s / ns
+  case 5:
+    Result = PF;
+    break; // p / np
+  case 6:
+    Result = SF != OF;
+    break; // l / nl
+  case 7:
+    Result = ZF || (SF != OF);
+    break; // le / nle
+  default:
+    RIO_UNREACHABLE("bad condition code");
+  }
+  return (Cc & 1) ? !Result : Result;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Syscalls
+//===----------------------------------------------------------------------===//
+
+unsigned Machine::createThread(AppPc Entry, uint32_t StackTop) {
+  Thread T;
+  T.Cpu.Pc = Entry;
+  T.Cpu.writeGpr32(REG_ESP, StackTop & ~15u);
+  Threads.push_back(T);
+  return unsigned(Threads.size() - 1);
+}
+
+Machine::SyscallResult Machine::doSyscall() {
+  uint32_t Nr = cpu().readGpr32(REG_EAX);
+  uint32_t Arg1 = cpu().readGpr32(REG_EBX);
+  uint32_t Arg2 = cpu().readGpr32(REG_ECX);
+  uint32_t Arg3 = cpu().readGpr32(REG_EDX);
+  switch (Nr) {
+  case RSYS_exit:
+    Status = RunStatus::Exited;
+    ExitCode = int(Arg1);
+    return SyscallResult::Ok;
+  case RSYS_print_int: {
+    char Buf[16];
+    int Len = std::snprintf(Buf, sizeof(Buf), "%d\n", int(Arg1));
+    Output.append(Buf, size_t(Len));
+    return SyscallResult::Ok;
+  }
+  case RSYS_print_char:
+    Output.push_back(char(Arg1));
+    return SyscallResult::Ok;
+  case RSYS_write: {
+    if (Arg1 != 1 && Arg1 != 2) {
+      fault("write to bad fd");
+      return SyscallResult::Fault;
+    }
+    if (!Mem.inBounds(Arg2, Arg3)) {
+      fault("write from unmapped buffer");
+      return SyscallResult::Fault;
+    }
+    Output.append(reinterpret_cast<const char *>(Mem.data() + Arg2), Arg3);
+    cpu().writeGpr32(REG_EAX, Arg3);
+    return SyscallResult::Ok;
+  }
+  case RSYS_thread_create: {
+    if (!Mem.inBounds(Arg2 - 16, 16)) {
+      fault("thread_create with bad stack");
+      return SyscallResult::Fault;
+    }
+    unsigned Tid = createThread(Arg1, Arg2);
+    cpu().writeGpr32(REG_EAX, Tid);
+    return SyscallResult::Spawned;
+  }
+  case RSYS_thread_exit:
+    Threads[CurThread].Alive = false;
+    // The whole program ends when the last thread leaves.
+    {
+      bool AnyAlive = false;
+      for (const Thread &T : Threads)
+        AnyAlive = AnyAlive || T.Alive;
+      if (!AnyAlive) {
+        Status = RunStatus::Exited;
+        ExitCode = 0;
+      }
+    }
+    return SyscallResult::ThreadExited;
+  case RSYS_gettid:
+    cpu().writeGpr32(REG_EAX, CurThread);
+    return SyscallResult::Ok;
+  default:
+    fault("unknown syscall " + std::to_string(Nr));
+    return SyscallResult::Fault;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+StepResult Machine::step() {
+  StepResult Result;
+  if (Status != RunStatus::Running) {
+    Result.Kind =
+        Status == RunStatus::Exited ? StepKind::Exited : StepKind::Faulted;
+    return Result;
+  }
+  if (InstrsExecuted >= Config.MaxInstructions) {
+    fault("instruction budget exceeded");
+    Result.Kind = StepKind::Faulted;
+    return Result;
+  }
+  const DecodedInstr *DI = fetchDecode(cpu().Pc);
+  if (!DI) {
+    fault("undecodable instruction at pc");
+    Result.Kind = StepKind::Faulted;
+    return Result;
+  }
+  ++InstrsExecuted;
+  Cycles += Config.Cost.cyclesFor(*DI);
+  LastPc = cpu().Pc;
+  return execute(*DI);
+}
+
+StepResult Machine::execute(const DecodedInstr &DI) {
+  StepResult Result;
+  const CostModel &CM = Config.Cost;
+  AppPc Pc = cpu().Pc;
+  AppPc Next = Pc + DI.Length;
+  bool InApp = !inRuntimeRegion(Pc);
+  bool Ok = true;
+
+  auto memFault = [&]() {
+    fault("memory access out of bounds at pc " + std::to_string(Pc));
+    Result.Kind = StepKind::Faulted;
+    return Result;
+  };
+
+  switch (DI.Op) {
+  //===--- data movement -------------------------------------------------===
+  case OP_mov: {
+    uint32_t V;
+    Ok = readOp32(DI.Srcs[0], V) && writeOp32(DI.Dsts[0], V);
+    break;
+  }
+  case OP_mov_b: {
+    uint8_t V;
+    Ok = readOp8(DI.Srcs[0], V) && writeOp8(DI.Dsts[0], V);
+    break;
+  }
+  case OP_movzx_b: {
+    uint8_t V;
+    Ok = readOp8(DI.Srcs[0], V) && writeOp32(DI.Dsts[0], V);
+    break;
+  }
+  case OP_movsx_b: {
+    uint8_t V;
+    Ok = readOp8(DI.Srcs[0], V) &&
+         writeOp32(DI.Dsts[0], uint32_t(int32_t(int8_t(V))));
+    break;
+  }
+  case OP_movzx_w:
+  case OP_movsx_w: {
+    uint32_t Addr;
+    memAddr(DI.Srcs[0], Addr);
+    uint16_t V;
+    Ok = Mem.read16(Addr, V);
+    if (Ok)
+      Ok = writeOp32(DI.Dsts[0], DI.Op == OP_movzx_w
+                                     ? uint32_t(V)
+                                     : uint32_t(int32_t(int16_t(V))));
+    break;
+  }
+  case OP_lea: {
+    uint32_t Addr;
+    memAddr(DI.Srcs[0], Addr);
+    Ok = writeOp32(DI.Dsts[0], Addr);
+    break;
+  }
+  case OP_xchg: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[0], A) && readOp32(DI.Srcs[1], B) &&
+         writeOp32(DI.Dsts[0], B) && writeOp32(DI.Dsts[1], A);
+    break;
+  }
+  case OP_push: {
+    uint32_t V;
+    Ok = readOp32(DI.Srcs[0], V);
+    if (Ok) {
+      uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
+      Ok = Mem.write32(Esp, V);
+      if (Ok)
+        cpu().writeGpr32(REG_ESP, Esp);
+    }
+    break;
+  }
+  case OP_pop: {
+    uint32_t Esp = cpu().readGpr32(REG_ESP);
+    uint32_t V;
+    Ok = Mem.read32(Esp, V);
+    if (Ok) {
+      // Order matters for `pop esp`-style cases: write the value last.
+      cpu().writeGpr32(REG_ESP, Esp + 4);
+      Ok = writeOp32(DI.Dsts[0], V);
+    }
+    break;
+  }
+
+  //===--- integer ALU ---------------------------------------------------===
+  case OP_add:
+  case OP_adc: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[1], A) && readOp32(DI.Srcs[0], B);
+    if (Ok) {
+      uint32_t Cin = DI.Op == OP_adc && cpu().flag(EFLAGS_CF) ? 1 : 0;
+      Ok = writeOp32(DI.Dsts[0], doAdd(cpu(), A, B, Cin));
+    }
+    break;
+  }
+  case OP_sub:
+  case OP_sbb: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[1], A) && readOp32(DI.Srcs[0], B);
+    if (Ok) {
+      uint32_t Bin = DI.Op == OP_sbb && cpu().flag(EFLAGS_CF) ? 1 : 0;
+      Ok = writeOp32(DI.Dsts[0], doSub(cpu(), A, B, Bin));
+    }
+    break;
+  }
+  case OP_cmp: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[1], A) && readOp32(DI.Srcs[0], B);
+    if (Ok)
+      doSub(cpu(), A, B, 0);
+    break;
+  }
+  case OP_and:
+  case OP_or:
+  case OP_xor: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[1], A) && readOp32(DI.Srcs[0], B);
+    if (Ok) {
+      uint32_t R = DI.Op == OP_and ? (A & B) : DI.Op == OP_or ? (A | B)
+                                                              : (A ^ B);
+      doLogicFlags(cpu(), R);
+      Ok = writeOp32(DI.Dsts[0], R);
+    }
+    break;
+  }
+  case OP_test: {
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[1], A) && readOp32(DI.Srcs[0], B);
+    if (Ok)
+      doLogicFlags(cpu(), A & B);
+    break;
+  }
+  case OP_inc:
+  case OP_dec: {
+    uint32_t A;
+    Ok = readOp32(DI.Srcs[0], A);
+    if (Ok) {
+      // inc/dec leave CF untouched — the hinge of the paper's Section 4.2.
+      uint32_t R = DI.Op == OP_inc ? doAdd(cpu(), A, 1, 0, /*WriteCarry=*/false)
+                                   : doSub(cpu(), A, 1, 0, /*WriteCarry=*/false);
+      Ok = writeOp32(DI.Dsts[0], R);
+    }
+    break;
+  }
+  case OP_neg: {
+    uint32_t A;
+    Ok = readOp32(DI.Srcs[0], A);
+    if (Ok)
+      Ok = writeOp32(DI.Dsts[0], doSub(cpu(), 0, A, 0));
+    break;
+  }
+  case OP_not: {
+    uint32_t A;
+    Ok = readOp32(DI.Srcs[0], A) && writeOp32(DI.Dsts[0], ~A);
+    break;
+  }
+  case OP_imul: {
+    // Two forms share canonical shape S={x, y}, D={r}.
+    uint32_t A, B;
+    Ok = readOp32(DI.Srcs[0], A) && readOp32(DI.Srcs[1], B);
+    if (Ok) {
+      int64_t Full = int64_t(int32_t(A)) * int64_t(int32_t(B));
+      uint32_t R = uint32_t(Full);
+      bool Overflow = Full != int64_t(int32_t(R));
+      cpu().setFlag(EFLAGS_CF, Overflow);
+      cpu().setFlag(EFLAGS_OF, Overflow);
+      cpu().setFlag(EFLAGS_AF, false);
+      setPZS(cpu(), R);
+      Ok = writeOp32(DI.Dsts[0], R);
+    }
+    break;
+  }
+  case OP_mul: {
+    uint32_t Src;
+    Ok = readOp32(DI.Srcs[0], Src);
+    if (Ok) {
+      uint64_t Full = uint64_t(cpu().readGpr32(REG_EAX)) * Src;
+      uint32_t Lo = uint32_t(Full), Hi = uint32_t(Full >> 32);
+      cpu().writeGpr32(REG_EAX, Lo);
+      cpu().writeGpr32(REG_EDX, Hi);
+      cpu().setFlag(EFLAGS_CF, Hi != 0);
+      cpu().setFlag(EFLAGS_OF, Hi != 0);
+      cpu().setFlag(EFLAGS_AF, false);
+      setPZS(cpu(), Lo);
+    }
+    break;
+  }
+  case OP_idiv: {
+    uint32_t Src;
+    Ok = readOp32(DI.Srcs[0], Src);
+    if (Ok) {
+      int64_t Dividend = int64_t(
+          (uint64_t(cpu().readGpr32(REG_EDX)) << 32) | cpu().readGpr32(REG_EAX));
+      int32_t Divisor = int32_t(Src);
+      if (Divisor == 0) {
+        fault("integer divide by zero");
+        Result.Kind = StepKind::Faulted;
+        return Result;
+      }
+      int64_t Quot = Dividend / Divisor;
+      if (Quot > std::numeric_limits<int32_t>::max() ||
+          Quot < std::numeric_limits<int32_t>::min()) {
+        fault("integer divide overflow");
+        Result.Kind = StepKind::Faulted;
+        return Result;
+      }
+      cpu().writeGpr32(REG_EAX, uint32_t(int32_t(Quot)));
+      cpu().writeGpr32(REG_EDX, uint32_t(int32_t(Dividend % Divisor)));
+    }
+    break;
+  }
+  case OP_cdq:
+    cpu().writeGpr32(REG_EDX,
+                   (cpu().readGpr32(REG_EAX) & 0x80000000u) ? 0xFFFFFFFFu : 0);
+    break;
+
+  case OP_shl:
+  case OP_shr:
+  case OP_sar: {
+    uint32_t Count, A;
+    Ok = readOp32(DI.Srcs[0], Count) && readOp32(DI.Srcs[1], A);
+    if (Ok) {
+      Count &= 31;
+      if (Count == 0)
+        break; // no result change, no flag change
+      uint32_t R;
+      bool LastOut;
+      if (DI.Op == OP_shl) {
+        LastOut = ((A >> (32 - Count)) & 1) != 0;
+        R = A << Count;
+        cpu().setFlag(EFLAGS_OF, Count == 1 && ((R >> 31) != 0) != LastOut);
+      } else if (DI.Op == OP_shr) {
+        LastOut = ((A >> (Count - 1)) & 1) != 0;
+        R = A >> Count;
+        cpu().setFlag(EFLAGS_OF, Count == 1 && (A >> 31) != 0);
+      } else {
+        LastOut = ((uint32_t(int32_t(A) >> (Count - 1))) & 1) != 0;
+        R = uint32_t(int32_t(A) >> Count);
+        cpu().setFlag(EFLAGS_OF, false);
+      }
+      cpu().setFlag(EFLAGS_CF, LastOut);
+      cpu().setFlag(EFLAGS_AF, false);
+      setPZS(cpu(), R);
+      Ok = writeOp32(DI.Dsts[0], R);
+    }
+    break;
+  }
+
+  //===--- control transfer ----------------------------------------------===
+  case OP_jmp:
+    Cycles += CM.TakenBranchCost;
+    cpu().Pc = DI.Srcs[0].getPc();
+    return Result;
+
+  case OP_jmp_ind: {
+    uint32_t Target;
+    Ok = readOp32(DI.Srcs[0], Target);
+    if (!Ok)
+      return memFault();
+    Cycles += CM.TakenBranchCost;
+    if (InApp && !Pred.predictIndirect(Pc, Target))
+      Cycles += CM.MispredictPenalty;
+    cpu().Pc = Target;
+    return Result;
+  }
+
+  case OP_call: {
+    uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
+    if (!Mem.write32(Esp, Next))
+      return memFault();
+    cpu().writeGpr32(REG_ESP, Esp);
+    Cycles += CM.TakenBranchCost;
+    if (InApp)
+      Pred.pushReturn(Next);
+    cpu().Pc = DI.Srcs[0].getPc();
+    return Result;
+  }
+
+  case OP_call_ind: {
+    uint32_t Target;
+    Ok = readOp32(DI.Srcs[0], Target);
+    if (!Ok)
+      return memFault();
+    uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
+    if (!Mem.write32(Esp, Next))
+      return memFault();
+    cpu().writeGpr32(REG_ESP, Esp);
+    Cycles += CM.TakenBranchCost;
+    if (InApp) {
+      Pred.pushReturn(Next);
+      if (!Pred.predictIndirect(Pc, Target))
+        Cycles += CM.MispredictPenalty;
+    }
+    cpu().Pc = Target;
+    return Result;
+  }
+
+  case OP_ret:
+  case OP_ret_imm: {
+    uint32_t Esp = cpu().readGpr32(REG_ESP);
+    uint32_t Target;
+    if (!Mem.read32(Esp, Target))
+      return memFault();
+    uint32_t Extra =
+        DI.Op == OP_ret_imm ? uint32_t(DI.Srcs[0].getImm()) : 0;
+    cpu().writeGpr32(REG_ESP, Esp + 4 + Extra);
+    Cycles += CM.TakenBranchCost;
+    // Natively, `ret` rides the return-address stack. In the code cache the
+    // runtime charges BTB-style costs at the IBL instead (the translated
+    // return is an indirect jump there — the paper's key penalty).
+    if (InApp && !Pred.popReturn(Target))
+      Cycles += CM.MispredictPenalty;
+    cpu().Pc = Target;
+    return Result;
+  }
+
+  case OP_jo:
+  case OP_jno:
+  case OP_jb:
+  case OP_jnb:
+  case OP_jz:
+  case OP_jnz:
+  case OP_jbe:
+  case OP_jnbe:
+  case OP_js:
+  case OP_jns:
+  case OP_jp:
+  case OP_jnp:
+  case OP_jl:
+  case OP_jnl:
+  case OP_jle:
+  case OP_jnle:
+  case OP_jecxz: {
+    bool Taken = DI.Op == OP_jecxz ? cpu().readGpr32(REG_ECX) == 0
+                                   : condHolds(cpu(), condCodeOf(DI.Op));
+    if (!Pred.predictCond(Pc, Taken))
+      Cycles += CM.MispredictPenalty;
+    if (Taken) {
+      Cycles += CM.TakenBranchCost;
+      cpu().Pc = DI.Srcs[0].getPc();
+    } else {
+      cpu().Pc = Next;
+    }
+    return Result;
+  }
+
+  //===--- system --------------------------------------------------------===
+  case OP_int: {
+    cpu().Pc = Next; // syscall returns to the following instruction
+    SyscallResult Sys = doSyscall();
+    if (Sys == SyscallResult::Fault) {
+      Result.Kind = StepKind::Faulted;
+      return Result;
+    }
+    if (Status == RunStatus::Exited) {
+      Result.Kind = StepKind::Exited;
+      return Result;
+    }
+    if (Sys == SyscallResult::ThreadExited)
+      Result.Kind = StepKind::ThreadExited;
+    else if (Sys == SyscallResult::Spawned)
+      Result.Kind = StepKind::ThreadSpawned;
+    return Result;
+  }
+
+  case OP_hlt:
+    Status = RunStatus::Exited;
+    ExitCode = 0;
+    Result.Kind = StepKind::Exited;
+    return Result;
+
+  case OP_nop:
+    break;
+
+  //===--- scalar double -------------------------------------------------===
+  case OP_movsd: {
+    double V;
+    Ok = readOpF64(DI.Srcs[0], V) && writeOpF64(DI.Dsts[0], V);
+    break;
+  }
+  case OP_addsd:
+  case OP_subsd:
+  case OP_mulsd:
+  case OP_divsd: {
+    double A, B;
+    Ok = readOpF64(DI.Srcs[1], A) && readOpF64(DI.Srcs[0], B);
+    if (Ok) {
+      double R = DI.Op == OP_addsd   ? A + B
+                 : DI.Op == OP_subsd ? A - B
+                 : DI.Op == OP_mulsd ? A * B
+                                     : A / B;
+      Ok = writeOpF64(DI.Dsts[0], R);
+    }
+    break;
+  }
+  case OP_ucomisd: {
+    double A, B;
+    Ok = readOpF64(DI.Srcs[1], A) && readOpF64(DI.Srcs[0], B);
+    if (Ok) {
+      bool Unordered = std::isnan(A) || std::isnan(B);
+      cpu().setFlag(EFLAGS_ZF, Unordered || A == B);
+      cpu().setFlag(EFLAGS_PF, Unordered);
+      cpu().setFlag(EFLAGS_CF, Unordered || A < B);
+      cpu().setFlag(EFLAGS_OF, false);
+      cpu().setFlag(EFLAGS_AF, false);
+      cpu().setFlag(EFLAGS_SF, false);
+    }
+    break;
+  }
+  case OP_cvtsi2sd: {
+    uint32_t V;
+    Ok = readOp32(DI.Srcs[0], V) && writeOpF64(DI.Dsts[0], double(int32_t(V)));
+    break;
+  }
+  case OP_cvttsd2si: {
+    double V;
+    Ok = readOpF64(DI.Srcs[0], V);
+    if (Ok) {
+      int32_t R;
+      if (std::isnan(V) || V >= 2147483648.0 || V < -2147483648.0)
+        R = std::numeric_limits<int32_t>::min(); // x86 "integer indefinite"
+      else
+        R = int32_t(V);
+      Ok = writeOp32(DI.Dsts[0], uint32_t(R));
+    }
+    break;
+  }
+
+  //===--- runtime extensions --------------------------------------------===
+  case OP_clientcall:
+    cpu().Pc = Next;
+    Result.Kind = StepKind::ClientCall;
+    Result.ClientCallId = uint32_t(DI.Srcs[0].getImm());
+    return Result;
+
+  case OP_savef: {
+    uint32_t Addr;
+    memAddr(DI.Dsts[0], Addr);
+    Ok = Mem.write32(Addr, cpu().Eflags);
+    break;
+  }
+  case OP_restf: {
+    uint32_t Addr;
+    memAddr(DI.Srcs[0], Addr);
+    uint32_t V;
+    Ok = Mem.read32(Addr, V);
+    if (Ok)
+      cpu().Eflags = V;
+    break;
+  }
+
+  case OP_label:
+  case OP_INVALID:
+  default:
+    fault("executed invalid opcode");
+    Result.Kind = StepKind::Faulted;
+    return Result;
+  }
+
+  if (!Ok)
+    return memFault();
+  cpu().Pc = Next;
+  return Result;
+}

@@ -1,0 +1,180 @@
+//===- vm/Machine.h - The simulated machine --------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated IA-32-like machine: flat memory (application region plus a
+/// runtime region for the code cache and spill slots), one CPU context,
+/// branch predictors, a deterministic cycle counter, and an interpreter for
+/// RIO-32. This is the "hardware" substitute for the paper's Pentium 4
+/// testbed (DESIGN.md §1).
+///
+/// The Machine is policy-free: it executes whatever the pc points at and
+/// charges microarchitectural costs. The DynamoRIO-style runtime (src/core)
+/// drives it — placing code in the runtime region, watching the pc cross
+/// region boundaries, and charging runtime overheads via chargeCycles().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_VM_MACHINE_H
+#define RIO_VM_MACHINE_H
+
+#include "vm/CostModel.h"
+#include "vm/Cpu.h"
+#include "vm/Memory.h"
+#include "vm/Predictors.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace rio {
+
+struct MachineConfig {
+  uint32_t AppRegionSize = 8u << 20;      ///< app code + data + stack
+  uint32_t RuntimeRegionSize = 24u << 20; ///< code cache + runtime slots
+  CostModel Cost;
+  uint64_t MaxInstructions = 2'000'000'000ull; ///< runaway-execution guard
+};
+
+enum class RunStatus { Running, Exited, Faulted };
+
+/// What one step() did.
+enum class StepKind {
+  Ok,           ///< executed one instruction
+  Exited,       ///< program exited (status() == Exited)
+  Faulted,      ///< simulated fault (status() == Faulted)
+  ClientCall,   ///< executed OP_clientcall; the runtime must service it
+  ThreadExited, ///< the *current thread* ended; the program may live on
+  ThreadSpawned ///< the instruction also created a new thread
+};
+
+struct StepResult {
+  StepKind Kind = StepKind::Ok;
+  uint32_t ClientCallId = 0;
+};
+
+/// The simulated machine. See file comment.
+class Machine {
+public:
+  explicit Machine(const MachineConfig &Config = MachineConfig());
+
+  MemoryImage &mem() { return Mem; }
+  const MemoryImage &mem() const { return Mem; }
+  CpuState &cpu() { return Threads[CurThread].Cpu; }
+  const CpuState &cpu() const { return Threads[CurThread].Cpu; }
+  BranchPredictors &predictors() { return Pred; }
+  CostModel &cost() { return Config.Cost; }
+  const MachineConfig &config() const { return Config; }
+
+  /// First address of the runtime (code cache) region.
+  uint32_t runtimeBase() const { return Config.AppRegionSize; }
+  bool inRuntimeRegion(AppPc Pc) const { return Pc >= runtimeBase(); }
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+
+  /// Executes the instruction at cpu().Pc, charging its cycle cost and any
+  /// branch-prediction penalties, and advances the pc.
+  StepResult step();
+
+  /// Adds runtime-overhead cycles (context switches, IBL, block builds...).
+  void chargeCycles(uint64_t N) { Cycles += N; }
+
+  /// Removes cycles that turned out not to be on the application's
+  /// critical path (sideline optimization, paper Section 3.4).
+  void refundCycles(uint64_t N) { Cycles -= N > Cycles ? Cycles : N; }
+
+  RunStatus status() const { return Status; }
+  int exitCode() const { return ExitCode; }
+  const std::string &faultReason() const { return FaultReason; }
+
+  /// All bytes the application wrote via the write/print syscalls. The
+  /// transparency tests compare this across execution configurations.
+  const std::string &output() const { return Output; }
+
+  uint64_t cycles() const { return Cycles; }
+  uint64_t instructionsExecuted() const { return InstrsExecuted; }
+
+  /// Application pc of the most recently executed instruction.
+  AppPc lastPc() const { return LastPc; }
+
+  //===--------------------------------------------------------------------===
+  // Decode caching
+  //===--------------------------------------------------------------------===
+
+  /// Decoded-instruction cache lookup (a software stand-in for the
+  /// hardware's instruction/uop cache). Returns null on undecodable bytes.
+  const DecodedInstr *fetchDecode(AppPc Pc);
+
+  /// Invalidates cached decodes in [Lo, Hi); the runtime calls this when it
+  /// patches, deletes or replaces cache code.
+  void invalidateDecodeRange(uint32_t Lo, uint32_t Hi);
+
+  /// Raises a simulated fault (also used by the runtime for internal
+  /// errors it wants surfaced as program failures).
+  void fault(const std::string &Reason);
+
+  //===--------------------------------------------------------------------===
+  // Threads (cooperative; a scheduler such as core/ThreadedRunner rotates)
+  //===--------------------------------------------------------------------===
+
+  unsigned numThreads() const { return unsigned(Threads.size()); }
+  unsigned currentThread() const { return CurThread; }
+  bool threadAlive(unsigned Tid) const { return Threads[Tid].Alive; }
+
+  /// Switches the architectural context to thread \p Tid (must be alive).
+  void switchToThread(unsigned Tid) {
+    assert(Tid < Threads.size() && Threads[Tid].Alive && "bad thread");
+    CurThread = Tid;
+  }
+
+  /// Creates a thread (entry pc + stack top); returns its id. Exposed for
+  /// tests and the thread_create syscall.
+  unsigned createThread(AppPc Entry, uint32_t StackTop);
+
+private:
+  enum class SyscallResult { Ok, Fault, ThreadExited, Spawned };
+
+  StepResult execute(const DecodedInstr &DI);
+
+  // Operand evaluation helpers (see Machine.cpp).
+  bool memAddr(const Operand &Op, uint32_t &Addr) const;
+  bool readOp32(const Operand &Op, uint32_t &Value);
+  bool writeOp32(const Operand &Op, uint32_t Value);
+  bool readOp8(const Operand &Op, uint8_t &Value);
+  bool writeOp8(const Operand &Op, uint8_t Value);
+  bool readOpF64(const Operand &Op, double &Value);
+  bool writeOpF64(const Operand &Op, double Value);
+
+  SyscallResult doSyscall();
+
+  struct Thread {
+    CpuState Cpu;
+    bool Alive = true;
+  };
+
+  MachineConfig Config;
+  MemoryImage Mem;
+  std::vector<Thread> Threads{1};
+  unsigned CurThread = 0;
+  BranchPredictors Pred;
+
+  RunStatus Status = RunStatus::Running;
+  int ExitCode = 0;
+  std::string FaultReason;
+  std::string Output;
+
+  uint64_t Cycles = 0;
+  uint64_t InstrsExecuted = 0;
+  AppPc LastPc = 0;
+
+  std::unordered_map<AppPc, DecodedInstr> DecodeCache;
+};
+
+} // namespace rio
+
+#endif // RIO_VM_MACHINE_H

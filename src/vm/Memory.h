@@ -1,0 +1,118 @@
+//===- vm/Memory.h - Simulated flat memory image ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated 32-bit little-endian address space. One contiguous image
+/// holds both the application region and the runtime region (code cache,
+/// spill slots): DynamoRIO runs in the same address space as the app
+/// ("application code and DynamoRIO code all runs in the same process and
+/// address space", paper Figure 1), and so do we.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_VM_MEMORY_H
+#define RIO_VM_MEMORY_H
+
+#include "isa/Operand.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace rio {
+
+/// Bounds-checked byte-addressable memory. All accessors return false on an
+/// out-of-range access (the Machine converts that into a simulated fault).
+class MemoryImage {
+public:
+  explicit MemoryImage(uint32_t Size) : Bytes(Size, 0) {}
+
+  uint32_t size() const { return uint32_t(Bytes.size()); }
+  const uint8_t *data() const { return Bytes.data(); }
+  uint8_t *data() { return Bytes.data(); }
+
+  bool inBounds(uint32_t Addr, uint32_t Len) const {
+    return Addr <= Bytes.size() && Len <= Bytes.size() - Addr;
+  }
+
+  bool read8(uint32_t Addr, uint8_t &Value) const {
+    if (!inBounds(Addr, 1))
+      return false;
+    Value = Bytes[Addr];
+    return true;
+  }
+  bool read16(uint32_t Addr, uint16_t &Value) const {
+    if (!inBounds(Addr, 2))
+      return false;
+    std::memcpy(&Value, &Bytes[Addr], 2);
+    return true;
+  }
+  bool read32(uint32_t Addr, uint32_t &Value) const {
+    if (!inBounds(Addr, 4))
+      return false;
+    std::memcpy(&Value, &Bytes[Addr], 4);
+    return true;
+  }
+  bool read64(uint32_t Addr, uint64_t &Value) const {
+    if (!inBounds(Addr, 8))
+      return false;
+    std::memcpy(&Value, &Bytes[Addr], 8);
+    return true;
+  }
+  bool readF64(uint32_t Addr, double &Value) const {
+    if (!inBounds(Addr, 8))
+      return false;
+    std::memcpy(&Value, &Bytes[Addr], 8);
+    return true;
+  }
+
+  bool write8(uint32_t Addr, uint8_t Value) {
+    if (!inBounds(Addr, 1))
+      return false;
+    Bytes[Addr] = Value;
+    return true;
+  }
+  bool write16(uint32_t Addr, uint16_t Value) {
+    if (!inBounds(Addr, 2))
+      return false;
+    std::memcpy(&Bytes[Addr], &Value, 2);
+    return true;
+  }
+  bool write32(uint32_t Addr, uint32_t Value) {
+    if (!inBounds(Addr, 4))
+      return false;
+    std::memcpy(&Bytes[Addr], &Value, 4);
+    return true;
+  }
+  bool write64(uint32_t Addr, uint64_t Value) {
+    if (!inBounds(Addr, 8))
+      return false;
+    std::memcpy(&Bytes[Addr], &Value, 8);
+    return true;
+  }
+  bool writeF64(uint32_t Addr, double Value) {
+    if (!inBounds(Addr, 8))
+      return false;
+    std::memcpy(&Bytes[Addr], &Value, 8);
+    return true;
+  }
+
+  /// Copies a block into the image; returns false on overflow.
+  bool writeBlock(uint32_t Addr, const uint8_t *Src, uint32_t Len) {
+    if (!inBounds(Addr, Len))
+      return false;
+    std::memcpy(&Bytes[Addr], Src, Len);
+    return true;
+  }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+} // namespace rio
+
+#endif // RIO_VM_MEMORY_H

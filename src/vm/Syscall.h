@@ -1,0 +1,35 @@
+//===- vm/Syscall.h - Simulated OS entry points ----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syscall numbers of the simulated OS (reached via `int`), playing the
+/// role of the OS boundary the paper intercepts on Windows and Linux. The
+/// calling convention is Linux-flavoured: number in eax, arguments in ebx,
+/// ecx, edx.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_VM_SYSCALL_H
+#define RIO_VM_SYSCALL_H
+
+#include <cstdint>
+
+namespace rio {
+
+enum Syscall : uint32_t {
+  RSYS_exit = 1,          ///< ebx = exit code (ends the whole program)
+  RSYS_print_int = 2,     ///< ebx = signed value, printed as decimal + '\n'
+  RSYS_print_char = 3,    ///< ebx = character
+  RSYS_write = 4,         ///< ebx = fd (1/2), ecx = buffer, edx = length
+  RSYS_thread_create = 5, ///< ebx = entry pc, ecx = stack top; eax := tid
+  RSYS_thread_exit = 6,   ///< ends the calling thread only
+  RSYS_gettid = 7,        ///< eax := current thread id
+};
+
+} // namespace rio
+
+#endif // RIO_VM_SYSCALL_H

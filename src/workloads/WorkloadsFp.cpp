@@ -1,0 +1,285 @@
+//===- workloads/WorkloadsFp.cpp - Floating-point group ----------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The floating-point workloads. Like SPEC2000 fp codes compiled with
+/// gcc -O3 on IA-32 (few registers!), the kernels contain redundant loads
+/// in their hot loops — reloads of values already held in registers —
+/// which is exactly what the paper's redundant-load-removal client feeds
+/// on (mgrid gains ~40% in Figure 5).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace rio;
+
+namespace rio::workloads {
+
+/// Shared epilogue: print esi as the checksum, exit 0. Labelled data the
+/// programs use goes before `main`, so fall-through never hits it.
+static const char *const ChecksumExit = R"(
+    mov ebx, esi
+    mov eax, 2
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+)";
+
+/// mgrid: 1-D multigrid-style smoothing sweeps over a 4096-element double
+/// grid. The inner loop reloads the center and left neighbour values it
+/// already has in registers (as gcc -O3 does under register pressure) —
+/// prime redundant-load-removal territory. `inc` drives the index.
+std::string mgridSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    grid:    .space 32768
+    quarter: .f64 0.125
+    main:
+      ; init: grid[i] = (i & 63) * 0.2
+      mov ecx, 0
+    init:
+      mov eax, ecx
+      and eax, 63
+      cvtsi2sd xmm0, eax
+      mulsd xmm0, [quarter]
+      mov edx, ecx
+      shl edx, 3
+      movsd [grid+edx], xmm0
+      inc ecx
+      cmp ecx, 4096
+      jnz init
+
+      mov edi, )" + std::to_string(Scale) + R"(   ; smoothing passes
+    pass:
+      mov esi, 1
+    inner:
+      ; gcc -O3 on IA-32 reloads stencil neighbours repeatedly under
+      ; register pressure; five of these eight loads are redundant.
+      mov edx, esi
+      shl edx, 3
+      movsd xmm0, [grid+edx]        ; center
+      movsd xmm1, [grid+edx-8]      ; left
+      movsd xmm2, [grid+edx+8]      ; right
+      movsd xmm3, [grid+edx]        ; redundant reload (center)
+      movsd xmm4, [grid+edx-8]      ; redundant reload (left)
+      movsd xmm5, [grid+edx+8]      ; redundant reload (right)
+      movsd xmm6, [grid+edx]        ; redundant reload (center)
+      movsd xmm7, [grid+edx+8]      ; redundant reload (right)
+      addsd xmm3, xmm4
+      addsd xmm5, xmm6
+      addsd xmm0, xmm1
+      addsd xmm2, xmm7
+      addsd xmm3, xmm5
+      addsd xmm0, xmm2
+      addsd xmm0, xmm3
+      mulsd xmm0, [quarter]
+      movsd [grid+edx], xmm0
+      inc esi
+      cmp esi, 4095
+      jnz inner
+      dec edi
+      jnz pass
+
+      ; checksum = int(grid[2048] * 1000)
+      movsd xmm0, [grid+16384]
+      mov eax, 1000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+)";
+  S += ChecksumExit;
+  return S;
+}
+
+/// swim: shallow-water-style streaming update of two arrays with stencil
+/// reloads; fewer redundancies than mgrid, plus integer bookkeeping.
+std::string swimSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    u:  .space 16384
+    v:  .space 16384
+    c1: .f64 0.25
+    c2: .f64 0.5
+    main:
+      mov ecx, 0
+    init:
+      mov eax, ecx
+      and eax, 127
+      cvtsi2sd xmm0, eax
+      mov edx, ecx
+      shl edx, 3
+      movsd [u+edx], xmm0
+      movsd [v+edx], xmm0
+      inc ecx
+      cmp ecx, 2048
+      jnz init
+
+      mov edi, )" + std::to_string(Scale) + R"(
+    step:
+      mov esi, 1
+    row:
+      mov edx, esi
+      shl edx, 3
+      movsd xmm0, [u+edx]
+      movsd xmm1, [u+edx+8]
+      movsd xmm2, [u+edx]           ; redundant reload
+      movsd xmm3, [v+edx]
+      movsd xmm4, [u+edx+8]         ; redundant reload
+      mulsd xmm1, [c2]
+      mulsd xmm2, [c1]
+      addsd xmm1, xmm2
+      addsd xmm1, xmm0
+      addsd xmm3, xmm1
+      addsd xmm3, xmm4
+      mulsd xmm3, [c1]
+      movsd [v+edx], xmm3
+      inc esi
+      cmp esi, 2047
+      jnz row
+      dec edi
+      jnz step
+
+      movsd xmm0, [v+8192]
+      mov eax, 100
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+)";
+  S += ChecksumExit;
+  return S;
+}
+
+/// applu: LU-style sweeps dominated by divisions with stack-slot reloads
+/// of the pivot (spilled locals are the classic redundant-load source).
+std::string appluSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    x:     .space 16384
+    pivot: .f64 2.015625
+    tmp:   .space 8
+    main:
+      mov ecx, 0
+    init:
+      mov eax, ecx
+      and eax, 31
+      inc eax
+      cvtsi2sd xmm0, eax
+      mov edx, ecx
+      shl edx, 3
+      movsd [x+edx], xmm0
+      inc ecx
+      cmp ecx, 2048
+      jnz init
+
+      mov edi, )" + std::to_string(Scale) + R"(
+    sweep:
+      movsd xmm7, [pivot]
+      movsd [tmp], xmm7             ; "spill" the pivot
+      mov esi, 1
+    elim:
+      mov edx, esi
+      shl edx, 3
+      movsd xmm0, [x+edx]
+      movsd xmm1, [x+edx-8]
+      addsd xmm0, xmm1
+      movsd xmm2, [tmp]             ; reload of spilled pivot
+      divsd xmm0, xmm2
+      movsd xmm3, [tmp]             ; redundant reload
+      addsd xmm0, xmm3
+      movsd xmm4, [tmp]             ; redundant reload
+      subsd xmm0, xmm4
+      movsd [x+edx], xmm0
+      inc esi
+      cmp esi, 2047
+      jnz elim
+      dec edi
+      jnz sweep
+
+      movsd xmm0, [x+4096]
+      mov eax, 1000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+)";
+  S += ChecksumExit;
+  return S;
+}
+
+/// equake: sparse-style gather/scatter — integer index loads feeding
+/// double accesses, with a helper routine called per element (so the fp
+/// group also exercises call/return machinery).
+std::string equakeSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    idx:  .space 4096
+    val:  .space 8192
+    acc:  .space 8192
+    k:    .f64 0.125
+    main:
+      ; idx[i] = (i*7) & 1023 ; val[i] = (i & 15) * 0.125
+      mov ecx, 0
+    init:
+      mov eax, ecx
+      imul eax, eax, 7
+      and eax, 1023
+      mov edx, ecx
+      shl edx, 2
+      mov [idx+edx], eax
+      mov eax, ecx
+      and eax, 15
+      cvtsi2sd xmm0, eax
+      mulsd xmm0, [k]
+      mov edx, ecx
+      shl edx, 3
+      movsd [val+edx], xmm0
+      movsd [acc+edx], xmm0
+      inc ecx
+      cmp ecx, 1024
+      jnz init
+
+      mov edi, )" + std::to_string(Scale) + R"(
+    iter:
+      mov esi, 0
+    gather:
+      mov edx, esi
+      shl edx, 2
+      mov eax, [idx+edx]            ; indirect index
+      shl eax, 3
+      mov edx, esi
+      shl edx, 3
+      movsd xmm0, [val+edx]
+      movsd xmm2, [val+edx]         ; redundant reload
+      addsd xmm0, xmm2
+      call scale_elem
+      movsd xmm1, [acc+eax]
+      addsd xmm1, xmm0
+      movsd [acc+eax], xmm1
+      inc esi
+      cmp esi, 1024
+      jnz gather
+      dec edi
+      jnz iter
+
+      movsd xmm0, [acc+2048]
+      mov eax, 100
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+)";
+  S += ChecksumExit;
+  S += R"(
+    scale_elem:
+      mulsd xmm0, [k]
+      addsd xmm0, [k]
+      ret
+)";
+  return S;
+}
+
+} // namespace rio::workloads

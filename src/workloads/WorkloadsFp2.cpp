@@ -1,0 +1,414 @@
+//===- workloads/WorkloadsFp2.cpp - Floating-point group, part 2 --------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remaining non-Fortran-90 SPEC2000 fp programs: wupwise (complex
+/// arithmetic), mesa (matrix-vector transforms with heavy operand
+/// reloads), art (neural-network dot products with clamping branches),
+/// ammp (pairwise distances and reciprocals), sixtrack (per-particle
+/// polynomial maps), apsi (multi-field grid updates).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace rio;
+
+namespace rio::workloads {
+
+static const char *const ChecksumExitFp2 = R"(
+    mov ebx, esi
+    mov eax, 2
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+)";
+
+/// Shared initialization: fill a f64 array with bounded values derived
+/// from the index.
+static std::string fillF64(const char *Label, int Count, int Mask,
+                           const char *ScaleConst) {
+  std::string S;
+  S += "  mov ecx, 0\ninitf_" + std::string(Label) + ":\n";
+  S += "  mov eax, ecx\n";
+  S += "  and eax, " + std::to_string(Mask) + "\n";
+  S += "  inc eax\n"; // avoid zeros (safe divisors)
+  S += "  cvtsi2sd xmm0, eax\n";
+  S += std::string("  mulsd xmm0, [") + ScaleConst + "]\n";
+  S += "  mov edx, ecx\n  shl edx, 3\n";
+  S += std::string("  movsd [") + Label + "+edx], xmm0\n";
+  S += "  inc ecx\n";
+  S += "  cmp ecx, " + std::to_string(Count) + "\n";
+  S += "  jnz initf_" + std::string(Label) + "\n";
+  return S;
+}
+
+/// wupwise: lattice-QCD-ish complex multiply-accumulate. Complex numbers
+/// are (re, im) pairs; the kernel reloads both halves of each operand more
+/// than once, as the real F77 code does under register pressure.
+std::string wupwiseSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    za: .space 8192
+    zb: .space 8192
+    zc: .space 8192
+    k:  .f64 0.0625
+)";
+  S += "  main:\n";
+  S += fillF64("za", 1024, 31, "k");
+  S += fillF64("zb", 1024, 15, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    sweep:
+      mov esi, 0
+      mov ecx, 0
+    cmul:
+      mov edx, ecx
+      shl edx, 4                ; complex stride: 16 bytes
+      movsd xmm0, [za+edx]      ; a.re
+      movsd xmm1, [za+edx+8]    ; a.im
+      movsd xmm2, [zb+edx]      ; b.re
+      movsd xmm3, [zb+edx+8]    ; b.im
+      movsd xmm4, [za+edx]      ; redundant reload a.re
+      movsd xmm5, [zb+edx+8]    ; redundant reload b.im
+      ; c.re = a.re*b.re - a.im*b.im
+      mulsd xmm0, xmm2
+      mulsd xmm1, xmm3
+      subsd xmm0, xmm1
+      movsd [zc+edx], xmm0
+      ; c.im = a.re*b.im + a.im*b.re (using the reloads)
+      mulsd xmm4, xmm5
+      movsd xmm6, [za+edx+8]    ; redundant reload a.im
+      mulsd xmm6, xmm2
+      addsd xmm4, xmm6
+      movsd [zc+edx+8], xmm4
+      inc ecx
+      cmp ecx, 512
+      jnz cmul
+      dec edi
+      jnz sweep
+      movsd xmm0, [zc+1024]
+      mov eax, 1000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+/// mesa: 3D vertex transform — a 4x4 matrix times a stream of vectors.
+/// gcc -O3 on IA-32 cannot keep 16 matrix entries in 8 xmm registers, so
+/// the inner product reloads matrix entries constantly: dense RLR fuel.
+std::string mesaSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    mat:  .f64 0.5 0.1 0.2 0.05  0.1 0.5 0.1 0.02  0.2 0.1 0.5 0.01  0.0 0.0 0.0 1.0
+    vin:  .space 8192
+    vout: .space 8192
+    k:    .f64 0.03125
+)";
+  S += "  main:\n";
+  S += fillF64("vin", 1024, 63, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    frame:
+      mov ecx, 0
+    xform:
+      mov edx, ecx
+      shl edx, 5                ; 4 doubles per vertex
+      ; x' = m00*x + m01*y + m02*z + m03*w, etc. — matrix entries reloaded
+      ; per component exactly as the compiled original does.
+      movsd xmm0, [vin+edx]
+      movsd xmm1, [vin+edx+8]
+      movsd xmm2, [vin+edx+16]
+      movsd xmm3, [vin+edx+24]
+      movsd xmm4, [mat]
+      mulsd xmm4, xmm0
+      movsd xmm5, [mat+8]
+      mulsd xmm5, xmm1
+      addsd xmm4, xmm5
+      movsd xmm6, [mat+16]
+      mulsd xmm6, xmm2
+      addsd xmm4, xmm6
+      movsd xmm7, [mat+24]
+      mulsd xmm7, xmm3
+      addsd xmm4, xmm7
+      movsd [vout+edx], xmm4
+      movsd xmm4, [mat+32]
+      mulsd xmm4, xmm0
+      movsd xmm5, [mat+40]
+      mulsd xmm5, xmm1
+      addsd xmm4, xmm5
+      movsd xmm6, [mat+48]
+      mulsd xmm6, xmm2
+      addsd xmm4, xmm6
+      movsd xmm7, [mat+56]
+      mulsd xmm7, xmm3
+      addsd xmm4, xmm7
+      movsd [vout+edx+8], xmm4
+      movsd xmm4, [mat]         ; redundant reload of m00
+      mulsd xmm4, xmm2
+      movsd xmm5, [mat+8]       ; redundant reload of m01
+      mulsd xmm5, xmm3
+      addsd xmm4, xmm5
+      movsd [vout+edx+16], xmm4
+      movsd [vout+edx+24], xmm3
+      inc ecx
+      cmp ecx, 256
+      jnz xform
+      dec edi
+      jnz frame
+      movsd xmm0, [vout+512]
+      mov eax, 1000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+/// art: adaptive-resonance neural net — dot products of weight rows with
+/// an input vector, plus a data-dependent winner-take-all clamp branch.
+std::string artSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    w:    .space 16384          ; 32 neurons x 64 weights
+    x:    .space 512            ; input vector (64)
+    best: .f64 0.0
+    k:    .f64 0.015625
+)";
+  S += "  main:\n";
+  S += fillF64("w", 2048, 127, "k");
+  S += fillF64("x", 64, 31, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    epoch:
+      xor eax, eax
+      cvtsi2sd xmm7, eax        ; best = 0.0
+      mov ebx, 0                ; neuron index
+    neuron:
+      xor eax, eax
+      cvtsi2sd xmm0, eax        ; acc = 0.0
+      mov ecx, 0
+    dot:
+      mov edx, ebx
+      shl edx, 9                ; neuron row: 64*8 bytes
+      push ebx
+      mov ebx, ecx
+      shl ebx, 3
+      add edx, ebx
+      pop ebx
+      movsd xmm1, [w+edx]
+      push edx
+      mov edx, ecx
+      shl edx, 3
+      movsd xmm2, [x+edx]
+      pop edx
+      mulsd xmm1, xmm2
+      addsd xmm0, xmm1
+      inc ecx
+      cmp ecx, 64
+      jnz dot
+      ; winner-take-all: keep the max activation (data-dependent branch)
+      ucomisd xmm0, xmm7
+      jbe notbest
+      movsd xmm7, xmm0
+    notbest:
+      inc ebx
+      cmp ebx, 32
+      jnz neuron
+      movsd [best], xmm7
+      dec edi
+      jnz epoch
+      movsd xmm0, [best]
+      mov eax, 1000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+/// ammp: molecular-dynamics inner loop — squared distances and reciprocal
+/// interactions between particle pairs (divsd-heavy, like the original's
+/// nonbonded kernel).
+std::string ammpSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    px:  .space 2048            ; 256 particle coordinates
+    py:  .space 2048
+    fx:  .space 2048
+    one: .f64 1.0
+    k:   .f64 0.25
+)";
+  S += "  main:\n";
+  S += fillF64("px", 256, 63, "k");
+  S += fillF64("py", 256, 31, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    mdstep:
+      mov ecx, 0
+    pair:
+      mov edx, ecx
+      shl edx, 3
+      ; interact particle i with particle (i+7) mod 256
+      mov ebx, ecx
+      add ebx, 7
+      and ebx, 255
+      shl ebx, 3
+      movsd xmm0, [px+edx]
+      subsd xmm0, [px+ebx]      ; dx
+      movsd xmm1, [py+edx]
+      subsd xmm1, [py+ebx]      ; dy
+      mulsd xmm0, xmm0
+      mulsd xmm1, xmm1
+      addsd xmm0, xmm1          ; r^2
+      addsd xmm0, [one]         ; +1: bounded away from zero
+      movsd xmm2, [one]
+      divsd xmm2, xmm0          ; 1/(r^2+1)
+      movsd xmm3, [fx+edx]
+      addsd xmm3, xmm2
+      movsd [fx+edx], xmm3
+      inc ecx
+      cmp ecx, 256
+      jnz pair
+      dec edi
+      jnz mdstep
+      movsd xmm0, [fx+64]
+      mov eax, 100
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+/// sixtrack: particle tracking — a polynomial map applied to each particle
+/// each turn, with spilled map coefficients reloaded per particle.
+std::string sixtrackSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    part: .space 4096           ; 512 particle states
+    c1:   .f64 0.9990234375
+    c2:   .f64 0.0009765625
+    tmp:  .space 16
+    k:    .f64 0.001953125
+)";
+  S += "  main:\n";
+  S += fillF64("part", 512, 255, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    turn:
+      ; "spill" the coefficients, as the F77 original's register allocator
+      ; does around its inner loop
+      movsd xmm0, [c1]
+      movsd [tmp], xmm0
+      movsd xmm0, [c2]
+      movsd [tmp+8], xmm0
+      mov ecx, 0
+    track:
+      mov edx, ecx
+      shl edx, 3
+      movsd xmm1, [part+edx]
+      movsd xmm2, [tmp]         ; reload c1
+      mulsd xmm1, xmm2
+      movsd xmm3, [part+edx]    ; redundant reload of the state
+      mulsd xmm3, xmm3
+      movsd xmm4, [tmp+8]       ; reload c2
+      mulsd xmm3, xmm4
+      subsd xmm1, xmm3
+      movsd [part+edx], xmm1
+      inc ecx
+      cmp ecx, 512
+      jnz track
+      dec edi
+      jnz turn
+      movsd xmm0, [part+1024]
+      mov eax, 100000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+/// apsi: mesoscale-weather-style multi-field grid update: three coupled
+/// field arrays updated per cell from each other with stencil reloads.
+std::string apsiSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    t:  .space 8192             ; temperature
+    u:  .space 8192             ; wind
+    q:  .space 8192             ; moisture
+    k:  .f64 0.2
+    damp: .f64 0.999
+    cap:  .f64 100.0
+    capk: .f64 0.01
+    dt: .f64 0.125
+)";
+  S += "  main:\n";
+  S += fillF64("t", 1024, 63, "k");
+  S += fillF64("u", 1024, 31, "k");
+  S += fillF64("q", 1024, 15, "k");
+  S += "  mov edi, " + std::to_string(Scale) + "\n";
+  S += R"(
+    step:
+      mov ecx, 1
+    cell:
+      mov edx, ecx
+      shl edx, 3
+      ; t' = t + dt*(u[i-1] - u[i+1]) * q[i]
+      movsd xmm0, [u+edx-8]
+      subsd xmm0, [u+edx+8]
+      movsd xmm1, [q+edx]
+      mulsd xmm0, xmm1
+      mulsd xmm0, [dt]
+      movsd xmm2, [t+edx]
+      addsd xmm2, xmm0
+      mulsd xmm2, [damp]
+      ; limiter: the coupled system oscillates, so clamp runaway values
+      ; (a data-dependent fp branch, like the original's saturation code)
+      ucomisd xmm2, [cap]
+      jbe t_ok
+      mulsd xmm2, [capk]
+    t_ok:
+      movsd [t+edx], xmm2
+      ; q' = q + dt * t' with reloads of both fields
+      movsd xmm3, [t+edx]       ; reload of the value just stored
+      mulsd xmm3, [dt]
+      movsd xmm4, [q+edx]       ; reload of q
+      addsd xmm4, xmm3
+      mulsd xmm4, [damp]
+      movsd [q+edx], xmm4
+      inc ecx
+      cmp ecx, 1023
+      jnz cell
+      dec edi
+      jnz step
+      movsd xmm0, [t+2048]
+      mov eax, 100000
+      cvtsi2sd xmm1, eax
+      mulsd xmm0, xmm1
+      cvttsd2si esi, xmm0
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitFp2;
+  return S;
+}
+
+} // namespace rio::workloads

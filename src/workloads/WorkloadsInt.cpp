@@ -1,0 +1,535 @@
+//===- workloads/WorkloadsInt.cpp - Integer group -----------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The integer workloads. Each mimics the control-flow signature the
+/// corresponding SPEC2000 program is known for: tight loops (vpr), deep
+/// call trees (crafty), interpreter dispatch (perlbmk), megamorphic
+/// indirect calls (gap), recursion plus jump tables (parser), pointer
+/// chasing (mcf), byte processing (gzip), and lots of code with little
+/// reuse (gcc) — the case the paper reports as a slowdown, since
+/// transformation time cannot be amortized.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace rio;
+
+namespace rio::workloads {
+
+static const char *const ChecksumExitInt = R"(
+    mov ebx, esi
+    mov eax, 2
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+)";
+
+/// vpr: placement-style tight loop — compare-and-swap passes over an
+/// array. Highly predictable branches, no indirect control flow: the case
+/// where the base system breaks even almost immediately (Table 1's 1.1x).
+std::string vprSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    arr: .space 4096
+    main:
+      ; LCG-fill the array
+      mov eax, 12345
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      and edx, 32767
+      mov ebx, ecx
+      shl ebx, 2
+      mov [arr+ebx], edx
+      inc ecx
+      cmp ecx, 1024
+      jnz init
+
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    pass:
+      mov ecx, 0
+    sweep:
+      mov ebx, ecx
+      shl ebx, 2
+      mov eax, [arr+ebx]
+      mov edx, [arr+ebx+4]
+      cmp eax, edx
+      jle noswap
+      mov [arr+ebx], edx
+      mov [arr+ebx+4], eax
+      inc esi
+    noswap:
+      test ecx, 15
+      jnz nocall
+      call swap_cost
+      add esi, eax
+    nocall:
+      inc ecx
+      cmp ecx, 1023
+      jnz sweep
+      dec edi
+      jnz pass
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitInt;
+  S += R"(
+    swap_cost:
+      mov eax, [arr]
+      and eax, 15
+      ret
+)";
+  return S;
+}
+
+/// gzip: byte-stream hashing — movzx-heavy inner loop maintaining a
+/// rolling hash and a frequency table, like deflate's match finder.
+std::string gzipSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    buf:  .space 4096
+    head: .space 4096
+    main:
+      mov eax, 99991
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      movb [buf+ecx], dl
+      inc ecx
+      cmp ecx, 4096
+      jnz init
+
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    outer:
+      mov ecx, 0
+      xor ebx, ebx
+    hloop:
+      movzxb eax, [buf+ecx]
+      shl ebx, 5
+      xor ebx, eax
+      and ebx, 1023
+      mov edx, ebx
+      shl edx, 2
+      mov eax, [head+edx]
+      inc eax
+      mov [head+edx], eax
+      add esi, eax
+      and esi, 0xFFFFFF
+      inc ecx
+      cmp ecx, 4096
+      jnz hloop
+      dec edi
+      jnz outer
+)";
+  S += ChecksumExitInt;
+  return S;
+}
+
+/// crafty: chess-style search — a deep recursive call tree over a small
+/// evaluation, exercising call/return machinery hard. Returns dominate;
+/// custom call-inlining traces shine here (paper Section 4.4).
+std::string craftySource(int Scale) {
+  std::string S = R"(
+    .entry main
+    board: .word 3 1 4 1 5 9 2 6
+    main:
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    rootloop:
+      mov eax, 6
+      call search
+      add esi, eax
+      and esi, 0xFFFFFF
+      dec edi
+      jnz rootloop
+)";
+  S += ChecksumExitInt;
+  S += R"(
+    search:               ; eax = depth -> eax = score
+      test eax, eax
+      jnz srec
+      ; leaf evaluation: a small scan over the board
+      xor eax, eax
+      mov ecx, 3
+    evalloop:
+      add eax, [board+ecx*8-8]
+      add eax, [board+ecx*8-4]
+      dec ecx
+      jnz evalloop
+      ret
+    srec:
+      push ebx
+      push eax            ; spill depth
+      dec eax
+      call search         ; left child
+      mov ebx, eax
+      mov eax, [esp]      ; reload depth (spilled local)
+      dec eax
+      call search         ; right child
+      add ebx, eax
+      mov eax, [esp]      ; reload depth again
+      and eax, 7
+      shl eax, 2
+      mov ecx, [board+eax]
+      inc ecx
+      mov [board+eax], ecx
+      mov eax, ebx
+      and eax, 0xFFFF
+      pop ecx             ; discard depth
+      pop ebx
+      ret
+)";
+  return S;
+}
+
+/// mcf: network-simplex-style pointer chasing through a node table, with
+/// a data-dependent branch — loads and mispredictions dominate.
+std::string mcfSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    nodes: .space 4096
+    main:
+      ; node i: next = (i*167) & 511 (a permutation), val = lcg
+      mov eax, 777
+      mov ecx, 0
+    init:
+      mov edx, ecx
+      imul edx, edx, 167
+      and edx, 511
+      mov ebx, ecx
+      shl ebx, 3
+      mov [nodes+ebx], edx
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      and edx, 255
+      mov [nodes+ebx+4], edx
+      inc ecx
+      cmp ecx, 512
+      jnz init
+
+      mov esi, 0
+      mov eax, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    chase:
+      mov edx, eax
+      shl edx, 3
+      mov ecx, [nodes+edx+4]
+      add esi, ecx
+      test ecx, 4
+      jz nomix
+      xor esi, edx
+    nomix:
+      and esi, 0xFFFFFF
+      mov eax, [nodes+edx]
+      dec edi
+      jnz chase
+)";
+  S += ChecksumExitInt;
+  return S;
+}
+
+/// parser: recursive-descent evaluation over a token stream with a
+/// jump-table dispatch — recursion plus indirect jumps.
+std::string parserSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    toks:   .space 2048
+    ptable: .word p_lit p_add p_dbl p_neg
+    main:
+      mov eax, 4242
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      and edx, 3
+      movb [toks+ecx], dl
+      inc ecx
+      cmp ecx, 2048
+      jnz init
+
+      mov esi, 0
+      mov ebp, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    exprloop:
+      mov eax, 5
+      call parse
+      add esi, eax
+      and esi, 0xFFFFFF
+      dec edi
+      jnz exprloop
+)";
+  S += ChecksumExitInt;
+  S += R"(
+    parse:                ; eax = depth budget -> eax = value
+      mov ecx, ebp
+      and ecx, 2047
+      movzxb edx, [toks+ecx]
+      inc ebp
+      test eax, eax
+      jz p_leaf
+      mov ecx, edx
+      shl ecx, 2
+      jmp [ptable+ecx]
+    p_lit:
+      mov eax, edx
+      ret
+    p_add:
+      push eax
+      dec eax
+      call parse
+      mov ecx, eax
+      mov eax, [esp]
+      dec eax
+      push ecx
+      call parse
+      pop ecx
+      add eax, ecx
+      pop ecx
+      ret
+    p_dbl:
+      dec eax
+      call parse
+      lea eax, [eax+eax+1]
+      ret
+    p_neg:
+      dec eax
+      call parse
+      neg eax
+      ret
+    p_leaf:
+      mov eax, edx
+      ret
+)";
+  return S;
+}
+
+/// gap: math-kernel dispatch through a function-pointer table with a
+/// skewed target distribution (two hot targets, six cold) — exactly what
+/// the adaptive indirect-branch-dispatch client (Section 4.3) feeds on.
+std::string gapSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    ftable: .word f0 f1 f2 f3 f4 f5 f6 f7
+    main:
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    mainloop:
+      mov eax, edi
+      imul eax, eax, 0x9E3779B1
+      shr eax, 27
+      mov ecx, eax
+      and ecx, 3
+      jz rare
+      and eax, 1          ; 75%: dispatch to f0/f1
+      jmp dodispatch
+    rare:
+      and eax, 7          ; 25%: any of the eight
+    dodispatch:
+      shl eax, 2
+      call [ftable+eax]
+      add esi, eax
+      and esi, 0xFFFFFF
+      dec edi
+      jnz mainloop
+)";
+  S += ChecksumExitInt;
+  S += R"(
+    f0:
+      mov eax, 17
+      ret
+    f1:
+      mov eax, 31
+      ret
+    f2:
+      mov eax, 5
+      ret
+    f3:
+      mov eax, 7
+      ret
+    f4:
+      mov eax, 11
+      ret
+    f5:
+      mov eax, 13
+      ret
+    f6:
+      mov eax, 19
+      ret
+    f7:
+      mov eax, 23
+      ret
+)";
+  return S;
+}
+
+/// Emits a chain of \p N distinct one-shot basic blocks (each ends in a
+/// jump, so each is its own fragment) — the "little code reuse" signature
+/// of gcc and perlbmk runs, where block-build and client-transform time
+/// cannot be amortized.
+static std::string oneShotChain(const char *Prefix, int N) {
+  std::string S;
+  for (int I = 0; I != N; ++I) {
+    uint32_t K = uint32_t(I) * 2654435761u;
+    S += std::string(Prefix) + std::to_string(I) + ":\n";
+    S += "  add esi, " + std::to_string((K >> 8) & 0xFFFF) + "\n";
+    S += "  xor esi, " + std::to_string((K >> 4) & 0xFFF) + "\n";
+    if (I % 4 == 2) {
+      S += "  test esi, 8\n";
+      S += "  jz " + std::string(Prefix) + "s" + std::to_string(I) + "\n";
+      S += "  add esi, 3\n";
+      S += std::string(Prefix) + "s" + std::to_string(I) + ":\n";
+    }
+    S += "  and esi, 0xFFFFFF\n";
+    S += "  jmp " + std::string(Prefix) + std::to_string(I + 1) + "\n";
+  }
+  S += std::string(Prefix) + std::to_string(N) + ":\n";
+  return S;
+}
+
+/// perlbmk: "multiple short runs with little code re-use" — a sequence of
+/// short-lived bytecode-interpreter phases, each with its own dispatch
+/// loop and handlers, separated by one-shot glue code. Every phase's hot
+/// set dies just as the adaptive machinery finishes optimizing it, so
+/// optimization time is hard to amortize (the paper's slowdown case).
+std::string perlbmkSource(int Scale) {
+  const int Phases = 12;
+  std::string S = R"(
+    .entry main
+    prog:    .space 1024
+)";
+  // Phase-private dispatch tables (data; kept out of the code path).
+  for (int P = 0; P != Phases; ++P) {
+    std::string Id = std::to_string(P);
+    S += "optable" + Id + ": .word vop" + Id + "_0 vop" + Id + "_1 vop" +
+         Id + "_2 vop" + Id + "_3\n";
+  }
+  S += R"(
+    main:
+      mov eax, 31337
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      and edx, 3
+      movb [prog+ecx], dl
+      inc ecx
+      cmp ecx, 1024
+      jnz init
+
+      mov esi, 0
+      jmp glue0_0
+)";
+  for (int P = 0; P != Phases; ++P) {
+    std::string Id = std::to_string(P);
+    // One-shot glue between phases (distinct every time).
+    S += oneShotChain(("glue" + Id + "_").c_str(), 24);
+    // A phase-private interpreter: its own loop and handlers.
+    S += "  mov ebp, " + std::to_string(P * 97) + "\n";
+    S += "  mov edi, " + std::to_string(Scale) + "\n";
+    S += "vmloop" + Id + ":\n";
+    S += "  mov eax, ebp\n";
+    S += "  and eax, 1023\n";
+    S += "  movzxb ecx, [prog+eax]\n";
+    S += "  shl ecx, 2\n";
+    S += "  jmp [optable" + Id + "+ecx]\n";
+    S += "vop" + Id + "_0:\n  add esi, " + std::to_string(P + 1) +
+         "\n  jmp vmnext" + Id + "\n";
+    S += "vop" + Id + "_1:\n  add esi, ebp\n  jmp vmnext" + Id + "\n";
+    S += "vop" + Id + "_2:\n  xor esi, " + std::to_string(0x5A5A + P) +
+         "\n  jmp vmnext" + Id + "\n";
+    S += "vop" + Id + "_3:\n  lea esi, [esi+esi*2]\n  jmp vmnext" + Id +
+         "\n";
+    S += "vmnext" + Id + ":\n";
+    S += "  and esi, 0xFFFFFF\n";
+    S += "  inc ebp\n";
+    S += "  dec edi\n";
+    S += "  jnz vmloop" + Id + "\n";
+  }
+  S += ChecksumExitInt;
+  return S;
+}
+
+/// gcc: lots of distinct code with little reuse — a one-shot chain of
+/// unique blocks, two dozen distinct loops that barely cross the trace
+/// threshold before dying, and only a modest hot loop. Fragment build and
+/// client transformation time amortizes poorly: the paper's slowdown case.
+std::string gccSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    gdata: .space 128
+    main:
+      ; fill the small data table
+      mov eax, 55555
+      mov ecx, 0
+    ginit:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 20
+      mov ebx, ecx
+      shl ebx, 2
+      mov [gdata+ebx], edx
+      inc ecx
+      cmp ecx, 32
+      jnz ginit
+
+      mov esi, 0
+      jmp c0
+)";
+  // Phase 1: one-shot unique blocks.
+  S += oneShotChain("c", 120);
+  // Phase 2: distinct short-lived loops, each run once for 58 iterations —
+  // just over the trace threshold, so trace build time barely pays off.
+  for (int G = 0; G != 24; ++G) {
+    uint32_t K = uint32_t(G + 1) * 2654435761u;
+    std::string Id = std::to_string(G);
+    S += "  mov edx, 58\n";
+    S += "lg" + Id + ":\n";
+    S += "  add esi, " + std::to_string((K >> 10) & 0x3FF) + "\n";
+    S += "  xor esi, " + std::to_string((K >> 3) & 0xFF) + "\n";
+    S += "  mov eax, [gdata+" + std::to_string((G * 4) & 127) + "]\n";
+    S += "  add esi, eax\n";
+    S += "  and esi, 0xFFFFFF\n";
+    S += "  dec edx\n";
+    S += "  jnz lg" + Id + "\n";
+  }
+  // Phase 3: a modest hot loop (the only well-amortized code).
+  S += R"(
+      mov ecx, )" + std::to_string(Scale) + R"(
+    hotloop:
+      mov edx, 200
+    hl:
+      add esi, edx
+      mov eax, [gdata+16]
+      xor esi, eax
+      and esi, 0xFFFFFF
+      dec edx
+      jnz hl
+      dec ecx
+      jnz hotloop
+)";
+  S += ChecksumExitInt;
+  return S;
+}
+
+} // namespace rio::workloads

@@ -1,0 +1,356 @@
+//===- workloads/WorkloadsInt2.cpp - Integer group, part 2 --------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The remaining SPEC2000 integer programs: eon (C++-style virtual
+/// dispatch), vortex (OO database: hashing + pointer structures), bzip2
+/// (byte histograms and reordering), twolf (annealing: random swaps with
+/// unpredictable accept/reject branches).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace rio;
+
+namespace rio::workloads {
+
+static const char *const ChecksumExitInt2 = R"(
+    mov ebx, esi
+    mov eax, 2
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+)";
+
+/// eon: a C++-flavoured ray-tracer skeleton — objects carry "vtable"
+/// pointers and the shading loop makes a virtual (indirect) call per
+/// object, with small per-shape math. Indirect calls with a handful of hot
+/// targets plus deep-ish call chains: both custom traces and IB dispatch
+/// have something to do.
+std::string eonSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    ; objects: 64 entries of {vtable_slot(word), param(word)}
+    objs:    .space 512
+    vtables: .word shade_sphere shade_plane shade_tri
+    main:
+      ; build the scene: type i%3, param from an LCG
+      mov eax, 2468
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, ecx
+      push eax
+      mov eax, ecx
+      cdq
+      mov ebx, 3
+      idiv ebx           ; edx = i % 3
+      shl edx, 2
+      mov ebx, [vtables+edx]
+      pop eax
+      mov edx, ecx
+      shl edx, 3
+      mov [objs+edx], ebx
+      push eax
+      shr eax, 18
+      and eax, 1023
+      mov [objs+edx+4], eax
+      pop eax
+      inc ecx
+      cmp ecx, 64
+      jnz init
+
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    frame:
+      mov ecx, 0
+    shade:
+      mov edx, ecx
+      shl edx, 3
+      mov eax, [objs+edx+4]     ; param
+      call [objs+edx]           ; virtual dispatch
+      add esi, eax
+      and esi, 0xFFFFFF
+      inc ecx
+      cmp ecx, 64
+      jnz shade
+      dec edi
+      jnz frame
+)";
+  S += ChecksumExitInt2;
+  S += R"(
+    shade_sphere:
+      imul eax, eax, 3
+      add eax, 7
+      call clampv
+      ret
+    shade_plane:
+      lea eax, [eax+eax*4]
+      call clampv
+      ret
+    shade_tri:
+      neg eax
+      add eax, 4096
+      call clampv
+      ret
+    clampv:
+      and eax, 8191
+      ret
+)";
+  return S;
+}
+
+/// vortex: an object-store — hash-chained buckets of records; inserts and
+/// lookups via small helper routines. Pointer chasing, hashing arithmetic
+/// and a dense call graph.
+std::string vortexSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    ; 256 bucket heads + a node pool of {next, key, val} triples
+    buckets: .space 1024
+    pool:    .space 12288       ; 1024 nodes x 12 bytes
+    poolidx: .word 0
+    main:
+      mov esi, 0
+      mov eax, 13579
+      mov edi, )" + std::to_string(Scale) + R"(
+    txn:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      push eax
+      mov ebx, eax
+      shr ebx, 12
+      and ebx, 4095             ; key (bits 12-23)
+      test eax, 0x2000000       ; insert-vs-lookup selector (bit 25,
+                                ; disjoint from the key bits)
+      jz do_lookup
+      mov ecx, ebx
+      call insert_rec
+      jmp txn_done
+    do_lookup:
+      mov ecx, ebx
+      call lookup_rec
+      add esi, eax
+      and esi, 0xFFFFFF
+    txn_done:
+      pop eax
+      dec edi
+      jnz txn
+)";
+  S += ChecksumExitInt2;
+  S += R"(
+    hash_key:                   ; ecx=key -> eax=bucket offset
+      mov eax, ecx
+      imul eax, eax, 2654435761
+      shr eax, 24
+      shl eax, 2
+      ret
+    insert_rec:                 ; ecx=key
+      call hash_key
+      mov edx, [poolidx]
+      inc edx
+      and edx, 1023             ; pool wraps: old nodes get recycled
+      mov [poolidx], edx
+      imul edx, edx, 12
+      push edx                  ; node offset
+      mov ebx, [buckets+eax]    ; old head
+      mov [pool+edx], ebx       ; node.next = old head
+      mov [pool+edx+4], ecx     ; node.key
+      push ecx
+      and ecx, 255
+      mov [pool+edx+8], ecx     ; node.val
+      pop ecx
+      pop edx
+      lea edx, [pool+edx]
+      mov [buckets+eax], edx    ; head = node address
+      ret
+    lookup_rec:                 ; ecx=key -> eax=val or 0
+      call hash_key
+      mov edx, [buckets+eax]
+      push ebp
+      mov ebp, 48               ; probe budget: recycled nodes can splice
+                                ; chains together, so walks are bounded
+    chain:
+      test edx, edx
+      jz miss
+      dec ebp
+      jz miss
+      mov ebx, [edx+4]
+      cmp ebx, ecx
+      jz hit
+      mov edx, [edx]
+      jmp chain
+    hit:
+      mov eax, [edx+8]
+      pop ebp
+      ret
+    miss:
+      mov eax, 0
+      pop ebp
+      ret
+)";
+  return S;
+}
+
+/// bzip2: block-sorting-flavoured byte work — histogram, prefix sums, and
+/// a bucket-reorder pass. movzx-dense with data-dependent second-level
+/// indexing.
+std::string bzip2Source(int Scale) {
+  std::string S = R"(
+    .entry main
+    block: .space 4096
+    freq:  .space 1024          ; 256 counters
+    out:   .space 4096
+    main:
+      mov eax, 8642
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 13
+      movb [block+ecx], dl
+      inc ecx
+      cmp ecx, 4096
+      jnz init
+
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    pass:
+      ; 1) clear + histogram
+      mov ecx, 0
+    clr:
+      mov ebx, ecx
+      shl ebx, 2
+      mov edx, 0
+      mov [freq+ebx], edx
+      inc ecx
+      cmp ecx, 256
+      jnz clr
+      mov ecx, 0
+    hist:
+      movzxb eax, [block+ecx]
+      shl eax, 2
+      mov edx, [freq+eax]
+      inc edx
+      mov [freq+eax], edx
+      inc ecx
+      cmp ecx, 4096
+      jnz hist
+      ; 2) prefix sums -> bucket starts
+      mov ecx, 1
+      mov edx, [freq]
+    psum:
+      mov ebx, ecx
+      shl ebx, 2
+      mov eax, [freq+ebx]
+      mov [freq+ebx], edx
+      add edx, eax
+      inc ecx
+      cmp ecx, 256
+      jnz psum
+      mov eax, 0
+      mov [freq], eax
+      ; 3) reorder bytes into their buckets
+      mov ecx, 0
+    reorder:
+      movzxb eax, [block+ecx]
+      shl eax, 2
+      mov edx, [freq+eax]       ; slot for this byte
+      mov ebx, edx
+      inc edx
+      mov [freq+eax], edx
+      movzxb edx, [block+ecx]
+      and ebx, 4095
+      movb [out+ebx], dl
+      inc ecx
+      cmp ecx, 4096
+      jnz reorder
+      ; fold a sample into the checksum
+      mov eax, [out+128]
+      add esi, eax
+      movzxb eax, [out+2049]
+      add esi, eax
+      and esi, 0xFFFFFF
+      dec edi
+      jnz pass
+)";
+  S += ChecksumExitInt2;
+  return S;
+}
+
+/// twolf: placement annealing — propose random cell swaps, compute a cost
+/// delta, accept or reject on a data-dependent comparison. The accept
+/// branch is genuinely unpredictable: misprediction-heavy like real twolf.
+std::string twolfSource(int Scale) {
+  std::string S = R"(
+    .entry main
+    cells: .space 2048          ; 512 cell positions
+    main:
+      mov eax, 97531
+      mov ecx, 0
+    init:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov edx, eax
+      shr edx, 16
+      and edx, 16383
+      mov ebx, ecx
+      shl ebx, 2
+      mov [cells+ebx], edx
+      inc ecx
+      cmp ecx, 512
+      jnz init
+
+      mov esi, 0
+      mov edi, )" + std::to_string(Scale) + R"(
+    anneal:
+      ; pick two cells from the LCG
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov ebx, eax
+      shr ebx, 8
+      and ebx, 511
+      shl ebx, 2                ; cell A offset
+      mov ecx, eax
+      shr ecx, 20
+      and ecx, 511
+      shl ecx, 2                ; cell B offset
+      mov edx, [cells+ebx]
+      push eax
+      mov eax, [cells+ecx]
+      ; delta = (a - b) with wirelength-ish weighting
+      sub edx, eax
+      imul edx, edx, 3
+      ; accept if delta ^ lcg-bits has bit 12 set (unpredictable)
+      pop eax
+      xor edx, eax
+      test edx, 0x1000
+      jz reject
+      ; accept: swap the two cells
+      mov edx, [cells+ebx]
+      push edx
+      mov edx, [cells+ecx]
+      mov [cells+ebx], edx
+      pop edx
+      mov [cells+ecx], edx
+      inc esi
+    reject:
+      and esi, 0xFFFFFF
+      dec edi
+      jnz anneal
+      add esi, [cells+64]
+      and esi, 0xFFFFFF
+)";
+  S += ChecksumExitInt2;
+  return S;
+}
+
+} // namespace rio::workloads

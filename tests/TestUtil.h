@@ -1,0 +1,79 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_TESTS_TESTUTIL_H
+#define RIO_TESTS_TESTUTIL_H
+
+#include "asm/Assembler.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rio::test {
+
+/// Assembles \p Source, failing the test on assembly errors.
+inline Program assembleOrDie(const std::string &Source) {
+  Program Prog;
+  std::string Error;
+  bool Ok = assemble(Source, Prog, Error);
+  EXPECT_TRUE(Ok) << "assembly failed: " << Error;
+  return Prog;
+}
+
+/// Result of running a program natively to completion.
+struct NativeRun {
+  std::string Output;
+  int ExitCode = -1;
+  RunStatus Status = RunStatus::Running;
+  std::string FaultReason;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  CpuState FinalCpu;
+};
+
+/// Runs \p Prog natively (no runtime) on a fresh machine until exit/fault.
+inline NativeRun runNative(const Program &Prog,
+                           const MachineConfig &Config = MachineConfig()) {
+  Machine M(Config);
+  NativeRun R;
+  if (!loadProgram(M, Prog)) {
+    R.FaultReason = "program did not fit in the app region";
+    R.Status = RunStatus::Faulted;
+    return R;
+  }
+  while (M.status() == RunStatus::Running)
+    M.step();
+  R.Output = M.output();
+  R.ExitCode = M.exitCode();
+  R.Status = M.status();
+  R.FaultReason = M.faultReason();
+  R.Cycles = M.cycles();
+  R.Instructions = M.instructionsExecuted();
+  R.FinalCpu = M.cpu();
+  return R;
+}
+
+/// Assembles and runs natively, asserting a clean exit.
+inline NativeRun runSource(const std::string &Source) {
+  NativeRun R = runNative(assembleOrDie(Source));
+  EXPECT_EQ(R.Status, RunStatus::Exited) << "fault: " << R.FaultReason;
+  return R;
+}
+
+/// A minimal program epilogue: exit(ebx).
+inline const char *exitEpilogue() {
+  return R"(
+    mov eax, 1
+    int 0x80
+)";
+}
+
+} // namespace rio::test
+
+#endif // RIO_TESTS_TESTUTIL_H

@@ -1,0 +1,317 @@
+//===- tests/clients_test.cpp - Sample optimization client tests ---------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/Clients.h"
+#include "core/Runtime.h"
+#include "workloads/Workloads.h"
+
+using namespace rio;
+using namespace rio::test;
+
+namespace {
+
+struct ClientRun {
+  RunResult Result;
+  std::string Output;
+  StatisticSet Stats;
+};
+
+ClientRun runWith(const Program &P, Client *C,
+                  RuntimeConfig Config = RuntimeConfig::full(),
+                  CostModel Cost = CostModel()) {
+  MachineConfig MC;
+  MC.Cost = Cost;
+  Machine M(MC);
+  EXPECT_TRUE(loadProgram(M, P));
+  Runtime RT(M, Config, C);
+  ClientRun R;
+  R.Result = RT.run();
+  R.Output = M.output();
+  R.Stats = RT.stats();
+  return R;
+}
+
+void expectSameBehaviour(const Program &P, Client *C,
+                         RuntimeConfig Config = RuntimeConfig::full()) {
+  NativeRun Native = runNative(P);
+  ASSERT_EQ(Native.Status, RunStatus::Exited) << Native.FaultReason;
+  ClientRun R = runWith(P, C, Config);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited) << R.Result.FaultReason;
+  EXPECT_EQ(R.Result.ExitCode, Native.ExitCode);
+  EXPECT_EQ(R.Output, Native.Output);
+}
+
+//===----------------------------------------------------------------------===//
+// StrengthReduce (inc2add, Figure 3)
+//===----------------------------------------------------------------------===//
+
+Program incLoop(int Iters) {
+  return assembleOrDie(R"(
+    main:
+      mov ecx, 0
+      mov eax, 0
+    loop:
+      inc eax
+      inc ecx
+      cmp ecx, )" + std::to_string(Iters) + R"(
+      jnz loop
+      mov ebx, eax
+      mov eax, 1
+      int 0x80
+  )");
+}
+
+TEST(StrengthReduce, ConvertsAndSpeedsUpOnP4) {
+  Program P = incLoop(20000);
+  StrengthReduceClient C;
+  NativeRun Native = runNative(P);
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Result.ExitCode, Native.ExitCode);
+  EXPECT_TRUE(C.enabled());
+  EXPECT_GE(C.numConverted(), 2u); // both incs convert (cmp rewrites CF)
+  ClientRun Base = runWith(P, nullptr);
+  EXPECT_LT(R.Result.Cycles, Base.Result.Cycles);
+}
+
+TEST(StrengthReduce, DisabledOnP3) {
+  Program P = incLoop(1000);
+  StrengthReduceClient C;
+  ClientRun R = runWith(P, &C, RuntimeConfig::full(),
+                        CostModel::pentiumIII());
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited);
+  EXPECT_FALSE(C.enabled());
+  EXPECT_EQ(C.numConverted(), 0u);
+}
+
+TEST(StrengthReduce, RefusesWhenCarryIsLive) {
+  // The inc's stale CF is read by an adc before anything rewrites it:
+  // conversion would change behaviour, so the client must refuse — and
+  // the program's output must stay native.
+  Program P = assembleOrDie(R"(
+    main:
+      mov esi, 0
+      mov ecx, 20000
+    loop:
+      mov eax, 0xFFFFFFFF
+      add eax, 1          ; CF := 1
+      inc eax             ; must NOT become add (CF would become 0)
+      mov ebx, 0
+      adc ebx, 0          ; reads CF: ebx = 1 iff CF survived
+      add esi, ebx
+      dec ecx
+      jnz loop
+      and esi, 0xFFFFFF
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )");
+  StrengthReduceClient C;
+  expectSameBehaviour(P, &C);
+  EXPECT_GE(C.numExamined(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Redundant load removal
+//===----------------------------------------------------------------------===//
+
+TEST(Rlr, RemovesRedundantLoadsAndPreservesBehaviour) {
+  Program P = assembleOrDie(R"(
+    cell: .word 7
+    main:
+      mov esi, 0
+      mov ecx, 30000
+    loop:
+      mov eax, [cell]
+      mov edx, [cell]     ; redundant: forwarded to reg copy
+      mov ebx, [cell]     ; redundant
+      add eax, edx
+      add eax, ebx
+      add esi, eax
+      and esi, 0xFFFFFF
+      dec ecx
+      jnz loop
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )");
+  RlrClient C;
+  NativeRun Native = runNative(P);
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited) << R.Result.FaultReason;
+  EXPECT_EQ(R.Output, Native.Output);
+  EXPECT_GE(C.loadsForwarded() + C.loadsRemoved(), 2u);
+  ClientRun Base = runWith(P, nullptr);
+  EXPECT_LT(R.Result.Cycles, Base.Result.Cycles);
+}
+
+TEST(Rlr, RespectsInterveningStores) {
+  // A store through an unrelated pointer may alias: the reload after it
+  // must NOT be removed. ebx points at the same cell.
+  Program P = assembleOrDie(R"(
+    cell: .word 5
+    main:
+      mov esi, 0
+      mov ecx, 20000
+      mov ebx, cell
+    loop:
+      mov eax, [cell]     ; load 5 (say)
+      mov edx, eax
+      inc edx
+      mov [ebx], edx      ; aliasing store: cell = 6
+      mov eax, [cell]     ; reload MUST see 6
+      add esi, eax
+      and esi, 0xFFFFFF
+      mov edx, [cell]
+      dec edx
+      mov [cell], edx     ; restore
+      dec ecx
+      jnz loop
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )");
+  RlrClient C;
+  expectSameBehaviour(P, &C);
+}
+
+TEST(Rlr, HandlesFpLoads) {
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  RlrClient C;
+  NativeRun Native = runNative(P);
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited);
+  EXPECT_EQ(R.Output, Native.Output);
+  EXPECT_GE(C.loadsForwarded() + C.loadsRemoved(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive indirect branch dispatch
+//===----------------------------------------------------------------------===//
+
+TEST(IBDispatch, RewritesTracesAndPreservesBehaviour) {
+  const Workload *W = findWorkload("gap");
+  Program P = buildWorkload(*W, 20000);
+  IBDispatchClient C;
+  NativeRun Native = runNative(P);
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited) << R.Result.FaultReason;
+  EXPECT_EQ(R.Output, Native.Output);
+  EXPECT_GE(C.sitesInstrumented(), 1u);
+  EXPECT_GE(C.tracesRewritten(), 1u);
+  EXPECT_GE(R.Stats.get("fragments_replaced"), 1u);
+}
+
+TEST(IBDispatch, ImprovesMegamorphicDispatch) {
+  const Workload *W = findWorkload("gap");
+  Program P = buildWorkload(*W, 60000);
+  IBDispatchClient C;
+  ClientRun With = runWith(P, &C);
+  ClientRun Base = runWith(P, nullptr);
+  ASSERT_EQ(With.Result.Status, RunStatus::Exited);
+  EXPECT_LT(With.Result.Cycles, Base.Result.Cycles);
+}
+
+TEST(IBDispatch, ProfilingCallSurvivesRewrite) {
+  // After the rewrite the profiling call must still be reachable on the
+  // residual miss path (the paper keeps it; targets are never removed).
+  const Workload *W = findWorkload("parser");
+  Program P = buildWorkload(*W, 1500);
+  IBDispatchClient C;
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited);
+  if (C.tracesRewritten() > 0) {
+    // Each rewritten site collected its full sample budget first; the
+    // profiling call remains reachable afterwards (never removed).
+    EXPECT_GE(R.Stats.get("clean_calls"),
+              uint64_t(32 * C.tracesRewritten()));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Custom traces
+//===----------------------------------------------------------------------===//
+
+TEST(CustomTraces, MarksCallSiteHeadsAndSpeedsUpCalls) {
+  const Workload *W = findWorkload("crafty");
+  Program P = buildWorkload(*W, 100);
+  CustomTracesClient C;
+  NativeRun Native = runNative(P);
+  ClientRun R = runWith(P, &C);
+  ASSERT_EQ(R.Result.Status, RunStatus::Exited) << R.Result.FaultReason;
+  EXPECT_EQ(R.Output, Native.Output);
+  EXPECT_GE(C.headsMarked(), 2u);
+  ClientRun Base = runWith(P, nullptr);
+  EXPECT_LT(R.Result.Cycles, Base.Result.Cycles);
+  EXPECT_GE(R.Stats.get("indirect_branches_inlined"),
+            Base.Stats.get("indirect_branches_inlined"));
+}
+
+//===----------------------------------------------------------------------===//
+// Inscount
+//===----------------------------------------------------------------------===//
+
+TEST(Inscount, CountsExactlyWithoutTraces) {
+  Program P = incLoop(777);
+  NativeRun Native = runNative(P);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  InscountClient C;
+  Runtime RT(M, RuntimeConfig::linkIndirect(), &C);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(C.totalInstructions(), Native.Instructions);
+}
+
+TEST(Inscount, ApproximatelyCountsUnderTraces) {
+  Program P = incLoop(5000);
+  NativeRun Native = runNative(P);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  InscountClient C;
+  Runtime RT(M, RuntimeConfig::full(), &C);
+  ASSERT_EQ(RT.run().Status, RunStatus::Exited);
+  double Ratio =
+      double(C.totalInstructions()) / double(Native.Instructions);
+  EXPECT_GT(Ratio, 0.9);
+  EXPECT_LT(Ratio, 1.1);
+}
+
+//===----------------------------------------------------------------------===//
+// Composition
+//===----------------------------------------------------------------------===//
+
+TEST(MultiClientSuite, AllFourPreserveEveryWorkload) {
+  for (const Workload &W : allWorkloads()) {
+    Program P = buildWorkload(W, W.TestScale);
+    CustomTracesClient C1;
+    RlrClient C2;
+    StrengthReduceClient C3;
+    IBDispatchClient C4;
+    MultiClient All({&C1, &C2, &C3, &C4});
+    NativeRun Native = runNative(P);
+    ClientRun R = runWith(P, &All);
+    ASSERT_EQ(R.Result.Status, RunStatus::Exited)
+        << W.Name << ": " << R.Result.FaultReason;
+    EXPECT_EQ(R.Output, Native.Output) << W.Name;
+    EXPECT_EQ(R.Result.ExitCode, Native.ExitCode) << W.Name;
+  }
+}
+
+} // namespace

@@ -1,0 +1,508 @@
+//===- tests/isa_test.cpp - ISA decode/encode tests -------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Decode.h"
+#include "isa/Eflags.h"
+#include "isa/Encode.h"
+#include "isa/OperandLayout.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rio;
+
+namespace {
+
+/// Encodes the given explicit-operand form and decodes it back, expecting a
+/// structurally identical instruction.
+void roundTrip(Opcode Op, std::initializer_list<Operand> Explicit,
+               AppPc Pc = 0x1000) {
+  Operand Ex[MaxExplicit];
+  unsigned NumEx = 0;
+  for (const Operand &O : Explicit)
+    Ex[NumEx++] = O;
+
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = 0, NumDsts = 0;
+  ASSERT_TRUE(
+      buildCanonicalOperands(Op, Ex, NumEx, Srcs, NumSrcs, Dsts, NumDsts))
+      << opcodeName(Op) << " with " << NumEx << " operands";
+
+  uint8_t Buf[MaxInstrLength];
+  int Len = encodeInstr(Op, 0, Srcs, NumSrcs, Dsts, NumDsts, Pc, Buf);
+  ASSERT_GT(Len, 0) << "encode failed for " << opcodeName(Op);
+
+  DecodedInstr DI;
+  ASSERT_TRUE(decodeInstr(Buf, size_t(Len), Pc, DI))
+      << "decode failed for " << opcodeName(Op);
+  EXPECT_EQ(DI.Op, Op);
+  EXPECT_EQ(DI.Length, Len);
+  ASSERT_EQ(DI.NumSrcs, NumSrcs);
+  ASSERT_EQ(DI.NumDsts, NumDsts);
+  for (unsigned I = 0; I != NumSrcs; ++I)
+    EXPECT_TRUE(DI.Srcs[I] == Srcs[I])
+        << opcodeName(Op) << " src " << I << " mismatch";
+  for (unsigned I = 0; I != NumDsts; ++I)
+    EXPECT_TRUE(DI.Dsts[I] == Dsts[I])
+        << opcodeName(Op) << " dst " << I << " mismatch";
+}
+
+Operand R(Register Reg) { return Operand::reg(Reg); }
+Operand I8(int64_t V) { return Operand::imm(V, 4); }
+Operand M(Register Base, int32_t Disp, uint8_t Size = 4,
+          Register Index = REG_NULL, uint8_t Scale = 1) {
+  return Operand::mem(Base, Disp, Size, Index, Scale);
+}
+
+TEST(IsaEncode, MovForms) {
+  roundTrip(OP_mov, {R(REG_EAX), R(REG_EBX)});
+  roundTrip(OP_mov, {R(REG_EDI), I8(0x12345678)});
+  roundTrip(OP_mov, {R(REG_ECX), M(REG_ESI, 0xC)});
+  roundTrip(OP_mov, {M(REG_EBP, -8), R(REG_EDX)});
+  roundTrip(OP_mov, {M(REG_ESP, 0), R(REG_EAX)});
+  roundTrip(OP_mov, {M(REG_NULL, 0x2000), R(REG_EAX)});
+  roundTrip(OP_mov, {M(REG_EAX, 0, 4, REG_ECX, 4), R(REG_EDX)});
+  roundTrip(OP_mov, {M(REG_NULL, 0x3000, 4, REG_EDI, 8), R(REG_EDX)});
+  roundTrip(OP_mov, {M(REG_EBX, 0x12345, 4, REG_EAX, 2), R(REG_ESI)});
+  roundTrip(OP_mov, {M(REG_EBX, 0x40), I8(-1)});
+}
+
+TEST(IsaEncode, ByteAndExtendedMoves) {
+  roundTrip(OP_mov_b, {R(REG_AL), R(REG_BH)});
+  roundTrip(OP_mov_b, {R(REG_CL), M(REG_ESI, 5, 1)});
+  roundTrip(OP_mov_b, {M(REG_EDI, -3, 1), R(REG_DL)});
+  roundTrip(OP_mov_b, {R(REG_AH), Operand::imm(0x7F, 1)});
+  roundTrip(OP_mov_b, {M(REG_EAX, 0, 1), Operand::imm(-2, 1)});
+  roundTrip(OP_movzx_b, {R(REG_EAX), R(REG_CL)});
+  roundTrip(OP_movzx_b, {R(REG_EBX), M(REG_EDX, 7, 1)});
+  roundTrip(OP_movzx_w, {R(REG_ECX), M(REG_EBP, 2, 2)});
+  roundTrip(OP_movsx_b, {R(REG_ESI), R(REG_BL)});
+  roundTrip(OP_movsx_w, {R(REG_EDI), M(REG_ESP, 4, 2)});
+}
+
+TEST(IsaEncode, AluForms) {
+  for (Opcode Op : {OP_add, OP_or, OP_adc, OP_sbb, OP_and, OP_sub, OP_xor,
+                    OP_cmp}) {
+    roundTrip(Op, {R(REG_EAX), R(REG_ECX)});
+    roundTrip(Op, {R(REG_EBX), M(REG_ESI, 0x1C)});
+    roundTrip(Op, {M(REG_EDI, -0x20), R(REG_EDX)});
+    roundTrip(Op, {R(REG_EDX), I8(5)});        // imm8 form
+    roundTrip(Op, {R(REG_EAX), I8(0x1234)});   // eax,imm32 short form
+    roundTrip(Op, {R(REG_EBP), I8(0x12345)});  // generic imm32 form
+    roundTrip(Op, {M(REG_EAX, 4), I8(1000)});
+  }
+}
+
+TEST(IsaEncode, TestIncDecNegNot) {
+  roundTrip(OP_test, {R(REG_EAX), R(REG_EBX)});
+  roundTrip(OP_test, {R(REG_EAX), I8(0xFF)});
+  roundTrip(OP_test, {R(REG_ESI), I8(0x10)});
+  roundTrip(OP_test, {M(REG_ESP, 8), R(REG_ECX)});
+  for (Opcode Op : {OP_inc, OP_dec}) {
+    roundTrip(Op, {R(REG_EAX)});
+    roundTrip(Op, {R(REG_EDI)});
+    roundTrip(Op, {M(REG_EBX, 0x10)});
+  }
+  roundTrip(OP_neg, {R(REG_ECX)});
+  roundTrip(OP_neg, {M(REG_EBP, -4)});
+  roundTrip(OP_not, {R(REG_EDX)});
+}
+
+TEST(IsaEncode, MulDivShift) {
+  roundTrip(OP_imul, {R(REG_EAX), R(REG_EBX)});
+  roundTrip(OP_imul, {R(REG_ECX), M(REG_ESI, 0)});
+  roundTrip(OP_imul, {R(REG_EDX), R(REG_EDX), I8(10)});
+  roundTrip(OP_imul, {R(REG_EDI), M(REG_EBP, 8), I8(100000)});
+  roundTrip(OP_mul, {R(REG_ECX)});
+  roundTrip(OP_idiv, {R(REG_EBX)});
+  roundTrip(OP_idiv, {M(REG_ESI, 4)});
+  roundTrip(OP_cdq, {});
+  for (Opcode Op : {OP_shl, OP_shr, OP_sar}) {
+    roundTrip(Op, {R(REG_EAX), Operand::imm(1, 1)});
+    roundTrip(Op, {R(REG_ECX), Operand::imm(7, 1)});
+    roundTrip(Op, {M(REG_EDI, 2), Operand::imm(3, 1)});
+    roundTrip(Op, {R(REG_EDX), R(REG_CL)});
+  }
+}
+
+TEST(IsaEncode, StackOps) {
+  roundTrip(OP_push, {R(REG_EBP)});
+  roundTrip(OP_push, {I8(42)});
+  roundTrip(OP_push, {I8(0x12345678)});
+  roundTrip(OP_push, {M(REG_EAX, 0)});
+  roundTrip(OP_pop, {R(REG_ESI)});
+  roundTrip(OP_pop, {M(REG_EBX, 4)});
+  roundTrip(OP_xchg, {R(REG_EAX), R(REG_EDX)});
+  roundTrip(OP_xchg, {M(REG_ESP, 0), R(REG_ECX)});
+  roundTrip(OP_lea, {R(REG_EAX), M(REG_EBX, 8, 4, REG_ECX, 2)});
+}
+
+TEST(IsaEncode, ControlFlow) {
+  roundTrip(OP_jmp, {Operand::pc(0x1100)});
+  roundTrip(OP_jmp, {Operand::pc(0x9000)});
+  roundTrip(OP_call, {Operand::pc(0x2000)});
+  roundTrip(OP_jmp_ind, {R(REG_EAX)});
+  roundTrip(OP_jmp_ind, {M(REG_EBX, 0, 4, REG_ECX, 4)});
+  roundTrip(OP_call_ind, {R(REG_EDX)});
+  roundTrip(OP_call_ind, {M(REG_NULL, 0x5000)});
+  roundTrip(OP_ret, {});
+  roundTrip(OP_ret_imm, {Operand::imm(8, 2)});
+  for (unsigned Cc = 0; Cc != 16; ++Cc)
+    roundTrip(condBranchForCode(Cc), {Operand::pc(0x1003)});
+  for (unsigned Cc = 0; Cc != 16; ++Cc)
+    roundTrip(condBranchForCode(Cc), {Operand::pc(0x8000)});
+}
+
+TEST(IsaEncode, SystemAndFp) {
+  roundTrip(OP_int, {Operand::imm(0x80, 1)});
+  roundTrip(OP_hlt, {});
+  roundTrip(OP_nop, {});
+  roundTrip(OP_clientcall, {I8(77)});
+  roundTrip(OP_savef, {M(REG_NULL, 0x7000)});
+  roundTrip(OP_restf, {M(REG_NULL, 0x7000)});
+
+  roundTrip(OP_movsd, {R(REG_XMM0), R(REG_XMM3)});
+  roundTrip(OP_movsd, {R(REG_XMM1), M(REG_ESI, 0, 8)});
+  roundTrip(OP_movsd, {M(REG_EDI, 8, 8), R(REG_XMM2)});
+  for (Opcode Op : {OP_addsd, OP_subsd, OP_mulsd, OP_divsd}) {
+    roundTrip(Op, {R(REG_XMM0), R(REG_XMM1)});
+    roundTrip(Op, {R(REG_XMM4), M(REG_EAX, 0, 8, REG_EBX, 8)});
+  }
+  roundTrip(OP_ucomisd, {R(REG_XMM0), R(REG_XMM5)});
+  roundTrip(OP_ucomisd, {R(REG_XMM2), M(REG_ECX, 0x10, 8)});
+  roundTrip(OP_cvtsi2sd, {R(REG_XMM3), R(REG_EAX)});
+  roundTrip(OP_cvtsi2sd, {R(REG_XMM3), M(REG_EBP, -12)});
+  roundTrip(OP_cvttsd2si, {R(REG_EDX), R(REG_XMM7)});
+  roundTrip(OP_cvttsd2si, {R(REG_ESI), M(REG_ESP, 16, 8)});
+}
+
+TEST(IsaEncode, PrefixesSurviveRoundTrip) {
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = 0, NumDsts = 0;
+  Operand Ex[2] = {R(REG_EAX), R(REG_EBX)};
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_add, Ex, 2, Srcs, NumSrcs, Dsts, NumDsts));
+  uint8_t Buf[MaxInstrLength];
+  int Len = encodeInstr(OP_add, PREFIX_LOCK | PREFIX_HINT, Srcs, NumSrcs, Dsts,
+                        NumDsts, 0x1000, Buf);
+  ASSERT_GT(Len, 0);
+  DecodedInstr DI;
+  ASSERT_TRUE(decodeInstr(Buf, size_t(Len), 0x1000, DI));
+  EXPECT_EQ(DI.Prefixes, PREFIX_LOCK | PREFIX_HINT);
+  EXPECT_EQ(DI.Op, OP_add);
+}
+
+TEST(IsaEncode, ShortFormsAreShortest) {
+  // inc eax must use the one-byte 0x40 form.
+  Operand Ex[1] = {R(REG_EAX)};
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = 0, NumDsts = 0;
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_inc, Ex, 1, Srcs, NumSrcs, Dsts, NumDsts));
+  uint8_t Buf[MaxInstrLength];
+  EXPECT_EQ(encodeInstr(OP_inc, 0, Srcs, NumSrcs, Dsts, NumDsts, 0, Buf), 1);
+  EXPECT_EQ(Buf[0], 0x40);
+
+  // add ebx, 5 must use the 3-byte 0x83 imm8 form.
+  Operand Ex2[2] = {R(REG_EBX), I8(5)};
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_add, Ex2, 2, Srcs, NumSrcs, Dsts, NumDsts));
+  EXPECT_EQ(encodeInstr(OP_add, 0, Srcs, NumSrcs, Dsts, NumDsts, 0, Buf), 3);
+  EXPECT_EQ(Buf[0], 0x83);
+
+  // Short jmp to a nearby target is two bytes when permitted...
+  Operand Ex3[1] = {Operand::pc(0x1010)};
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_jmp, Ex3, 1, Srcs, NumSrcs, Dsts, NumDsts));
+  EXPECT_EQ(encodeInstr(OP_jmp, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000, Buf),
+            2);
+  // ...and five bytes when short branches are disabled (cache policy).
+  EncodeOptions NoShort;
+  NoShort.AllowShortBranches = false;
+  EXPECT_EQ(encodeInstr(OP_jmp, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000, Buf,
+                        NoShort),
+            5);
+}
+
+TEST(IsaDecode, LevelsAgreeOnLength) {
+  // Build a few instructions and confirm all three decoders agree.
+  const std::initializer_list<Operand> Forms[] = {
+      {R(REG_EAX), R(REG_EBX)},
+      {R(REG_ECX), M(REG_ESI, 0xC)},
+      {M(REG_EBP, -8), R(REG_EDX)},
+      {R(REG_EDI), I8(0x12345678)},
+  };
+  for (const auto &Form : Forms) {
+    Operand Ex[MaxExplicit];
+    unsigned NumEx = 0;
+    for (const Operand &O : Form)
+      Ex[NumEx++] = O;
+    Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+    unsigned NumSrcs = 0, NumDsts = 0;
+    ASSERT_TRUE(
+        buildCanonicalOperands(OP_mov, Ex, NumEx, Srcs, NumSrcs, Dsts, NumDsts));
+    uint8_t Buf[MaxInstrLength];
+    int Len = encodeInstr(OP_mov, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000, Buf);
+    ASSERT_GT(Len, 0);
+    EXPECT_EQ(decodeLength(Buf, size_t(Len)), Len);
+    Opcode Op;
+    uint32_t Eflags;
+    int L2Len;
+    ASSERT_TRUE(decodeOpcodeAndEflags(Buf, size_t(Len), Op, Eflags, L2Len));
+    EXPECT_EQ(Op, OP_mov);
+    EXPECT_EQ(L2Len, Len);
+    EXPECT_EQ(Eflags, 0u);
+  }
+}
+
+TEST(IsaDecode, TruncatedInstructionsFail) {
+  // mov eax, imm32 truncated after 3 bytes.
+  uint8_t Buf[] = {0xB8, 0x01, 0x02};
+  DecodedInstr DI;
+  EXPECT_FALSE(decodeInstr(Buf, sizeof(Buf), 0, DI));
+  EXPECT_EQ(decodeLength(Buf, sizeof(Buf)), -1);
+}
+
+TEST(IsaDecode, InvalidOpcodeFails) {
+  uint8_t Buf[] = {0x0F, 0xFF, 0x00, 0x00};
+  DecodedInstr DI;
+  EXPECT_FALSE(decodeInstr(Buf, sizeof(Buf), 0, DI));
+}
+
+TEST(IsaEflags, IncDoesNotTouchCarry) {
+  EXPECT_EQ(opcodeInfo(OP_inc).EflagsEffect & EFLAGS_WRITE_CF, 0u);
+  EXPECT_NE(opcodeInfo(OP_inc).EflagsEffect & EFLAGS_WRITE_ZF, 0u);
+  EXPECT_NE(opcodeInfo(OP_add).EflagsEffect & EFLAGS_WRITE_CF, 0u);
+  EXPECT_EQ(opcodeInfo(OP_adc).EflagsEffect & EFLAGS_READ_CF, EFLAGS_READ_CF);
+  EXPECT_EQ(opcodeInfo(OP_jb).EflagsEffect, EFLAGS_READ_CF);
+  EXPECT_EQ(opcodeInfo(OP_mov).EflagsEffect, 0u);
+}
+
+TEST(IsaEflags, ShiftRefinement) {
+  // shl eax, 3 (immediate nonzero count): pure write after full decode.
+  Operand Ex[2] = {R(REG_EAX), Operand::imm(3, 1)};
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = 0, NumDsts = 0;
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_shl, Ex, 2, Srcs, NumSrcs, Dsts, NumDsts));
+  uint8_t Buf[MaxInstrLength];
+  int Len = encodeInstr(OP_shl, 0, Srcs, NumSrcs, Dsts, NumDsts, 0, Buf);
+  ASSERT_GT(Len, 0);
+  DecodedInstr DI;
+  ASSERT_TRUE(decodeInstr(Buf, size_t(Len), 0, DI));
+  EXPECT_EQ(DI.Eflags, uint32_t(EFLAGS_WRITE_ARITH));
+
+  // shl eax, cl: conservative read+write.
+  Ex[1] = R(REG_CL);
+  ASSERT_TRUE(
+      buildCanonicalOperands(OP_shl, Ex, 2, Srcs, NumSrcs, Dsts, NumDsts));
+  Len = encodeInstr(OP_shl, 0, Srcs, NumSrcs, Dsts, NumDsts, 0, Buf);
+  ASSERT_GT(Len, 0);
+  ASSERT_TRUE(decodeInstr(Buf, size_t(Len), 0, DI));
+  EXPECT_EQ(DI.Eflags, uint32_t(EFLAGS_READ_ALL | EFLAGS_WRITE_ALL));
+}
+
+TEST(IsaOpcodes, ClassificationFlags) {
+  EXPECT_TRUE(opcodeIsCti(OP_jmp));
+  EXPECT_TRUE(opcodeIsCti(OP_ret));
+  EXPECT_TRUE(opcodeIsCti(OP_call_ind));
+  EXPECT_FALSE(opcodeIsCti(OP_add));
+  EXPECT_TRUE(opcodeIsCondBranch(OP_jz));
+  EXPECT_FALSE(opcodeIsCondBranch(OP_jmp));
+  EXPECT_TRUE(opcodeIsIndirectCti(OP_ret));
+  EXPECT_TRUE(opcodeIsIndirectCti(OP_jmp_ind));
+  EXPECT_FALSE(opcodeIsIndirectCti(OP_jmp));
+  EXPECT_TRUE(opcodeIsCall(OP_call));
+  EXPECT_TRUE(opcodeIsCall(OP_call_ind));
+  EXPECT_TRUE(opcodeIsReturn(OP_ret_imm));
+  EXPECT_EQ(invertCondBranch(OP_jz), OP_jnz);
+  EXPECT_EQ(invertCondBranch(OP_jnle), OP_jle);
+}
+
+/// Property: random-but-valid instruction forms round-trip through
+/// encode/decode for every ALU opcode and many operand shapes.
+class RandomRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomRoundTrip, EncodeDecodeIdentity) {
+  Rng Rand(GetParam());
+  static const Register Gprs[] = {REG_EAX, REG_ECX, REG_EDX, REG_EBX,
+                                  REG_ESP, REG_EBP, REG_ESI, REG_EDI};
+  static const Opcode Alu[] = {OP_add, OP_or,  OP_adc, OP_sbb,
+                               OP_and, OP_sub, OP_xor, OP_cmp};
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    Opcode Op = Alu[Rand.nextBelow(8)];
+    Register Dst = Gprs[Rand.nextBelow(8)];
+    Operand Second;
+    switch (Rand.nextBelow(3)) {
+    case 0:
+      Second = Operand::reg(Gprs[Rand.nextBelow(8)]);
+      break;
+    case 1:
+      Second = Operand::imm(Rand.nextInRange(-100000, 100000), 4);
+      break;
+    default: {
+      Register Base = Gprs[Rand.nextBelow(8)];
+      Register Index = Gprs[Rand.nextBelow(8)];
+      if (Index == REG_ESP)
+        Index = REG_NULL;
+      uint8_t Scale = uint8_t(1u << Rand.nextBelow(4));
+      Second = Operand::mem(Base, int32_t(Rand.nextInRange(-4096, 4096)), 4,
+                            Index, Index == REG_NULL ? 1 : Scale);
+      break;
+    }
+    }
+    roundTrip(Op, {Operand::reg(Dst), Second});
+    if (Second.isMem())
+      roundTrip(Op, {Second, Operand::reg(Dst)});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 12345));
+
+} // namespace
+
+namespace {
+
+/// Exhaustive ModRM/SIB addressing-mode sweep: every base x index x scale
+/// x displacement-class combination must round-trip through encode/decode
+/// bit-exactly (as a mov load and a mov store).
+TEST(IsaAddressing, ExhaustiveModrmSibSweep) {
+  static const Register Bases[] = {REG_NULL, REG_EAX, REG_ECX, REG_EDX,
+                                   REG_EBX,  REG_ESP, REG_EBP, REG_ESI,
+                                   REG_EDI};
+  static const Register Indexes[] = {REG_NULL, REG_EAX, REG_ECX, REG_EDX,
+                                     REG_EBX,  REG_EBP, REG_ESI, REG_EDI};
+  static const uint8_t Scales[] = {1, 2, 4, 8};
+  static const int32_t Disps[] = {0,    1,    -1,        127,       -128,
+                                  128,  -129, 0x12345678, -0x1000,  4096};
+  unsigned Combos = 0;
+  for (Register Base : Bases) {
+    for (Register Index : Indexes) {
+      for (uint8_t Scale : Scales) {
+        if (Index == REG_NULL && Scale != 1)
+          continue; // scale without an index is not a distinct mode
+        for (int32_t Disp : Disps) {
+          Operand Mem = Operand::mem(Base, Disp, 4, Index, Scale);
+          roundTrip(OP_mov, {Operand::reg(REG_EDI), Mem});
+          roundTrip(OP_mov, {Mem, Operand::reg(REG_ESI)});
+          ++Combos;
+        }
+      }
+    }
+  }
+  EXPECT_GT(Combos, 2000u);
+}
+
+/// Every byte register works in both directions of the byte move and as a
+/// movzx/movsx source.
+TEST(IsaAddressing, AllByteRegisters) {
+  static const Register Bytes[] = {REG_AL, REG_CL, REG_DL, REG_BL,
+                                   REG_AH, REG_CH, REG_DH, REG_BH};
+  for (Register B : Bytes) {
+    roundTrip(OP_mov_b, {Operand::reg(B), Operand::imm(0x5A, 1)});
+    roundTrip(OP_mov_b, {Operand::mem(REG_ESI, 3, 1), Operand::reg(B)});
+    roundTrip(OP_movzx_b, {Operand::reg(REG_EDX), Operand::reg(B)});
+    roundTrip(OP_movsx_b, {Operand::reg(REG_EBP), Operand::reg(B)});
+  }
+}
+
+/// Every xmm register in every scalar-double instruction position.
+TEST(IsaAddressing, AllXmmRegisters) {
+  for (unsigned I = 0; I != 8; ++I) {
+    Register X = Register(REG_XMM0 + I);
+    Register Y = Register(REG_XMM0 + ((I + 3) & 7));
+    roundTrip(OP_movsd, {Operand::reg(X), Operand::reg(Y)});
+    roundTrip(OP_movsd, {Operand::reg(X), Operand::mem(REG_EAX, 8, 8)});
+    roundTrip(OP_addsd, {Operand::reg(X), Operand::reg(Y)});
+    roundTrip(OP_divsd, {Operand::reg(X), Operand::mem(REG_EDI, -16, 8)});
+    roundTrip(OP_cvttsd2si, {Operand::reg(REG_ECX), Operand::reg(X)});
+  }
+}
+
+/// decodeLength agrees with full decode on every encodable form swept
+/// above — the Level 0/1 boundary scanner can never disagree with the
+/// full decoder about instruction extents.
+TEST(IsaAddressing, BoundaryScanAgreesWithFullDecode) {
+  Rng Rand(777);
+  static const Register Gprs[] = {REG_EAX, REG_ECX, REG_EDX, REG_EBX,
+                                  REG_ESP, REG_EBP, REG_ESI, REG_EDI};
+  for (int Iter = 0; Iter != 500; ++Iter) {
+    Register Base = Gprs[Rand.nextBelow(8)];
+    Register Index = Gprs[Rand.nextBelow(8)];
+    if (Index == REG_ESP)
+      Index = REG_NULL;
+    Operand Mem = Operand::mem(Base, int32_t(Rand.nextInRange(-5000, 5000)),
+                               4, Index, Index == REG_NULL ? 1 : 4);
+    Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+    unsigned NumSrcs = 0, NumDsts = 0;
+    Operand Ex[2] = {Operand::reg(Gprs[Rand.nextBelow(8)]), Mem};
+    ASSERT_TRUE(
+        buildCanonicalOperands(OP_mov, Ex, 2, Srcs, NumSrcs, Dsts, NumDsts));
+    uint8_t Buf[MaxInstrLength];
+    int Len = encodeInstr(OP_mov, 0, Srcs, NumSrcs, Dsts, NumDsts, 0, Buf);
+    ASSERT_GT(Len, 0);
+    EXPECT_EQ(decodeLength(Buf, size_t(Len)), Len);
+  }
+}
+
+} // namespace
+
+namespace {
+
+/// Robustness: the decoder must never misbehave on arbitrary bytes — it
+/// either rejects them or reports a length within bounds, and the three
+/// decoding strategies always agree.
+class DecodeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DecodeFuzz, ArbitraryBytesNeverBreakTheDecoder) {
+  Rng Rand(GetParam());
+  uint8_t Buf[MaxInstrLength + 4];
+  for (int Iter = 0; Iter != 20000; ++Iter) {
+    size_t Len = 1 + Rand.nextBelow(sizeof(Buf));
+    for (size_t I = 0; I != Len; ++I)
+      Buf[I] = uint8_t(Rand.next());
+
+    int L0 = decodeLength(Buf, Len);
+    Opcode Op;
+    uint32_t Eflags;
+    int L2;
+    bool Ok2 = decodeOpcodeAndEflags(Buf, Len, Op, Eflags, L2);
+    DecodedInstr DI;
+    bool Ok3 = decodeInstr(Buf, Len, 0x1000, DI);
+
+    // Agreement across strategies.
+    EXPECT_EQ(L0 >= 0, Ok2);
+    if (Ok2) {
+      EXPECT_EQ(L0, L2);
+    }
+    if (Ok3) {
+      ASSERT_TRUE(Ok2);
+      EXPECT_EQ(DI.Length, L2);
+      EXPECT_EQ(DI.Op, Op);
+      EXPECT_LE(DI.Length, MaxInstrLength);
+      EXPECT_LE(size_t(DI.Length), Len);
+      // Whatever decoded must re-encode (possibly shorter, never invalid),
+      // unless it used a non-canonical-but-valid byte form.
+      uint8_t Out[MaxInstrLength];
+      EncodeOptions Opts;
+      Opts.AllowShortBranches = true;
+      int Re = encodeInstr(DI, 0x1000, Out, Opts);
+      EXPECT_GT(Re, 0) << "decoded instruction failed to re-encode";
+    }
+    // Full decode success implies level-2 success; level-2 may succeed
+    // where full decode rejects (e.g. lea with a register operand).
+    if (Ok3) {
+      EXPECT_TRUE(Ok2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeFuzz, ::testing::Values(101, 202));
+
+} // namespace

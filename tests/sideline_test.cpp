@@ -1,0 +1,146 @@
+//===- tests/sideline_test.cpp - Sideline optimization tests -------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/Clients.h"
+#include "core/Sideline.h"
+#include "workloads/Workloads.h"
+
+using namespace rio;
+using namespace rio::test;
+
+namespace {
+
+TEST(Sideline, OptimizesTracesOffTheCriticalPath) {
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  NativeRun Native = runNative(P);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  RlrClient Inner;
+  SidelineOptimizer Sideline(Inner);
+  Runtime RT(M, RuntimeConfig::full(), &Sideline);
+  RunResult R = runWithSideline(RT, Sideline);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Native.Output);
+  EXPECT_GE(Sideline.tracesOptimized(), 1u);
+  EXPECT_GE(Inner.loadsForwarded() + Inner.loadsRemoved(), 1u);
+  EXPECT_GE(RT.stats().get("fragments_replaced"),
+            Sideline.tracesOptimized());
+}
+
+TEST(Sideline, StillDeliversTheSpeedup) {
+  // On mgrid the deferred redundant-load removal must still beat the
+  // unoptimized runtime once the sideline has swapped the hot trace in.
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, 0);
+
+  auto Run = [&](bool WithSideline) {
+    Machine M;
+    loadProgram(M, P);
+    RlrClient Inner;
+    if (!WithSideline) {
+      Runtime RT(M, RuntimeConfig::full(), nullptr);
+      return RT.run().Cycles;
+    }
+    SidelineOptimizer Sideline(Inner);
+    Runtime RT(M, RuntimeConfig::full(), &Sideline);
+    return runWithSideline(RT, Sideline).Cycles;
+  };
+  uint64_t Base = Run(false);
+  uint64_t Sideline = Run(true);
+  EXPECT_LT(Sideline, Base);
+}
+
+/// A deliberately heavyweight optimizer: models an aggressive analysis
+/// (e.g. value-range or scheduling passes) costing many cycles per trace.
+/// Exactly the kind of client whose cost the paper's sideline proposal
+/// moves off the application's critical path.
+class ExpensiveOptimizer : public Client {
+public:
+  unsigned CyclesPerTrace = 25000;
+  void onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) override {
+    Inner.onTrace(RT, Tag, Trace);
+    RT.machine().chargeCycles(CyclesPerTrace); // the heavy analysis
+  }
+  RlrClient Inner;
+};
+
+TEST(Sideline, PaysOffForExpensiveOptimizations) {
+  // The sideline's raison d'etre (paper Section 3.4): expensive
+  // optimization time comes off the application's critical path — the
+  // synchronous client eats the full analysis cost, the sideline only the
+  // replacement's relink cost.
+  for (const char *Name : {"gcc", "perlbmk", "mgrid"}) {
+    const Workload *W = findWorkload(Name);
+    Program P = buildWorkload(*W, 0);
+
+    uint64_t Sync;
+    {
+      Machine M;
+      loadProgram(M, P);
+      ExpensiveOptimizer Opt;
+      Runtime RT(M, RuntimeConfig::full(), &Opt);
+      Sync = RT.run().Cycles;
+    }
+    uint64_t Side;
+    {
+      Machine M;
+      loadProgram(M, P);
+      ExpensiveOptimizer Opt;
+      SidelineOptimizer Sideline(Opt);
+      Runtime RT(M, RuntimeConfig::full(), &Sideline);
+      Side = runWithSideline(RT, Sideline).Cycles;
+    }
+    EXPECT_LT(Side, Sync) << Name;
+  }
+}
+
+TEST(Sideline, CheapClientsCostAboutTheSame) {
+  // For lightweight transformations the sideline's replacement sync cost
+  // roughly cancels its deferral benefit: it must at least stay within a
+  // few percent (its value is for heavyweight optimizers, above).
+  const Workload *W = findWorkload("perlbmk");
+  Program P = buildWorkload(*W, 0);
+  uint64_t Sync;
+  {
+    Machine M;
+    loadProgram(M, P);
+    StrengthReduceClient C;
+    Runtime RT(M, RuntimeConfig::full(), &C);
+    Sync = RT.run().Cycles;
+  }
+  uint64_t Side;
+  {
+    Machine M;
+    loadProgram(M, P);
+    StrengthReduceClient C;
+    SidelineOptimizer Sideline(C);
+    Runtime RT(M, RuntimeConfig::full(), &Sideline);
+    Side = runWithSideline(RT, Sideline).Cycles;
+  }
+  EXPECT_LT(double(Side), double(Sync) * 1.05);
+}
+
+TEST(Sideline, QueueDrainsAndSurvivesFlushes) {
+  Program P = buildWorkload(*findWorkload("crafty"), 30);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  StrengthReduceClient Inner;
+  SidelineOptimizer Sideline(Inner);
+  Runtime RT(M, RuntimeConfig::full(), &Sideline);
+  RunResult R = runWithSideline(RT, Sideline, /*Quantum=*/500);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  // Whatever remains queued at exit is simply unprocessed; nothing stale
+  // blew up, and flush/replace notifications kept the queue consistent.
+  RT.flushCaches();
+  EXPECT_FALSE(Sideline.processOne(RT)); // all queued tags now vanished
+}
+
+} // namespace

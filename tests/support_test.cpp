@@ -1,0 +1,135 @@
+//===- tests/support_test.cpp - Support library tests --------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/OutStream.h"
+#include "support/Rng.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace rio;
+
+namespace {
+
+TEST(Arena, CountsBytesAndAlignments) {
+  Arena A(256);
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  void *P1 = A.allocate(10, 1);
+  EXPECT_EQ(A.bytesUsed(), 10u);
+  // 8-byte alignment after an odd size adds padding to the count.
+  void *P2 = A.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_GE(A.bytesUsed(), 18u);
+  EXPECT_EQ(A.numAllocations(), 2u);
+  ASSERT_NE(P1, P2);
+
+  // Writable, distinct storage.
+  std::memset(P1, 0xAA, 10);
+  std::memset(P2, 0xBB, 8);
+  EXPECT_EQ(static_cast<uint8_t *>(P1)[9], 0xAA);
+}
+
+TEST(Arena, GrowsAcrossSlabs) {
+  Arena A(64); // tiny slabs force growth
+  std::set<void *> Seen;
+  for (int I = 0; I != 100; ++I) {
+    void *P = A.allocate(48, 8);
+    EXPECT_TRUE(Seen.insert(P).second) << "allocation reuse!";
+    std::memset(P, I, 48);
+  }
+  EXPECT_GE(A.bytesUsed(), 4800u);
+}
+
+TEST(Arena, OversizedAllocationsWork) {
+  Arena A(64);
+  void *Big = A.allocate(10000, 16);
+  ASSERT_NE(Big, nullptr);
+  std::memset(Big, 0xCC, 10000);
+}
+
+TEST(Arena, ResetReclaims) {
+  Arena A(1024);
+  A.allocate(100);
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  EXPECT_EQ(A.numAllocations(), 0u);
+  A.allocate(50);
+  EXPECT_EQ(A.bytesUsed(), 50u);
+}
+
+TEST(Arena, CopyBytes) {
+  Arena A;
+  const uint8_t Data[] = {1, 2, 3, 4, 5};
+  uint8_t *Copy = A.copyBytes(Data, sizeof(Data));
+  EXPECT_EQ(std::memcmp(Copy, Data, sizeof(Data)), 0);
+  EXPECT_NE(Copy, Data);
+}
+
+TEST(OutStreamTest, PrintfAndOperators) {
+  StringOutStream OS;
+  OS.printf("x=%d s=%s", 42, "hi");
+  OS << " tail " << int64_t(-7) << " " << 2.5;
+  EXPECT_EQ(OS.str(), "x=42 s=hi tail -7 2.5");
+  OS.clear();
+  EXPECT_TRUE(OS.str().empty());
+}
+
+TEST(OutStreamTest, LongFormattedOutput) {
+  StringOutStream OS;
+  std::string Long(1000, 'z');
+  OS.printf("[%s]", Long.c_str());
+  EXPECT_EQ(OS.str().size(), 1002u);
+}
+
+TEST(Statistics, CountersAndPrinting) {
+  StatisticSet S;
+  EXPECT_EQ(S.get("missing"), 0u);
+  ++S.counter("a");
+  S.counter("b") += 10;
+  EXPECT_EQ(S.get("a"), 1u);
+  EXPECT_EQ(S.get("b"), 10u);
+  StringOutStream OS;
+  S.print(OS);
+  EXPECT_NE(OS.str().find("a"), std::string::npos);
+  EXPECT_NE(OS.str().find("10"), std::string::npos);
+  S.clear();
+  EXPECT_EQ(S.get("b"), 0u);
+}
+
+TEST(RngTest, DeterministicAndBounded) {
+  Rng A(123), B(123), C(124);
+  bool Diverged = false;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t V = A.next();
+    EXPECT_EQ(V, B.next()) << "same seed must give same sequence";
+    Diverged = Diverged || (V != C.next());
+  }
+  EXPECT_TRUE(Diverged) << "different seeds should diverge";
+
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    EXPECT_LT(R.nextBelow(17), 17u);
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  Rng R(99);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += R.chance(1, 4);
+  EXPECT_GT(Hits, 2200);
+  EXPECT_LT(Hits, 2800);
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+//===- tests/threads_test.cpp - Multi-threaded application tests ---------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-threaded applications under the runtime: thread-private code
+/// caches (paper Section 2), per-thread client hooks (Table 3), and the
+/// transparency invariant extended across threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "clients/Clients.h"
+#include "core/ThreadedRunner.h"
+
+using namespace rio;
+using namespace rio::test;
+
+namespace {
+
+/// A race-free multi-threaded program: main spawns N workers, each sums a
+/// disjoint slice of an array into its own result slot and raises a done
+/// flag; main spins until all flags are up, then prints the combined sum.
+/// Deterministic result under ANY fair schedule.
+Program workerProgram(int Workers, int Elems) {
+  std::string S = R"(
+    data:    .space 4096
+    results: .space 32
+    flags:   .space 32
+    stacks:  .space 8192
+  )";
+  S += "main:\n";
+  // Fill data with i & 255.
+  S += R"(
+      mov ecx, 0
+    init:
+      mov eax, ecx
+      and eax, 255
+      mov edx, ecx
+      shl edx, 2
+      mov [data+edx], eax
+      inc ecx
+      cmp ecx, 1024
+      jnz init
+  )";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov ebx, worker" + std::to_string(W) + "\n";
+    S += "  mov ecx, stacks+" + std::to_string((W + 1) * 1024) + "\n";
+    S += "  mov eax, 5\n  int 0x80\n"; // thread_create
+  }
+  // Spin-join on the flags.
+  S += "join:\n";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov eax, [flags+" + std::to_string(W * 4) + "]\n";
+    S += "  test eax, eax\n  jz join\n";
+  }
+  // Combine and print.
+  S += "  mov esi, 0\n";
+  for (int W = 0; W != Workers; ++W)
+    S += "  add esi, [results+" + std::to_string(W * 4) + "]\n";
+  S += "  mov ebx, esi\n  mov eax, 2\n  int 0x80\n";
+  S += "  mov ebx, 0\n  mov eax, 1\n  int 0x80\n";
+
+  for (int W = 0; W != Workers; ++W) {
+    std::string Id = std::to_string(W);
+    int Lo = W * Elems;
+    S += "worker" + Id + ":\n";
+    S += "  mov esi, 0\n";
+    S += "  mov ecx, " + std::to_string(Lo) + "\n";
+    S += "wloop" + Id + ":\n";
+    S += "  mov edx, ecx\n  shl edx, 2\n";
+    S += "  add esi, [data+edx]\n";
+    S += "  inc ecx\n";
+    S += "  cmp ecx, " + std::to_string(Lo + Elems) + "\n";
+    S += "  jnz wloop" + Id + "\n";
+    S += "  mov [results+" + std::to_string(W * 4) + "], esi\n";
+    S += "  mov eax, 1\n";
+    S += "  mov [flags+" + std::to_string(W * 4) + "], eax\n";
+    S += "  mov eax, 6\n  int 0x80\n"; // thread_exit
+  }
+  return assembleOrDie(S);
+}
+
+/// Expected sum for workerProgram(Workers, Elems).
+int expectedSum(int Workers, int Elems) {
+  int Sum = 0;
+  for (int I = 0; I != Workers * Elems; ++I)
+    Sum += I & 255;
+  return Sum;
+}
+
+TEST(Threads, NativeThreadedExecutionWorks) {
+  Program P = workerProgram(3, 200);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  RunResult R = runThreadedNative(M);
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), std::to_string(expectedSum(3, 200)) + "\n");
+  EXPECT_EQ(M.numThreads(), 4u);
+}
+
+TEST(Threads, RuntimeMatchesNativeOutput) {
+  Program P = workerProgram(3, 200);
+  Machine Native;
+  ASSERT_TRUE(loadProgram(Native, P));
+  RunResult NR = runThreadedNative(Native);
+  ASSERT_EQ(NR.Status, RunStatus::Exited);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  ThreadedRunner Runner(M, RuntimeConfig::full());
+  RunResult R = Runner.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(R.ExitCode, NR.ExitCode);
+  EXPECT_EQ(M.output(), Native.output());
+}
+
+TEST(Threads, EveryConfigurationIsTransparent) {
+  Program P = workerProgram(2, 150);
+  std::string Expected = std::to_string(expectedSum(2, 150)) + "\n";
+  const RuntimeConfig Configs[] = {
+      RuntimeConfig::bbCacheOnly(), RuntimeConfig::linkDirect(),
+      RuntimeConfig::linkIndirect(), RuntimeConfig::full()};
+  for (const RuntimeConfig &Config : Configs) {
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, P));
+    ThreadedRunner Runner(M, Config);
+    RunResult R = Runner.run();
+    ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+    EXPECT_EQ(M.output(), Expected);
+  }
+}
+
+TEST(Threads, CachesAreThreadPrivate) {
+  // All three workers execute the *same* shared summing pattern... but
+  // each worker body is distinct code here, so instead verify the sharper
+  // claim: fragments live in disjoint per-thread cache regions and each
+  // thread built its own.
+  Program P = workerProgram(3, 200);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  ThreadedRunner Runner(M, RuntimeConfig::full());
+  ASSERT_EQ(Runner.run().Status, RunStatus::Exited);
+  ASSERT_EQ(Runner.threadsSeen(), 4u);
+
+  uint32_t Slice = M.config().RuntimeRegionSize / ThreadedRunner::MaxThreads;
+  for (unsigned Tid = 0; Tid != 4; ++Tid) {
+    Runtime *RT = Runner.runtimeFor(Tid);
+    ASSERT_NE(RT, nullptr);
+    EXPECT_GE(RT->stats().get("basic_blocks_built"), 1u) << "thread " << Tid;
+    uint32_t Lo = M.runtimeBase() + Tid * Slice;
+    RT->forEachFragment([&](const Fragment &Frag) {
+      EXPECT_GE(Frag.CacheAddr, Lo);
+      EXPECT_LT(Frag.CacheAddr, Lo + Slice);
+    });
+  }
+}
+
+TEST(Threads, ClientThreadHooksFire) {
+  class HookCounter : public Client {
+  public:
+    int Inits = 0, Exits = 0, ThreadInits = 0, ThreadExits = 0;
+    void onInit(Runtime &) override { ++Inits; }
+    void onExit(Runtime &) override { ++Exits; }
+    void onThreadInit(Runtime &) override { ++ThreadInits; }
+    void onThreadExit(Runtime &) override { ++ThreadExits; }
+  };
+  Program P = workerProgram(3, 100);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  HookCounter C;
+  ThreadedRunner Runner(M, RuntimeConfig::full(), &C);
+  ASSERT_EQ(Runner.run().Status, RunStatus::Exited);
+  EXPECT_EQ(C.Inits, 1);
+  EXPECT_EQ(C.Exits, 1);
+  EXPECT_EQ(C.ThreadInits, 4);
+  EXPECT_EQ(C.ThreadExits, 4);
+}
+
+TEST(Threads, OptimizationClientsWorkAcrossThreads) {
+  Program P = workerProgram(3, 300);
+  std::string Expected = std::to_string(expectedSum(3, 300)) + "\n";
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  CustomTracesClient C1;
+  RlrClient C2;
+  StrengthReduceClient C3;
+  IBDispatchClient C4;
+  MultiClient All({&C1, &C2, &C3, &C4});
+  ThreadedRunner Runner(M, RuntimeConfig::full(), &All);
+  RunResult R = Runner.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Expected);
+}
+
+TEST(Threads, DeterministicScheduling) {
+  Program P = workerProgram(2, 128);
+  auto Once = [&] {
+    Machine M;
+    loadProgram(M, P);
+    ThreadedRunner Runner(M, RuntimeConfig::full());
+    RunResult R = Runner.run();
+    return std::pair(R.Cycles, M.output());
+  };
+  auto A = Once();
+  auto B = Once();
+  EXPECT_EQ(A.first, B.first);
+  EXPECT_EQ(A.second, B.second);
+}
+
+TEST(Threads, GettidSyscall) {
+  NativeRun R = runSource(R"(
+    main:
+      mov eax, 7
+      int 0x80          ; gettid -> eax
+      mov ebx, eax      ; main thread is tid 0
+      mov eax, 1
+      int 0x80
+  )");
+  EXPECT_EQ(R.ExitCode, 0);
+}
+
+} // namespace

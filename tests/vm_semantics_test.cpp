@@ -1,0 +1,347 @@
+//===- tests/vm_semantics_test.cpp - ALU/flag semantics vs reference model ----===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based checks of the interpreter's arithmetic and eflags
+/// semantics against an independent C++ reference model, over randomized
+/// operand values. The strength-reduction client's legality argument rests
+/// entirely on these flag semantics (inc/dec vs add/sub CF behaviour), so
+/// they get the heaviest scrutiny.
+///
+//===----------------------------------------------------------------------===//
+
+#include "isa/Encode.h"
+#include "isa/OperandLayout.h"
+#include "support/Rng.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace rio;
+
+namespace {
+
+struct Flags {
+  bool CF, PF, AF, ZF, SF, OF;
+};
+
+Flags flagsOf(const CpuState &Cpu) {
+  return {Cpu.flag(EFLAGS_CF), Cpu.flag(EFLAGS_PF), Cpu.flag(EFLAGS_AF),
+          Cpu.flag(EFLAGS_ZF), Cpu.flag(EFLAGS_SF), Cpu.flag(EFLAGS_OF)};
+}
+
+bool refParity(uint32_t V) {
+  unsigned Bits = 0;
+  for (int I = 0; I != 8; ++I)
+    Bits += (V >> I) & 1;
+  return Bits % 2 == 0;
+}
+
+/// Reference two-operand ALU model (independent of the interpreter code).
+struct Ref {
+  uint32_t Result;
+  Flags F;
+};
+
+Ref refAdd(uint32_t A, uint32_t B, bool Cin) {
+  uint64_t Wide = uint64_t(A) + uint64_t(B) + (Cin ? 1 : 0);
+  uint32_t R = uint32_t(Wide);
+  int64_t Signed = int64_t(int32_t(A)) + int64_t(int32_t(B)) + (Cin ? 1 : 0);
+  Ref Out;
+  Out.Result = R;
+  Out.F = {Wide > 0xFFFFFFFFull,
+           refParity(R),
+           (((A & 0xF) + (B & 0xF) + (Cin ? 1 : 0)) & 0x10) != 0,
+           R == 0,
+           int32_t(R) < 0,
+           Signed != int64_t(int32_t(R))};
+  return Out;
+}
+
+Ref refSub(uint32_t A, uint32_t B, bool Bin) {
+  uint32_t R = A - B - (Bin ? 1 : 0);
+  int64_t Signed = int64_t(int32_t(A)) - int64_t(int32_t(B)) - (Bin ? 1 : 0);
+  Ref Out;
+  Out.Result = R;
+  Out.F = {uint64_t(A) < uint64_t(B) + (Bin ? 1 : 0),
+           refParity(R),
+           (((A & 0xF) - (B & 0xF) - (Bin ? 1 : 0)) & 0x10) != 0,
+           R == 0,
+           int32_t(R) < 0,
+           Signed != int64_t(int32_t(R))};
+  return Out;
+}
+
+Ref refLogic(uint32_t R) {
+  return {R, {false, refParity(R), false, R == 0, int32_t(R) < 0, false}};
+}
+
+/// Executes a single encoded instruction on a fresh machine with eax = A,
+/// ebx = B and the carry flag preset; returns final state.
+struct ExecOut {
+  uint32_t Eax;
+  Flags F;
+  bool Ok;
+};
+
+MachineConfig tinyConfig() {
+  MachineConfig MC;
+  MC.AppRegionSize = 64 * 1024; // single-instruction tests need no space
+  MC.RuntimeRegionSize = 64 * 1024;
+  return MC;
+}
+
+ExecOut execOne(Opcode Op, uint32_t A, uint32_t B, bool CarryIn) {
+  Machine M(tinyConfig());
+  CpuState &Cpu = M.cpu();
+  Cpu.writeGpr32(REG_EAX, A);
+  Cpu.writeGpr32(REG_EBX, B);
+  Cpu.setFlag(EFLAGS_CF, CarryIn);
+
+  Operand Ex[2] = {Operand::reg(REG_EAX), Operand::reg(REG_EBX)};
+  unsigned NumEx = 2;
+  if (Op == OP_inc || Op == OP_dec || Op == OP_neg || Op == OP_not)
+    NumEx = 1;
+  Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+  unsigned NumSrcs = 0, NumDsts = 0;
+  EXPECT_TRUE(
+      buildCanonicalOperands(Op, Ex, NumEx, Srcs, NumSrcs, Dsts, NumDsts));
+  uint8_t Buf[MaxInstrLength];
+  int Len = encodeInstr(Op, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000, Buf);
+  EXPECT_GT(Len, 0);
+  M.mem().writeBlock(0x1000, Buf, unsigned(Len));
+  Cpu.Pc = 0x1000;
+  StepResult Step = M.step();
+
+  ExecOut Out;
+  Out.Ok = Step.Kind == StepKind::Ok;
+  Out.Eax = Cpu.readGpr32(REG_EAX);
+  Out.F = flagsOf(Cpu);
+  return Out;
+}
+
+void expectFlags(const Flags &Got, const Flags &Want, const char *What,
+                 uint32_t A, uint32_t B) {
+  EXPECT_EQ(Got.CF, Want.CF) << What << " CF for " << A << "," << B;
+  EXPECT_EQ(Got.PF, Want.PF) << What << " PF for " << A << "," << B;
+  EXPECT_EQ(Got.AF, Want.AF) << What << " AF for " << A << "," << B;
+  EXPECT_EQ(Got.ZF, Want.ZF) << What << " ZF for " << A << "," << B;
+  EXPECT_EQ(Got.SF, Want.SF) << What << " SF for " << A << "," << B;
+  EXPECT_EQ(Got.OF, Want.OF) << What << " OF for " << A << "," << B;
+}
+
+class AluSemantics : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AluSemantics, MatchesReferenceModel) {
+  Rng Rand(GetParam());
+  // Boundary values mixed with random ones.
+  const uint32_t Interesting[] = {0,          1,          0x7FFFFFFF,
+                                  0x80000000, 0xFFFFFFFF, 0xFFFF,
+                                  0x10000,    0x7F,       0x80};
+  for (int Iter = 0; Iter != 300; ++Iter) {
+    uint32_t A = Rand.chance(1, 3)
+                     ? Interesting[Rand.nextBelow(std::size(Interesting))]
+                     : uint32_t(Rand.next());
+    uint32_t B = Rand.chance(1, 3)
+                     ? Interesting[Rand.nextBelow(std::size(Interesting))]
+                     : uint32_t(Rand.next());
+    bool Cin = Rand.chance(1, 2);
+
+    {
+      ExecOut Got = execOne(OP_add, A, B, Cin);
+      Ref Want = refAdd(A, B, false);
+      ASSERT_TRUE(Got.Ok);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "add", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_adc, A, B, Cin);
+      Ref Want = refAdd(A, B, Cin);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "adc", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_sub, A, B, Cin);
+      Ref Want = refSub(A, B, false);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "sub", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_sbb, A, B, Cin);
+      Ref Want = refSub(A, B, Cin);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "sbb", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_cmp, A, B, Cin);
+      Ref Want = refSub(A, B, false);
+      EXPECT_EQ(Got.Eax, A) << "cmp must not write its operand";
+      expectFlags(Got.F, Want.F, "cmp", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_and, A, B, Cin);
+      Ref Want = refLogic(A & B);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "and", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_xor, A, B, Cin);
+      Ref Want = refLogic(A ^ B);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "xor", A, B);
+    }
+    {
+      // inc: like add 1 for every flag EXCEPT CF, which must be preserved.
+      ExecOut Got = execOne(OP_inc, A, B, Cin);
+      Ref Want = refAdd(A, 1, false);
+      Want.F.CF = Cin; // untouched
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "inc", A, B);
+    }
+    {
+      ExecOut Got = execOne(OP_dec, A, B, Cin);
+      Ref Want = refSub(A, 1, false);
+      Want.F.CF = Cin; // untouched
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "dec", A, B);
+    }
+    {
+      // neg: sub from zero; CF set iff operand nonzero.
+      ExecOut Got = execOne(OP_neg, A, B, Cin);
+      Ref Want = refSub(0, A, false);
+      EXPECT_EQ(Got.Eax, Want.Result);
+      expectFlags(Got.F, Want.F, "neg", A, B);
+    }
+    {
+      // not: no flags at all.
+      ExecOut Got = execOne(OP_not, A, B, Cin);
+      EXPECT_EQ(Got.Eax, ~A);
+      EXPECT_EQ(Got.F.CF, Cin) << "not must not touch flags";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluSemantics,
+                         ::testing::Values(11, 22, 33, 44));
+
+/// The inc-vs-add CF distinction observed end to end: this is the paper's
+/// Section 4.2 legality condition as a hardware-visible property.
+TEST(IncAddDistinction, CarryVisibleDifference) {
+  for (bool Cin : {false, true}) {
+    ExecOut Inc = execOne(OP_inc, 41, 0, Cin);
+    ExecOut Add = execOne(OP_add, 41, 0, Cin); // eax += ebx(=0)... not 1!
+    (void)Add;
+    EXPECT_EQ(Inc.Eax, 42u);
+    EXPECT_EQ(Inc.F.CF, Cin) << "inc preserves CF";
+  }
+  // add 0xFFFFFFFF + 1 sets CF; inc of 0xFFFFFFFF must not.
+  ExecOut IncWrap = execOne(OP_inc, 0xFFFFFFFF, 0, false);
+  EXPECT_EQ(IncWrap.Eax, 0u);
+  EXPECT_FALSE(IncWrap.F.CF);
+  EXPECT_TRUE(IncWrap.F.ZF);
+  ExecOut AddWrap = execOne(OP_add, 0xFFFFFFFF, 1, false);
+  EXPECT_EQ(AddWrap.Eax, 0u);
+  EXPECT_TRUE(AddWrap.F.CF) << "add through zero carries";
+}
+
+class ShiftSemantics : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShiftSemantics, MatchesReference) {
+  Rng Rand(GetParam());
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    uint32_t A = uint32_t(Rand.next());
+    unsigned Count = unsigned(Rand.nextBelow(32));
+    if (Count == 0)
+      Count = 1;
+
+    auto Shift = [&](Opcode Op) {
+      Machine M(tinyConfig());
+      M.cpu().writeGpr32(REG_EAX, A);
+      Operand Ex[2] = {Operand::reg(REG_EAX),
+                       Operand::imm(int64_t(Count), 1)};
+      Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+      unsigned NumSrcs = 0, NumDsts = 0;
+      buildCanonicalOperands(Op, Ex, 2, Srcs, NumSrcs, Dsts, NumDsts);
+      uint8_t Buf[MaxInstrLength];
+      int Len = encodeInstr(Op, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000, Buf);
+      M.mem().writeBlock(0x1000, Buf, unsigned(Len));
+      M.cpu().Pc = 0x1000;
+      M.step();
+      return std::pair(M.cpu().readGpr32(REG_EAX), flagsOf(M.cpu()));
+    };
+
+    auto [ShlR, ShlF] = Shift(OP_shl);
+    EXPECT_EQ(ShlR, A << Count);
+    EXPECT_EQ(ShlF.CF, ((A >> (32 - Count)) & 1) != 0);
+    EXPECT_EQ(ShlF.ZF, (A << Count) == 0);
+
+    auto [ShrR, ShrF] = Shift(OP_shr);
+    EXPECT_EQ(ShrR, A >> Count);
+    EXPECT_EQ(ShrF.CF, ((A >> (Count - 1)) & 1) != 0);
+
+    auto [SarR, SarF] = Shift(OP_sar);
+    EXPECT_EQ(SarR, uint32_t(int32_t(A) >> Count));
+    EXPECT_EQ(SarF.CF, ((int32_t(A) >> (Count - 1)) & 1) != 0);
+    EXPECT_FALSE(SarF.OF);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShiftSemantics, ::testing::Values(7, 8));
+
+TEST(MulDivSemantics, WideResults) {
+  Rng Rand(5150);
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    uint32_t A = uint32_t(Rand.next());
+    uint32_t B = uint32_t(Rand.next()) | 1; // nonzero divisor
+
+    // mul: edx:eax = eax * ebx.
+    {
+      Machine M(tinyConfig());
+      M.cpu().writeGpr32(REG_EAX, A);
+      M.cpu().writeGpr32(REG_EBX, B);
+      Operand Ex[1] = {Operand::reg(REG_EBX)};
+      Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+      unsigned NumSrcs = 0, NumDsts = 0;
+      buildCanonicalOperands(OP_mul, Ex, 1, Srcs, NumSrcs, Dsts, NumDsts);
+      uint8_t Buf[MaxInstrLength];
+      int Len = encodeInstr(OP_mul, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000,
+                            Buf);
+      M.mem().writeBlock(0x1000, Buf, unsigned(Len));
+      M.cpu().Pc = 0x1000;
+      M.step();
+      uint64_t Wide = uint64_t(A) * uint64_t(B);
+      EXPECT_EQ(M.cpu().readGpr32(REG_EAX), uint32_t(Wide));
+      EXPECT_EQ(M.cpu().readGpr32(REG_EDX), uint32_t(Wide >> 32));
+      EXPECT_EQ(M.cpu().flag(EFLAGS_CF), (Wide >> 32) != 0);
+    }
+
+    // idiv: edx:eax / ebx with cdq-style sign extension.
+    {
+      Machine M(tinyConfig());
+      int32_t Dividend = int32_t(A);
+      int32_t Divisor = int32_t(B);
+      M.cpu().writeGpr32(REG_EAX, uint32_t(Dividend));
+      M.cpu().writeGpr32(REG_EDX, Dividend < 0 ? 0xFFFFFFFFu : 0u);
+      M.cpu().writeGpr32(REG_EBX, uint32_t(Divisor));
+      Operand Ex[1] = {Operand::reg(REG_EBX)};
+      Operand Srcs[MaxSrcs], Dsts[MaxDsts];
+      unsigned NumSrcs = 0, NumDsts = 0;
+      buildCanonicalOperands(OP_idiv, Ex, 1, Srcs, NumSrcs, Dsts, NumDsts);
+      uint8_t Buf[MaxInstrLength];
+      int Len = encodeInstr(OP_idiv, 0, Srcs, NumSrcs, Dsts, NumDsts, 0x1000,
+                            Buf);
+      M.mem().writeBlock(0x1000, Buf, unsigned(Len));
+      M.cpu().Pc = 0x1000;
+      M.step();
+      ASSERT_EQ(M.status(), RunStatus::Running);
+      EXPECT_EQ(int32_t(M.cpu().readGpr32(REG_EAX)), Dividend / Divisor);
+      EXPECT_EQ(int32_t(M.cpu().readGpr32(REG_EDX)), Dividend % Divisor);
+    }
+  }
+}
+
+} // namespace
