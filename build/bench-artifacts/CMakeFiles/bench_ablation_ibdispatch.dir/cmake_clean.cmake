@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ibdispatch"
+  "../bench/bench_ablation_ibdispatch.pdb"
+  "CMakeFiles/bench_ablation_ibdispatch.dir/bench_ablation_ibdispatch.cpp.o"
+  "CMakeFiles/bench_ablation_ibdispatch.dir/bench_ablation_ibdispatch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ibdispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

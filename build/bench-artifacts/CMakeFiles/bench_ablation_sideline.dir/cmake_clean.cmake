@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_sideline"
+  "../bench/bench_ablation_sideline.pdb"
+  "CMakeFiles/bench_ablation_sideline.dir/bench_ablation_sideline.cpp.o"
+  "CMakeFiles/bench_ablation_sideline.dir/bench_ablation_sideline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sideline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

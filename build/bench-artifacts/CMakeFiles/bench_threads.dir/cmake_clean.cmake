@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_threads"
+  "../bench/bench_threads.pdb"
+  "CMakeFiles/bench_threads.dir/bench_threads.cpp.o"
+  "CMakeFiles/bench_threads.dir/bench_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

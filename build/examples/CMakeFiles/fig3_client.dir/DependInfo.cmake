@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/fig3_client.cpp" "examples/CMakeFiles/fig3_client.dir/fig3_client.cpp.o" "gcc" "examples/CMakeFiles/fig3_client.dir/fig3_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/rio_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/clients/CMakeFiles/rio_clients.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/rio_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rio_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rio_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rio_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rio_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

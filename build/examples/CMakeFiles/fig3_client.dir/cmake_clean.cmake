@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_client.dir/fig3_client.cpp.o"
+  "CMakeFiles/fig3_client.dir/fig3_client.cpp.o.d"
+  "fig3_client"
+  "fig3_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

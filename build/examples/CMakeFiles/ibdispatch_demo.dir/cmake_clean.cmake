@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ibdispatch_demo.dir/ibdispatch_demo.cpp.o"
+  "CMakeFiles/ibdispatch_demo.dir/ibdispatch_demo.cpp.o.d"
+  "ibdispatch_demo"
+  "ibdispatch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ibdispatch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inscount_tool.dir/inscount_tool.cpp.o"
+  "CMakeFiles/inscount_tool.dir/inscount_tool.cpp.o.d"
+  "inscount_tool"
+  "inscount_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inscount_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

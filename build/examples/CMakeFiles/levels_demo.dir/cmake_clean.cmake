@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/levels_demo.dir/levels_demo.cpp.o"
+  "CMakeFiles/levels_demo.dir/levels_demo.cpp.o.d"
+  "levels_demo"
+  "levels_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/levels_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_pipeline.dir/opt_pipeline.cpp.o"
+  "CMakeFiles/opt_pipeline.dir/opt_pipeline.cpp.o.d"
+  "opt_pipeline"
+  "opt_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

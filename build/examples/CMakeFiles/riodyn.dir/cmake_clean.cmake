@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riodyn.dir/riodyn.cpp.o"
+  "CMakeFiles/riodyn.dir/riodyn.cpp.o.d"
+  "riodyn"
+  "riodyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riodyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for riodyn.
+# This may be replaced when dependencies are built.

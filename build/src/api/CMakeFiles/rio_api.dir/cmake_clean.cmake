@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_api.dir/dr_api.cpp.o"
+  "CMakeFiles/rio_api.dir/dr_api.cpp.o.d"
+  "librio_api.a"
+  "librio_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

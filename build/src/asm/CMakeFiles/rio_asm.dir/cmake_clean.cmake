@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_asm.dir/Assembler.cpp.o"
+  "CMakeFiles/rio_asm.dir/Assembler.cpp.o.d"
+  "CMakeFiles/rio_asm.dir/Disasm.cpp.o"
+  "CMakeFiles/rio_asm.dir/Disasm.cpp.o.d"
+  "librio_asm.a"
+  "librio_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

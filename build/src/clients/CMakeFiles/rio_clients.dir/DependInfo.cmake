@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clients/CustomTraces.cpp" "src/clients/CMakeFiles/rio_clients.dir/CustomTraces.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/CustomTraces.cpp.o.d"
+  "/root/repo/src/clients/IBDispatch.cpp" "src/clients/CMakeFiles/rio_clients.dir/IBDispatch.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/IBDispatch.cpp.o.d"
+  "/root/repo/src/clients/Inscount.cpp" "src/clients/CMakeFiles/rio_clients.dir/Inscount.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/Inscount.cpp.o.d"
+  "/root/repo/src/clients/MultiClient.cpp" "src/clients/CMakeFiles/rio_clients.dir/MultiClient.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/MultiClient.cpp.o.d"
+  "/root/repo/src/clients/RedundantLoadRemoval.cpp" "src/clients/CMakeFiles/rio_clients.dir/RedundantLoadRemoval.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/RedundantLoadRemoval.cpp.o.d"
+  "/root/repo/src/clients/Shepherding.cpp" "src/clients/CMakeFiles/rio_clients.dir/Shepherding.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/Shepherding.cpp.o.d"
+  "/root/repo/src/clients/StrengthReduce.cpp" "src/clients/CMakeFiles/rio_clients.dir/StrengthReduce.cpp.o" "gcc" "src/clients/CMakeFiles/rio_clients.dir/StrengthReduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/rio_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rio_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rio_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rio_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_clients.dir/CustomTraces.cpp.o"
+  "CMakeFiles/rio_clients.dir/CustomTraces.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/IBDispatch.cpp.o"
+  "CMakeFiles/rio_clients.dir/IBDispatch.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/Inscount.cpp.o"
+  "CMakeFiles/rio_clients.dir/Inscount.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/MultiClient.cpp.o"
+  "CMakeFiles/rio_clients.dir/MultiClient.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/RedundantLoadRemoval.cpp.o"
+  "CMakeFiles/rio_clients.dir/RedundantLoadRemoval.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/Shepherding.cpp.o"
+  "CMakeFiles/rio_clients.dir/Shepherding.cpp.o.d"
+  "CMakeFiles/rio_clients.dir/StrengthReduce.cpp.o"
+  "CMakeFiles/rio_clients.dir/StrengthReduce.cpp.o.d"
+  "librio_clients.a"
+  "librio_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

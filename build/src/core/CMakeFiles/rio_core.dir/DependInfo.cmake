@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analysis.cpp" "src/core/CMakeFiles/rio_core.dir/Analysis.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/Analysis.cpp.o.d"
+  "/root/repo/src/core/Emitter.cpp" "src/core/CMakeFiles/rio_core.dir/Emitter.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/Emitter.cpp.o.d"
+  "/root/repo/src/core/Runtime.cpp" "src/core/CMakeFiles/rio_core.dir/Runtime.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/Runtime.cpp.o.d"
+  "/root/repo/src/core/Sideline.cpp" "src/core/CMakeFiles/rio_core.dir/Sideline.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/Sideline.cpp.o.d"
+  "/root/repo/src/core/ThreadedRunner.cpp" "src/core/CMakeFiles/rio_core.dir/ThreadedRunner.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/ThreadedRunner.cpp.o.d"
+  "/root/repo/src/core/TraceBuilder.cpp" "src/core/CMakeFiles/rio_core.dir/TraceBuilder.cpp.o" "gcc" "src/core/CMakeFiles/rio_core.dir/TraceBuilder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/rio_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rio_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rio_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_core.dir/Analysis.cpp.o"
+  "CMakeFiles/rio_core.dir/Analysis.cpp.o.d"
+  "CMakeFiles/rio_core.dir/Emitter.cpp.o"
+  "CMakeFiles/rio_core.dir/Emitter.cpp.o.d"
+  "CMakeFiles/rio_core.dir/Runtime.cpp.o"
+  "CMakeFiles/rio_core.dir/Runtime.cpp.o.d"
+  "CMakeFiles/rio_core.dir/Sideline.cpp.o"
+  "CMakeFiles/rio_core.dir/Sideline.cpp.o.d"
+  "CMakeFiles/rio_core.dir/ThreadedRunner.cpp.o"
+  "CMakeFiles/rio_core.dir/ThreadedRunner.cpp.o.d"
+  "CMakeFiles/rio_core.dir/TraceBuilder.cpp.o"
+  "CMakeFiles/rio_core.dir/TraceBuilder.cpp.o.d"
+  "librio_core.a"
+  "librio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_harness.dir/Experiment.cpp.o"
+  "CMakeFiles/rio_harness.dir/Experiment.cpp.o.d"
+  "librio_harness.a"
+  "librio_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

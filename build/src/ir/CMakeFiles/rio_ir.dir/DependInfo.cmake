@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/Build.cpp" "src/ir/CMakeFiles/rio_ir.dir/Build.cpp.o" "gcc" "src/ir/CMakeFiles/rio_ir.dir/Build.cpp.o.d"
+  "/root/repo/src/ir/Emit.cpp" "src/ir/CMakeFiles/rio_ir.dir/Emit.cpp.o" "gcc" "src/ir/CMakeFiles/rio_ir.dir/Emit.cpp.o.d"
+  "/root/repo/src/ir/Instr.cpp" "src/ir/CMakeFiles/rio_ir.dir/Instr.cpp.o" "gcc" "src/ir/CMakeFiles/rio_ir.dir/Instr.cpp.o.d"
+  "/root/repo/src/ir/InstrList.cpp" "src/ir/CMakeFiles/rio_ir.dir/InstrList.cpp.o" "gcc" "src/ir/CMakeFiles/rio_ir.dir/InstrList.cpp.o.d"
+  "/root/repo/src/ir/Print.cpp" "src/ir/CMakeFiles/rio_ir.dir/Print.cpp.o" "gcc" "src/ir/CMakeFiles/rio_ir.dir/Print.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/rio_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

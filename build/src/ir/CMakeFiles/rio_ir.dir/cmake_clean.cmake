@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_ir.dir/Build.cpp.o"
+  "CMakeFiles/rio_ir.dir/Build.cpp.o.d"
+  "CMakeFiles/rio_ir.dir/Emit.cpp.o"
+  "CMakeFiles/rio_ir.dir/Emit.cpp.o.d"
+  "CMakeFiles/rio_ir.dir/Instr.cpp.o"
+  "CMakeFiles/rio_ir.dir/Instr.cpp.o.d"
+  "CMakeFiles/rio_ir.dir/InstrList.cpp.o"
+  "CMakeFiles/rio_ir.dir/InstrList.cpp.o.d"
+  "CMakeFiles/rio_ir.dir/Print.cpp.o"
+  "CMakeFiles/rio_ir.dir/Print.cpp.o.d"
+  "librio_ir.a"
+  "librio_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_isa.dir/Decode.cpp.o"
+  "CMakeFiles/rio_isa.dir/Decode.cpp.o.d"
+  "CMakeFiles/rio_isa.dir/Encode.cpp.o"
+  "CMakeFiles/rio_isa.dir/Encode.cpp.o.d"
+  "CMakeFiles/rio_isa.dir/Opcodes.cpp.o"
+  "CMakeFiles/rio_isa.dir/Opcodes.cpp.o.d"
+  "CMakeFiles/rio_isa.dir/OperandLayout.cpp.o"
+  "CMakeFiles/rio_isa.dir/OperandLayout.cpp.o.d"
+  "CMakeFiles/rio_isa.dir/Registers.cpp.o"
+  "CMakeFiles/rio_isa.dir/Registers.cpp.o.d"
+  "librio_isa.a"
+  "librio_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

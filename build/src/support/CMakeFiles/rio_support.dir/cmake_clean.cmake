@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_support.dir/OutStream.cpp.o"
+  "CMakeFiles/rio_support.dir/OutStream.cpp.o.d"
+  "CMakeFiles/rio_support.dir/Statistics.cpp.o"
+  "CMakeFiles/rio_support.dir/Statistics.cpp.o.d"
+  "librio_support.a"
+  "librio_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

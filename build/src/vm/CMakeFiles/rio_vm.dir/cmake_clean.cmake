@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_vm.dir/Machine.cpp.o"
+  "CMakeFiles/rio_vm.dir/Machine.cpp.o.d"
+  "librio_vm.a"
+  "librio_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

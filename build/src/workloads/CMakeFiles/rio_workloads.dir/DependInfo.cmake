@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/Workloads.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadsFp.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsFp.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsFp.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadsFp2.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsFp2.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsFp2.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadsInt.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsInt.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsInt.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadsInt2.cpp" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsInt2.cpp.o" "gcc" "src/workloads/CMakeFiles/rio_workloads.dir/WorkloadsInt2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asm/CMakeFiles/rio_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/rio_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rio_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/rio_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/rio_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

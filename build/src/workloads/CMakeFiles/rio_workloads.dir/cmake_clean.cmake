@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rio_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/rio_workloads.dir/Workloads.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/WorkloadsFp.cpp.o"
+  "CMakeFiles/rio_workloads.dir/WorkloadsFp.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/WorkloadsFp2.cpp.o"
+  "CMakeFiles/rio_workloads.dir/WorkloadsFp2.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/WorkloadsInt.cpp.o"
+  "CMakeFiles/rio_workloads.dir/WorkloadsInt.cpp.o.d"
+  "CMakeFiles/rio_workloads.dir/WorkloadsInt2.cpp.o"
+  "CMakeFiles/rio_workloads.dir/WorkloadsInt2.cpp.o.d"
+  "librio_workloads.a"
+  "librio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shepherding_test.dir/shepherding_test.cpp.o"
+  "CMakeFiles/shepherding_test.dir/shepherding_test.cpp.o.d"
+  "shepherding_test"
+  "shepherding_test.pdb"
+  "shepherding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shepherding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

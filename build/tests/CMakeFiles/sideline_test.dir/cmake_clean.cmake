@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sideline_test.dir/sideline_test.cpp.o"
+  "CMakeFiles/sideline_test.dir/sideline_test.cpp.o.d"
+  "sideline_test"
+  "sideline_test.pdb"
+  "sideline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sideline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_semantics_test.dir/vm_semantics_test.cpp.o"
+  "CMakeFiles/vm_semantics_test.dir/vm_semantics_test.cpp.o.d"
+  "vm_semantics_test"
+  "vm_semantics_test.pdb"
+  "vm_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

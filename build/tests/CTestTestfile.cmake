@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/clients_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/threads_test[1]_include.cmake")
+include("/root/repo/build/tests/shepherding_test[1]_include.cmake")
+include("/root/repo/build/tests/sideline_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
