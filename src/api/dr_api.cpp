@@ -352,6 +352,10 @@ bool rio::dr_replace_fragment(void *Context, app_pc Tag, InstrList *Il) {
   return runtimeOf(Context).replaceFragment(Tag, *Il);
 }
 
+void rio::dr_flush_region(void *Context, app_pc Start, uint32_t Size) {
+  runtimeOf(Context).flushRegion(Start, Size);
+}
+
 void rio::dr_mark_trace_head(void *Context, app_pc Tag) {
   runtimeOf(Context).markTraceHead(Tag);
 }

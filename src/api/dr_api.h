@@ -272,6 +272,14 @@ void dr_set_exit_stub(void *context, Instr *exit_cti, InstrList *stub,
 InstrList *dr_decode_fragment(void *context, app_pc tag);
 bool dr_replace_fragment(void *context, app_pc tag, InstrList *il);
 
+/// Cache consistency: deletes every fragment built from application code in
+/// [start, start + size) — e.g. after the client observes the application
+/// generating or patching code. Safe to call from a clean call even while
+/// execution is logically inside an affected fragment: the fragment's cache
+/// bytes are reclaimed only once execution has left them, and the next
+/// dispatch of the flushed tags re-translates the current code.
+void dr_flush_region(void *context, app_pc start, uint32_t size);
+
 //===----------------------------------------------------------------------===//
 // Custom traces (paper Section 3.5)
 //===----------------------------------------------------------------------===//

@@ -559,7 +559,8 @@ bool Assembler::layoutAndEncode(Program &Out) {
       std::memset(Dst, 0x90, It.Size); // nop padding
       break;
     case Item::Data: {
-      std::memcpy(Dst, It.DataBytes.data(), It.DataBytes.size());
+      if (!It.DataBytes.empty())
+        std::memcpy(Dst, It.DataBytes.data(), It.DataBytes.size());
       uint8_t *W = Dst + It.DataBytes.size();
       for (size_t K = 0; K != It.WordValues.size(); ++K) {
         uint32_t V;

@@ -1,0 +1,171 @@
+//===- core/CacheManager.h - Code cache management ---------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code-cache management subsystem (paper Section 6 directions:
+/// bounded caches with incremental eviction instead of "flush the world").
+/// It owns the basic-block and trace cache address ranges behind a
+/// slot-based allocator:
+///
+///   - a free list of coalesced gaps per cache, allocated first-fit;
+///   - a slot map binding each allocated range to its live fragment;
+///   - a FIFO queue supplying eviction victims when a bounded cache fills;
+///   - deferred reclamation: a deleted fragment's bytes stay in place (so
+///     execution logically inside it stays well-defined) until the next
+///     allocation drains the pending list — skipping any slot that still
+///     contains the guard pc (a suspended or clean-calling thread);
+///   - an application-range index mapping app code lines to the live
+///     fragments they back, for consistency invalidation (self-modifying
+///     code, dr_flush_region) via the Machine's write monitor.
+///
+/// The manager is mechanism only: the Runtime decides *when* to evict or
+/// flush and performs the unlinking; the manager tracks space and owners.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_CACHEMANAGER_H
+#define RIO_CORE_CACHEMANAGER_H
+
+#include "core/Fragment.h"
+#include "support/Statistics.h"
+#include "vm/Machine.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace rio {
+
+/// See file comment.
+class CacheManager {
+public:
+  /// \p WatchWrites: register fragment app ranges with the machine's write
+  /// monitor (cache consistency; RuntimeConfig::MonitorCodeWrites).
+  CacheManager(Machine &M, StatisticSet &Stats, bool WatchWrites = true);
+
+  CacheManager(const CacheManager &) = delete;
+  CacheManager &operator=(const CacheManager &) = delete;
+
+  /// Assigns the address range [Start, End) to the cache holding \p Kind
+  /// fragments. Must be called once per kind before any allocation.
+  void configureCache(Fragment::Kind Kind, uint32_t Start, uint32_t End);
+
+  //===--------------------------------------------------------------------===
+  // Allocation
+  //===--------------------------------------------------------------------===
+
+  /// First-fit allocation of \p Size bytes (4-byte aligned) from the free
+  /// list, draining reclaimable retired slots first. Returns 0 when no gap
+  /// fits — the caller evicts (allocateEvicting) or flushes.
+  uint32_t allocate(Fragment::Kind Kind, uint32_t Size, uint32_t GuardPc = 0);
+
+  /// Like allocate(), but when space runs out evicts live fragments in
+  /// FIFO order — \p Evict must fully delete the victim (unlink incoming
+  /// and outgoing, drop lookup entries, notify the client) and end with
+  /// retireFragment(). Returns 0 only if the cache cannot hold \p Size
+  /// even after evicting everything evictable.
+  uint32_t allocateEvicting(Fragment::Kind Kind, uint32_t Size,
+                            uint32_t GuardPc,
+                            const std::function<void(Fragment *)> &Evict);
+
+  //===--------------------------------------------------------------------===
+  // Fragment lifecycle
+  //===--------------------------------------------------------------------===
+
+  /// Binds a freshly emitted fragment to the slot at its CacheAddr, places
+  /// it at the FIFO tail, indexes its application ranges, and registers
+  /// them with the write monitor.
+  void registerFragment(Fragment *Frag);
+
+  /// Unbinds a deleted fragment: the slot moves to the pending-reclaim
+  /// list (bytes stay in place), the app-range index and write watches are
+  /// dropped. FIFO entries are skipped lazily. Idempotent.
+  void retireFragment(Fragment *Frag);
+
+  /// Frees pending retired slots into the free list (coalescing adjacent
+  /// gaps). A slot containing \p GuardPc stays pending: execution is still
+  /// logically inside it.
+  void reclaimPending(uint32_t GuardPc);
+
+  //===--------------------------------------------------------------------===
+  // Queries
+  //===--------------------------------------------------------------------===
+
+  /// Appends every live fragment whose app ranges overlap [Lo, Hi).
+  void fragmentsOverlappingApp(AppPc Lo, AppPc Hi,
+                               std::vector<Fragment *> &Out) const;
+
+  /// The live fragment whose slot (body + stubs) contains \p CachePc, or
+  /// null.
+  Fragment *fragmentAt(uint32_t CachePc) const;
+
+  /// True if any watched app line intersects [Lo, Hi) — cheap pre-filter
+  /// before fragmentsOverlappingApp.
+  bool anyFragmentTouchesApp(AppPc Lo, AppPc Hi) const;
+
+  //===--------------------------------------------------------------------===
+  // Accounting
+  //===--------------------------------------------------------------------===
+
+  uint32_t capacity(Fragment::Kind Kind) const;
+  /// Bytes held by live fragments (pending-reclaim bytes excluded).
+  uint32_t usedBytes(Fragment::Kind Kind) const;
+  /// Peak of usedBytes over the cache's lifetime.
+  uint32_t peakBytes(Fragment::Kind Kind) const;
+  /// Largest single free gap — what the next allocation can actually get.
+  uint32_t largestFreeGap(Fragment::Kind Kind) const;
+  uint32_t liveFragments(Fragment::Kind Kind) const;
+
+private:
+  struct Cache {
+    uint32_t Start = 0;
+    uint32_t End = 0;
+    std::map<uint32_t, uint32_t> FreeGaps;  ///< gap addr -> size
+    std::map<uint32_t, Fragment *> Slots;   ///< slot addr -> live fragment
+    std::deque<Fragment *> Fifo;            ///< eviction order (lazy)
+    std::vector<std::pair<uint32_t, uint32_t>> Pending; ///< retired slots
+    uint32_t Used = 0;
+    uint32_t Peak = 0;
+    uint32_t Live = 0;
+  };
+
+  Cache &cacheFor(Fragment::Kind Kind) {
+    return Caches[Kind == Fragment::Kind::Trace ? 1 : 0];
+  }
+  const Cache &cacheFor(Fragment::Kind Kind) const {
+    return Caches[Kind == Fragment::Kind::Trace ? 1 : 0];
+  }
+
+  /// Rounded up to the allocator's 4-byte granule so retirement returns
+  /// exactly the bytes allocation carved (padding included) and adjacent
+  /// gaps coalesce.
+  static uint32_t slotSize(const Fragment *Frag) {
+    return (Frag->CodeSize + Frag->StubsSize + 3u) & ~3u;
+  }
+  static bool slotContains(uint32_t Addr, uint32_t Size, uint32_t Pc) {
+    return Pc >= Addr && Pc < Addr + Size;
+  }
+
+  /// Inserts [Addr, Addr+Size) into the free list, merging with adjacent
+  /// gaps.
+  void freeRange(Cache &C, uint32_t Addr, uint32_t Size);
+  void publishOccupancy(Fragment::Kind Kind);
+
+  Machine &M;
+  StatisticSet &Stats;
+  bool WatchWrites;
+  Cache Caches[2]; ///< [0] basic blocks, [1] traces
+
+  /// App line (WriteWatchLine granularity) -> live fragments backed by it.
+  std::unordered_map<uint32_t, std::vector<Fragment *>> AppIndex;
+};
+
+} // namespace rio
+
+#endif // RIO_CORE_CACHEMANAGER_H

@@ -17,6 +17,8 @@
 #include "ir/Build.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
+
 using namespace rio;
 
 //===----------------------------------------------------------------------===//
@@ -24,15 +26,32 @@ using namespace rio;
 //===----------------------------------------------------------------------===//
 
 uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
-  uint32_t &Cursor =
-      Kind == Fragment::Kind::Trace ? TraceCacheCursor : BbCacheCursor;
-  uint32_t End = Kind == Fragment::Kind::Trace ? TraceCacheEnd : BbCacheEnd;
-  uint32_t Addr = (Cursor + 3) & ~3u;
-  if (Addr + Size > End) {
+  uint32_t Guard = unsafeCachePc();
+  uint32_t Addr = CM.allocate(Kind, Size, Guard);
+  if (!Addr) {
+    if (Config.Eviction == EvictionPolicy::Fifo) {
+      // Incremental capacity management: make room by evicting the oldest
+      // fragments of this cache (paper Section 6's alternative to flushing
+      // the entire cache). Evicted trace heads stay marked so a re-arrival
+      // re-promotes without recounting from zero.
+      Addr = CM.allocateEvicting(Kind, Size, Guard, [this](Fragment *Victim) {
+        ++Stats.counter("cache_evictions");
+        Stats.counter("cache_evicted_bytes") +=
+            Victim->CodeSize + Victim->StubsSize;
+        if (Victim->isTrace())
+          MarkedHeads[Victim->Tag] = true;
+        chargeRuntime(M.cost().FragmentEvictCost);
+        deleteFragment(Victim);
+      });
+    } else {
+      flushCache(Kind);
+      Addr = CM.allocate(Kind, Size, Guard);
+    }
+  }
+  if (!Addr) {
     M.fault("code cache exhausted");
     return 0;
   }
-  Cursor = Addr + Size;
   return Addr;
 }
 
@@ -312,6 +331,45 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
   }
 
   M.invalidateDecodeRange(Base, Base + BodySize + StubBytes);
+
+  // Consistency metadata: which application bytes this body was translated
+  // from (AppRanges — a store there invalidates the fragment) and where
+  // each body instruction came from (CodeMap — translates an in-fragment
+  // cache pc back to an application pc after invalidation). Only the first
+  // instruction of a mangle group gets an application pc, so a resume
+  // never lands mid-way through an expanded sequence; bundles map linearly
+  // because their cache bytes are verbatim application bytes.
+  const uint32_t AppSize = M.runtimeBase();
+  AppPc PrevApp = 0;
+  bool PrevValid = false;
+  for (Instr &I : IL) {
+    if (I.isLabel())
+      continue;
+    unsigned Off = Placement.offsetOf(&I);
+    if (Off == ~0u)
+      continue;
+    AppPc App = I.appAddr();
+    if (App && App < AppSize) {
+      uint32_t Len = I.rawBitsValid() ? std::max(I.rawLength(), 1u)
+                                      : unsigned(MaxInstrLength);
+      Frag->AppRanges.push_back({App, App + Len});
+    }
+    bool First = App != 0 && !(PrevValid && App == PrevApp);
+    Frag->CodeMap.push_back({Off, First ? App : 0, First && I.isBundle()});
+    PrevApp = App;
+    PrevValid = true;
+  }
+  std::sort(Frag->AppRanges.begin(), Frag->AppRanges.end(),
+            [](const AppRange &A, const AppRange &B) { return A.Lo < B.Lo; });
+  std::vector<AppRange> Merged;
+  for (const AppRange &R : Frag->AppRanges) {
+    if (!Merged.empty() && R.Lo <= Merged.back().Hi)
+      Merged.back().Hi = std::max(Merged.back().Hi, R.Hi);
+    else
+      Merged.push_back(R);
+  }
+  Frag->AppRanges = std::move(Merged);
+  CM.registerFragment(Frag);
   return Frag;
 }
 
@@ -320,7 +378,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
 //===----------------------------------------------------------------------===//
 
 Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
-  maybeFlushForSpace();
+  maybeFlushForSpace(Fragment::Kind::BasicBlock);
   BlockScan Scan;
   const uint8_t *Image = M.mem().data();
   uint32_t AppSize = M.runtimeBase();
@@ -462,47 +520,56 @@ void Runtime::linkNewFragment(Fragment *Frag) {
 }
 
 void Runtime::flushCaches() {
-  if (TraceGenActive)
-    abortTrace();
-  // Delete every live fragment: dissolve links, notify the client, drop
-  // the lookup tables, and hand the cache space back. The old bytes are
-  // left in place (only the cursors reset), so execution that is still
-  // suspended inside flushed code remains well-defined until new
-  // fragments overwrite it: stale exits resolve through their (persistent)
-  // exit records and fall back to the dispatcher. New emissions only
-  // happen from this runtime's own dispatcher, which always resumes
-  // suspended cache execution first.
-  for (const auto &Frag : Fragments) {
-    if (Frag->Doomed)
-      continue;
-    Frag->Doomed = true;
-    if (TheClient)
-      TheClient->onFragmentDeleted(*this, Frag->Tag);
-    ++Stats.counter("fragments_deleted");
-  }
-  Table.clear();
-  ShadowBbs.clear();
-  M.invalidateDecodeRange(BbCacheStart, TraceCacheEnd);
-  BbCacheCursor = BbCacheStart;
-  TraceCacheCursor = BbCacheEnd;
+  flushCache(Fragment::Kind::BasicBlock);
+  flushCache(Fragment::Kind::Trace);
   ++Stats.counter("cache_flushes");
 }
 
-void Runtime::maybeFlushForSpace() {
-  // Keep enough headroom for the largest conceivable fragment; flushing
-  // mid-emission would invalidate in-flight state.
-  constexpr uint32_t Headroom = 8 * 1024;
-  if (BbCacheEnd - BbCacheCursor < Headroom ||
-      TraceCacheEnd - TraceCacheCursor < Headroom)
-    flushCaches();
+void Runtime::flushCache(Fragment::Kind Kind) {
+  if (TraceGenActive)
+    abortTrace();
+  // Delete every live fragment of this cache: dissolve links, notify the
+  // client, drop the lookup entries, and hand the space back. The old
+  // bytes stay in place until their slots are reclaimed at a later
+  // allocation, so execution still suspended inside flushed code remains
+  // well-defined: stale exits resolve through their (persistent) exit
+  // records and fall back to the dispatcher, and the manager never
+  // reclaims a slot the unsafe pc still points into.
+  std::vector<Fragment *> Victims;
+  for (const auto &Frag : Fragments)
+    if (!Frag->Doomed && Frag->FragKind == Kind)
+      Victims.push_back(Frag.get());
+  for (Fragment *Victim : Victims)
+    deleteFragment(Victim);
+  CM.reclaimPending(unsafeCachePc());
+  ++Stats.counter(Kind == Fragment::Kind::Trace ? "cache_flushes_trace"
+                                                : "cache_flushes_bb");
+}
+
+void Runtime::maybeFlushForSpace(Fragment::Kind Kind) {
+  // FlushAll policy only: empty the pressured cache ahead of emission
+  // (flushing mid-emission would invalidate in-flight state). Pressure in
+  // one cache never flushes the other. Under Fifo, allocation evicts
+  // incrementally instead.
+  if (Config.Eviction != EvictionPolicy::FlushAll)
+    return;
+  uint32_t Headroom = std::min(8u * 1024u, CM.capacity(Kind) / 2);
+  if (CM.largestFreeGap(Kind) < Headroom)
+    flushCache(Kind);
 }
 
 void Runtime::deleteFragment(Fragment *Frag) {
+  if (Frag->Doomed)
+    return;
   unlinkIncoming(Frag);
   unlinkOutgoing(Frag);
   auto It = Table.find(Frag->Tag);
   if (It != Table.end() && It->second == Frag)
     Table.erase(It);
+  auto SIt = ShadowBbs.find(Frag->Tag);
+  if (SIt != ShadowBbs.end() && SIt->second == Frag)
+    ShadowBbs.erase(SIt);
+  CM.retireFragment(Frag);
   Frag->Doomed = true;
   DoomedFragments.push_back(Frag);
   if (TheClient)
@@ -621,10 +688,15 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   unlinkOutgoing(Old);
 
   Table[Tag] = New;
-  Old->Doomed = true;
-  DoomedFragments.push_back(Old);
-  if (TheClient)
-    TheClient->onFragmentDeleted(*this, Tag);
+  // Emission above may already have evicted Old to make room; only retire
+  // and notify once.
+  if (!Old->Doomed) {
+    CM.retireFragment(Old);
+    Old->Doomed = true;
+    DoomedFragments.push_back(Old);
+    if (TheClient)
+      TheClient->onFragmentDeleted(*this, Tag);
+  }
   linkNewFragment(New);
   ++Stats.counter("fragments_replaced");
   return true;

@@ -64,6 +64,24 @@ struct FragmentExit {
   AppPc SourceAppPc = 0;
 };
 
+/// One contiguous application byte range [Lo, Hi) whose code backs part of
+/// a fragment's body (cache consistency: a store into any of these ranges
+/// invalidates the fragment).
+struct AppRange {
+  AppPc Lo = 0;
+  AppPc Hi = 0;
+};
+
+/// One body location: the instruction at cache offset Off was generated
+/// from the application instruction at App (0 when purely synthetic). For
+/// Level 0 bundles the mapping is linear across the entry (Linear = true):
+/// cache bytes are verbatim application bytes.
+struct CodePoint {
+  uint32_t Off = 0;
+  AppPc App = 0;
+  bool Linear = false;
+};
+
 /// A basic block or trace resident in the code cache.
 struct Fragment {
   enum class Kind { BasicBlock, Trace };
@@ -77,6 +95,40 @@ struct Fragment {
   unsigned NumInstrs = 0; ///< instruction count of the body
 
   std::vector<FragmentExit> Exits;
+
+  /// Merged application ranges backing the body (sorted by Lo).
+  std::vector<AppRange> AppRanges;
+
+  /// Cache-offset -> application-pc map, sorted by Off (built at emission;
+  /// used to resume at an application pc when this fragment is invalidated
+  /// while execution sits inside it).
+  std::vector<CodePoint> CodeMap;
+
+  /// True if any byte of [Lo, Hi) backs this fragment's body.
+  bool overlapsApp(AppPc Lo, AppPc Hi) const {
+    for (const AppRange &R : AppRanges)
+      if (R.Lo < Hi && Lo < R.Hi)
+        return true;
+    return false;
+  }
+
+  /// Application pc of the instruction starting at body offset \p Off; 0
+  /// when the offset has no application equivalent.
+  AppPc appPcAt(uint32_t Off) const {
+    if (Off >= CodeSize)
+      return 0;
+    const CodePoint *Best = nullptr;
+    for (const CodePoint &P : CodeMap) {
+      if (P.Off > Off)
+        break;
+      Best = &P;
+    }
+    if (!Best || !Best->App)
+      return 0;
+    if (Best->Off == Off)
+      return Best->App;
+    return Best->Linear ? Best->App + (Off - Best->Off) : 0;
+  }
 
   /// Exits of *other* fragments currently linked to this fragment
   /// (identified by ExitId); used to unlink incoming on deletion.

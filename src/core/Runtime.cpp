@@ -9,6 +9,8 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
+
 using namespace rio;
 
 Client::~Client() = default;
@@ -21,7 +23,9 @@ AppPc CleanCallContext::ibTarget() const {
 
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
-    : M(M), Config(Config), TheClient(TheClient), Hooks(Hooks) {
+    : M(M), Config(Config), TheClient(TheClient),
+      CM(M, Stats, Config.MonitorCodeWrites && Config.Mode == ExecMode::Cache),
+      Hooks(Hooks) {
   uint32_t Base = Region.Base ? Region.Base : M.runtimeBase();
   uint32_t Size = Region.Size
                       ? Region.Size
@@ -36,15 +40,23 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
   Slots.SpillSlots = Base + 0x20;   // 8 x 4 bytes
   Slots.ScratchSlots = Base + 0x40; // 16 x 4 bytes
 
-  // Thread-private basic-block cache in the lower half of the remaining
-  // region, trace cache in the upper half.
+  // Thread-private basic-block cache in the lower part of the remaining
+  // region, trace cache above it. Capacities default to an even split; the
+  // RuntimeConfig knobs bound either cache explicitly (values are clamped
+  // so both caches keep at least a minimal range).
   uint32_t CacheStart = Base + 0x1000;
   uint32_t CacheBytes = Size - 0x1000;
-  BbCacheStart = CacheStart;
-  BbCacheCursor = CacheStart;
-  BbCacheEnd = CacheStart + CacheBytes / 2;
-  TraceCacheCursor = BbCacheEnd;
-  TraceCacheEnd = Base + Size;
+  uint32_t BbBytes =
+      this->Config.BbCacheSize ? this->Config.BbCacheSize : CacheBytes / 2;
+  BbBytes = std::min(BbBytes, CacheBytes - 1024);
+  BbBytes = std::max(BbBytes, 256u) & ~3u;
+  uint32_t TraceBytes = this->Config.TraceCacheSize ? this->Config.TraceCacheSize
+                                                    : CacheBytes - BbBytes;
+  TraceBytes = std::max(std::min(TraceBytes, CacheBytes - BbBytes), 256u) & ~3u;
+  CM.configureCache(Fragment::Kind::BasicBlock, CacheStart,
+                    CacheStart + BbBytes);
+  CM.configureCache(Fragment::Kind::Trace, CacheStart + BbBytes,
+                    CacheStart + BbBytes + TraceBytes);
 
   if (TheClient && Hooks == HookMode::All) {
     TheClient->onInit(*this);
@@ -92,7 +104,72 @@ void Runtime::serviceCleanCall(uint32_t Id) {
     return;
   }
   CleanCallContext Ctx{*this, CurrentFragmentTag};
+  // While the callback runs, the calling fragment's cache bytes are live-in
+  // even though the machine pc looks runtime-internal; flushes the callback
+  // triggers (dr_flush_region) must not reclaim them yet.
+  bool Prev = InCleanCall;
+  InCleanCall = true;
   CleanCalls[Id](Ctx);
+  InCleanCall = Prev;
+}
+
+uint32_t Runtime::unsafeCachePc() const {
+  if (InCleanCall)
+    return M.cpu().Pc;
+  if (ResumePoint == Resume::InCache)
+    return ResumeCachePc;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Cache consistency (dr_flush_region; self-modifying code)
+//===----------------------------------------------------------------------===//
+
+void Runtime::flushRegion(AppPc Start, uint32_t Size) {
+  ++Stats.counter("region_flushes");
+  chargeRuntime(M.cost().RegionFlushCost);
+  if (Size == 0)
+    return;
+  std::vector<Fragment *> Victims;
+  CM.fragmentsOverlappingApp(Start, Start + Size, Victims);
+  for (Fragment *Victim : Victims) {
+    ++Stats.counter("region_flushed_fragments");
+    chargeRuntime(M.cost().FragmentEvictCost);
+    deleteFragment(Victim);
+  }
+}
+
+AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
+  const auto &Log = M.codeWriteLog();
+  std::vector<Fragment *> Victims;
+  while (CodeWriteCursor < Log.size()) {
+    const Machine::CodeWriteEvent &Ev = Log[CodeWriteCursor++];
+    ++Stats.counter("smc_code_writes");
+    CM.fragmentsOverlappingApp(Ev.Lo, Ev.Hi, Victims);
+  }
+  if (Victims.empty())
+    return 0;
+
+  // If the store came from inside one of the victims, translate the
+  // about-to-execute cache pc back to its application pc so dispatch can
+  // re-translate from the freshly written code. When the pc has no exact
+  // application equivalent (mid-mangle synthetic code), fall back to
+  // running the stale — intact — bytes until the next exit: the fragment
+  // is already unlinked, so control reaches the dispatcher, and the slot
+  // is not reclaimed while execution can still be inside it.
+  Fragment *Cur = CM.fragmentAt(CurCachePc);
+  AppPc Redirect = 0;
+  chargeRuntime(M.cost().RegionFlushCost);
+  for (Fragment *Victim : Victims) {
+    if (Victim == Cur)
+      Redirect = Victim->appPcAt(CurCachePc - Victim->CacheAddr);
+    ++Stats.counter("smc_invalidations");
+    chargeRuntime(M.cost().FragmentEvictCost);
+    deleteFragment(Victim);
+  }
+  if (Redirect && TraceGenActive)
+    abortTrace(); // the recorded path just became stale
+  return Redirect;
 }
 
 void Runtime::setCustomExitStub(Instr *ExitCti, InstrList *Stub,
@@ -325,6 +402,19 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
     switch (Step.Kind) {
     case StepKind::Ok:
     case StepKind::ThreadSpawned:
+      // Cache consistency: if that instruction stored into application
+      // code backing live fragments, flush them before executing another
+      // instruction — and if the current fragment was hit, context-switch
+      // out so dispatch re-translates the new code.
+      if (CodeWriteCursor < M.codeWriteLog().size()) {
+        if (AppPc Redirect = drainCodeWrites(M.cpu().Pc)) {
+          ++Stats.counter("context_switches");
+          chargeRuntime(M.cost().ContextSwitchCost);
+          return Redirect;
+        }
+        if (M.status() != RunStatus::Running)
+          return 0;
+      }
       break;
     case StepKind::ClientCall:
       serviceCleanCall(Step.ClientCallId);

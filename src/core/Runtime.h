@@ -27,6 +27,7 @@
 #ifndef RIO_CORE_RUNTIME_H
 #define RIO_CORE_RUNTIME_H
 
+#include "core/CacheManager.h"
 #include "core/Client.h"
 #include "core/Fragment.h"
 #include "core/RuntimeConfig.h"
@@ -166,10 +167,23 @@ public:
 
   /// Empties both code caches: every fragment is deleted (the client's
   /// fragment-deleted hook fires for each), all links dissolve, and the
-  /// cache cursors reset. Called automatically when a bounded cache fills
-  /// (the "entire cache must be flushed" strategy the paper contrasts
-  /// adaptive replacement against), and available to clients.
+  /// space returns to the allocator. Under EvictionPolicy::FlushAll this is
+  /// also what a full cache triggers (the "entire cache must be flushed"
+  /// strategy the paper contrasts adaptive replacement against).
   void flushCaches();
+
+  //===--------------------------------------------------------------------===
+  // Cache consistency (dr_flush_region; self-modifying code)
+  //===--------------------------------------------------------------------===
+
+  /// Deletes every fragment whose body contains code translated from the
+  /// application range [Start, Start + Size). Safe to call from a clean
+  /// call while execution is logically inside an affected fragment: the
+  /// fragment's bytes are reclaimed only once execution has left them.
+  void flushRegion(AppPc Start, uint32_t Size);
+
+  /// The code-cache manager (occupancy queries for benches/tests).
+  CacheManager &cacheManager() { return CM; }
 
   //===--------------------------------------------------------------------===
   // Clean calls and client services
@@ -221,7 +235,19 @@ private:
   void deleteFragment(Fragment *Frag);
   void patchRel32(uint32_t CtiAddr, unsigned CtiLen, uint32_t NewTarget);
   uint32_t allocCache(unsigned Size, Fragment::Kind Kind);
-  void maybeFlushForSpace();
+  /// FlushAll policy: empties \p Kind's cache when its headroom runs low
+  /// (pressure in one cache never flushes the other).
+  void maybeFlushForSpace(Fragment::Kind Kind);
+  /// Deletes every live fragment in \p Kind's cache.
+  void flushCache(Fragment::Kind Kind);
+  /// Cache pc whose slot must not be reclaimed yet: the suspended resume
+  /// point or the pc of a fragment currently servicing a clean call; 0 when
+  /// no cache bytes are live-in.
+  uint32_t unsafeCachePc() const;
+  /// Consumes new machine code-write events, flushing fragments whose
+  /// source code was overwritten. Returns the application pc to redirect
+  /// execution to when the fragment at \p CurCachePc was flushed, else 0.
+  AppPc drainCodeWrites(uint32_t CurCachePc);
   uint64_t clientTransformCost(InstrList &IL) const;
 
   //===--- traces (TraceBuilder.cpp) ----------------------------------------===
@@ -253,12 +279,17 @@ private:
   std::vector<std::pair<Fragment *, unsigned>> ExitRecords;
   std::vector<Fragment *> DoomedFragments;
 
-  // Cache allocation cursors.
-  uint32_t BbCacheStart = 0;
-  uint32_t BbCacheCursor = 0;
-  uint32_t BbCacheEnd = 0;
-  uint32_t TraceCacheCursor = 0;
-  uint32_t TraceCacheEnd = 0;
+  /// Owns the bb/trace cache ranges: allocation, eviction order, deferred
+  /// reclamation, and the app-range index for consistency invalidation.
+  CacheManager CM;
+
+  /// Cursor into the machine's append-only code-write log (the machine may
+  /// be shared by several runtimes, each consuming independently).
+  size_t CodeWriteCursor = 0;
+
+  /// Set while a clean-call callback runs: the calling fragment's bytes are
+  /// live-in even though the machine pc temporarily looks runtime-internal.
+  bool InCleanCall = false;
 
   // Trace-head counters, keyed by tag.
   std::unordered_map<AppPc, unsigned> HeadCounters;

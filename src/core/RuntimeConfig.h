@@ -29,6 +29,13 @@ enum class ExecMode {
   Cache,   ///< copy code into the cache and run it there
 };
 
+/// What a bounded code cache does when it fills (paper Section 6: adaptive
+/// replacement vs the "entire cache must be flushed" strategy).
+enum class EvictionPolicy {
+  FlushAll, ///< empty the pressured cache wholesale and rebuild on demand
+  Fifo,     ///< evict fragments incrementally, oldest first
+};
+
 struct RuntimeConfig {
   ExecMode Mode = ExecMode::Cache;
 
@@ -60,6 +67,22 @@ struct RuntimeConfig {
   /// compare (paper Section 3 / 4.3). When off, an indirect branch always
   /// ends the trace.
   bool InlineIndirectInTraces = true;
+
+  /// How a full cache makes room (core/CacheManager.h).
+  EvictionPolicy Eviction = EvictionPolicy::Fifo;
+
+  /// Basic-block cache capacity in bytes; 0 = half of the runtime region's
+  /// cache space. Values larger than the available space are clamped.
+  uint32_t BbCacheSize = 0;
+
+  /// Trace cache capacity in bytes; 0 = whatever the basic-block cache
+  /// leaves free. Clamped like BbCacheSize.
+  uint32_t TraceCacheSize = 0;
+
+  /// Watch application code backing live fragments and flush overlapping
+  /// fragments when the application writes to it (cache consistency for
+  /// self-modifying code). Without it, stale fragments keep executing.
+  bool MonitorCodeWrites = true;
 
   /// Convenience constructors for the Table 1 ladder.
   static RuntimeConfig emulate() {

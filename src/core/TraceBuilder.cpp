@@ -103,7 +103,7 @@ void Runtime::finalizeTrace() {
   std::vector<AppPc> Blocks = std::move(TraceGenBlocks);
   TraceGenBlocks.clear();
   HeadCounters.erase(TraceGenHead);
-  maybeFlushForSpace();
+  maybeFlushForSpace(Fragment::Kind::Trace);
 
   unsigned NumInstrs = 0;
   InstrList *IL = buildTraceList(Blocks, NumInstrs);

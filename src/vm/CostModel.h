@@ -65,6 +65,8 @@ struct CostModel {
   unsigned TraceBuildPerInstr = 40; ///< extra per-instruction trace cost
   unsigned CleanCallCost = 60;      ///< clientcall context save/restore
   unsigned FragmentReplaceCost = 800; ///< dr_replace_fragment relink work
+  unsigned FragmentEvictCost = 120; ///< unlink + slot reclaim for one victim
+  unsigned RegionFlushCost = 200;   ///< dr_flush_region / SMC flush overhead
   /// Client instrumentation cost per instruction *examined* at each level
   /// of detail (models the Table 2 asymmetry inside the cost model).
   unsigned ClientDecodeLevel02 = 4;

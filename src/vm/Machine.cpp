@@ -17,7 +17,9 @@
 using namespace rio;
 
 Machine::Machine(const MachineConfig &Config)
-    : Config(Config), Mem(Config.AppRegionSize + Config.RuntimeRegionSize) {}
+    : Config(Config), Mem(Config.AppRegionSize + Config.RuntimeRegionSize) {
+  DecodedLines.resize(Mem.size() / WriteWatchLine + 1, 0);
+}
 
 void Machine::fault(const std::string &Reason) {
   Status = RunStatus::Faulted;
@@ -33,18 +35,73 @@ const DecodedInstr *Machine::fetchDecode(AppPc Pc) {
   DecodedInstr DI;
   if (!decodeInstr(Mem.data() + Pc, Mem.size() - Pc, Pc, DI))
     return nullptr;
+  DecodedLines[Pc / WriteWatchLine] = 1;
   auto [NewIt, Inserted] = DecodeCache.emplace(Pc, DI);
   (void)Inserted;
   return &NewIt->second;
 }
 
 void Machine::invalidateDecodeRange(uint32_t Lo, uint32_t Hi) {
+  // Narrow ranges (link patches, single-instruction stores) are cheaper to
+  // clear pc by pc than by scanning the whole decode cache.
+  if (Hi - Lo <= 4 * WriteWatchLine) {
+    for (uint32_t Pc = Lo; Pc < Hi; ++Pc)
+      DecodeCache.erase(Pc);
+    return;
+  }
   for (auto It = DecodeCache.begin(); It != DecodeCache.end();) {
     if (It->first >= Lo && It->first < Hi)
       It = DecodeCache.erase(It);
     else
       ++It;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Code-write monitoring
+//===----------------------------------------------------------------------===//
+
+void Machine::addWriteWatch(uint32_t Lo, uint32_t Hi) {
+  if (Lo >= Hi)
+    return;
+  for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
+    ++WatchedLines[L];
+}
+
+void Machine::removeWriteWatch(uint32_t Lo, uint32_t Hi) {
+  if (Lo >= Hi)
+    return;
+  for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L) {
+    auto It = WatchedLines.find(L);
+    if (It != WatchedLines.end() && --It->second == 0)
+      WatchedLines.erase(It);
+  }
+}
+
+void Machine::noteWrite(uint32_t Addr, uint32_t Len) {
+  if (Len == 0 || Addr >= Mem.size())
+    return;
+  uint32_t L0 = Addr / WriteWatchLine;
+  uint32_t L1 = (Addr + Len - 1) / WriteWatchLine;
+  bool Decoded = false, Watched = false;
+  for (uint32_t L = L0; L <= L1 && L < DecodedLines.size(); ++L) {
+    Decoded = Decoded || DecodedLines[L] != 0;
+    Watched = Watched || (!WatchedLines.empty() && WatchedLines.count(L));
+  }
+  if (Decoded) {
+    // Any instruction starting up to MaxInstrLength-1 bytes before the
+    // store may span the written bytes.
+    uint32_t Lo = Addr >= MaxInstrLength - 1 ? Addr - (MaxInstrLength - 1) : 0;
+    PendingInval.push_back({Lo, Addr + Len});
+  }
+  if (Watched)
+    CodeWrites.push_back({Addr, Addr + Len});
+}
+
+void Machine::drainPendingInvalidations() {
+  for (const CodeWriteEvent &Ev : PendingInval)
+    invalidateDecodeRange(Ev.Lo, Ev.Hi);
+  PendingInval.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -94,7 +151,10 @@ bool Machine::writeOp32(const Operand &Op, uint32_t Value) {
   if (Op.isMem()) {
     uint32_t Addr;
     memAddr(Op, Addr);
-    return Mem.write32(Addr, Value);
+    if (!Mem.write32(Addr, Value))
+      return false;
+    noteWrite(Addr, 4);
+    return true;
   }
   return false;
 }
@@ -124,7 +184,10 @@ bool Machine::writeOp8(const Operand &Op, uint8_t Value) {
   if (Op.isMem()) {
     uint32_t Addr;
     memAddr(Op, Addr);
-    return Mem.write8(Addr, Value);
+    if (!Mem.write8(Addr, Value))
+      return false;
+    noteWrite(Addr, 1);
+    return true;
   }
   return false;
 }
@@ -150,7 +213,10 @@ bool Machine::writeOpF64(const Operand &Op, double Value) {
   if (Op.isMem()) {
     uint32_t Addr;
     memAddr(Op, Addr);
-    return Mem.writeF64(Addr, Value);
+    if (!Mem.writeF64(Addr, Value))
+      return false;
+    noteWrite(Addr, 8);
+    return true;
   }
   return false;
 }
@@ -329,6 +395,8 @@ Machine::SyscallResult Machine::doSyscall() {
 
 StepResult Machine::step() {
   StepResult Result;
+  if (!PendingInval.empty())
+    drainPendingInvalidations();
   if (Status != RunStatus::Running) {
     Result.Kind =
         Status == RunStatus::Exited ? StepKind::Exited : StepKind::Faulted;
@@ -418,8 +486,10 @@ StepResult Machine::execute(const DecodedInstr &DI) {
     if (Ok) {
       uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
       Ok = Mem.write32(Esp, V);
-      if (Ok)
+      if (Ok) {
+        noteWrite(Esp, 4);
         cpu().writeGpr32(REG_ESP, Esp);
+      }
     }
     break;
   }
@@ -621,6 +691,7 @@ StepResult Machine::execute(const DecodedInstr &DI) {
     uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
     if (!Mem.write32(Esp, Next))
       return memFault();
+    noteWrite(Esp, 4);
     cpu().writeGpr32(REG_ESP, Esp);
     Cycles += CM.TakenBranchCost;
     if (InApp)
@@ -637,6 +708,7 @@ StepResult Machine::execute(const DecodedInstr &DI) {
     uint32_t Esp = cpu().readGpr32(REG_ESP) - 4;
     if (!Mem.write32(Esp, Next))
       return memFault();
+    noteWrite(Esp, 4);
     cpu().writeGpr32(REG_ESP, Esp);
     Cycles += CM.TakenBranchCost;
     if (InApp) {
@@ -790,6 +862,8 @@ StepResult Machine::execute(const DecodedInstr &DI) {
     uint32_t Addr;
     memAddr(DI.Dsts[0], Addr);
     Ok = Mem.write32(Addr, cpu().Eflags);
+    if (Ok)
+      noteWrite(Addr, 4);
     break;
   }
   case OP_restf: {

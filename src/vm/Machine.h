@@ -114,6 +114,31 @@ public:
   /// patches, deletes or replaces cache code.
   void invalidateDecodeRange(uint32_t Lo, uint32_t Hi);
 
+  //===--------------------------------------------------------------------===
+  // Code-write monitoring (cache consistency; self-modifying code)
+  //===--------------------------------------------------------------------===
+
+  /// Granularity of write monitoring: one counter per aligned line.
+  static constexpr uint32_t WriteWatchLine = 256;
+
+  /// One store that hit a watched line (byte range [Lo, Hi)).
+  struct CodeWriteEvent {
+    uint32_t Lo;
+    uint32_t Hi;
+  };
+
+  /// Registers [Lo, Hi) as executable code backing live cache fragments.
+  /// Watches are counted per line, so overlapping registrations nest.
+  void addWriteWatch(uint32_t Lo, uint32_t Hi);
+  void removeWriteWatch(uint32_t Lo, uint32_t Hi);
+
+  /// Append-only log of stores into watched lines. Consumers (one per
+  /// runtime — several runtimes may share one machine) keep their own
+  /// cursor into it.
+  const std::vector<CodeWriteEvent> &codeWriteLog() const {
+    return CodeWrites;
+  }
+
   /// Raises a simulated fault (also used by the runtime for internal
   /// errors it wants surfaced as program failures).
   void fault(const std::string &Reason);
@@ -140,6 +165,14 @@ private:
   enum class SyscallResult { Ok, Fault, ThreadExited, Spawned };
 
   StepResult execute(const DecodedInstr &DI);
+
+  /// Records a store for write monitoring: queues decode invalidation when
+  /// the target line ever held cached decodes (self-modifying code must not
+  /// execute stale decodes, natively or under a runtime) and logs an event
+  /// when the line is watched. Invalidation is deferred to the next step()
+  /// because the currently executing DecodedInstr lives in the cache.
+  void noteWrite(uint32_t Addr, uint32_t Len);
+  void drainPendingInvalidations();
 
   // Operand evaluation helpers (see Machine.cpp).
   bool memAddr(const Operand &Op, uint32_t &Addr) const;
@@ -173,6 +206,13 @@ private:
   AppPc LastPc = 0;
 
   std::unordered_map<AppPc, DecodedInstr> DecodeCache;
+
+  // Write-monitor state. DecodedLines is sticky: a set bit means the line
+  // held a cached decode at some point, so stores there must invalidate.
+  std::unordered_map<uint32_t, uint32_t> WatchedLines; ///< line -> watch count
+  std::vector<uint8_t> DecodedLines;                   ///< per-line flag
+  std::vector<CodeWriteEvent> CodeWrites;
+  std::vector<CodeWriteEvent> PendingInval; ///< drained at next step()
 };
 
 } // namespace rio

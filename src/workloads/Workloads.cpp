@@ -80,6 +80,9 @@ const Workload *rio::findWorkload(const std::string &Name) {
   for (const Workload &W : allWorkloads())
     if (Name == W.Name)
       return &W;
+  for (const Workload &W : cacheWorkloads())
+    if (Name == W.Name)
+      return &W;
   return nullptr;
 }
 

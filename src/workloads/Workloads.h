@@ -47,7 +47,12 @@ struct Workload {
 /// All registered workloads, INT group first.
 const std::vector<Workload> &allWorkloads();
 
-/// Finds a workload by name; returns null if unknown.
+/// Cache-management stress workloads ("smc", "cachepressure"). Kept out of
+/// the SPEC-like table above: they measure the cache subsystem itself, not
+/// an application code property.
+const std::vector<Workload> &cacheWorkloads();
+
+/// Finds a workload by name in either registry; returns null if unknown.
 const Workload *findWorkload(const std::string &Name);
 
 /// Assembles \p W at \p Scale (DefaultScale if Scale <= 0).

@@ -1,0 +1,262 @@
+//===- tests/cache_mgmt_test.cpp - Code-cache management tests ---------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the CacheManager subsystem: bounded caches with FIFO
+/// eviction, deferred slot reclamation (stale-exit fallback), consistency
+/// invalidation of self-modifying code, and dr_flush_region — including
+/// calling it from a clean call that is logically inside the flushed
+/// fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "api/dr_api.h"
+#include "core/Runtime.h"
+#include "workloads/Workloads.h"
+
+using namespace rio;
+using namespace rio::test;
+
+namespace {
+
+/// A long chain of one-use blocks followed by a hot loop, repeated \p Laps
+/// times: enough distinct fragments to overflow a small bounded block
+/// cache, with re-use so retention policy matters.
+Program chainProgram(int Blocks, int Laps) {
+  std::string Src = R"(
+    main:
+      mov esi, 0
+      mov edi, )" + std::to_string(Laps) + R"(
+    chain:
+      jmp b0
+  )";
+  for (int I = 0; I != Blocks; ++I) {
+    Src += "b" + std::to_string(I) + ":\n";
+    Src += "  add esi, " + std::to_string((I * 2654435761u >> 8) & 0xFFFF) +
+           "\n";
+    Src += "  and esi, 0xFFFFFF\n";
+    Src += "  jmp b" + std::to_string(I + 1) + "\n";
+  }
+  Src += "b" + std::to_string(Blocks) + R"(:
+      dec edi
+      jnz chain
+      mov ecx, 500
+    hot:
+      add esi, ecx
+      and esi, 0xFFFFFF
+      dec ecx
+      jnz hot
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )";
+  return assembleOrDie(Src);
+}
+
+Program hotLoopProgram(int Iters) {
+  return assembleOrDie(R"(
+    main:
+      mov esi, 0
+      mov ecx, )" + std::to_string(Iters) + R"(
+    loop:
+      add esi, ecx
+      and esi, 0x7FFFFFFF
+      dec ecx
+      jnz loop
+      mov ebx, esi
+      mov eax, 1
+      int 0x80
+  )");
+}
+
+class CountingClient : public Client {
+public:
+  int Deletes = 0;
+  void onFragmentDeleted(Runtime &, AppPc) override { ++Deletes; }
+};
+
+//===----------------------------------------------------------------------===//
+// Eviction accounting
+//===----------------------------------------------------------------------===//
+
+TEST(CacheMgmt, EvictionNotifiesClientExactlyOncePerFragment) {
+  Program P = chainProgram(400, 2);
+  NativeRun Native = runNative(P);
+  ASSERT_EQ(Native.Status, RunStatus::Exited);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  CountingClient C;
+  // No traces: every deletion in this configuration is a FIFO eviction,
+  // so the client callback count must equal both counters exactly.
+  RuntimeConfig Cfg = RuntimeConfig::linkDirect();
+  Cfg.BbCacheSize = 8 * 1024; // the chain needs ~13KB of block fragments
+  Runtime RT(M, Cfg, &C);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Native.Output);
+
+  uint64_t Evictions = RT.stats().get("cache_evictions");
+  EXPECT_GE(Evictions, 1u);
+  EXPECT_EQ(uint64_t(C.Deletes), Evictions);
+  EXPECT_EQ(RT.stats().get("fragments_deleted"), Evictions);
+}
+
+//===----------------------------------------------------------------------===//
+// Deferred reclamation: stale-exit fallback
+//===----------------------------------------------------------------------===//
+
+TEST(CacheMgmt, StaleExitFallbackAfterFlushWhileSuspended) {
+  // Suspend mid-run (the thread sits logically inside a cache fragment),
+  // flush the region holding the loop, then resume: the retired
+  // fragment's bytes must stay in place (pending, guarded by the resume
+  // pc) and its unlinked exits must fall back to the dispatcher, which
+  // re-translates and finishes with the right answer.
+  Program P = hotLoopProgram(50000);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  Runtime RT(M, RuntimeConfig::full());
+  RunResult Part = RT.runFor(3000);
+  ASSERT_TRUE(Part.QuantumExpired);
+
+  AppPc Loop = P.symbol("loop");
+  ASSERT_NE(RT.lookupFragment(Loop), nullptr);
+  RT.flushRegion(0, M.runtimeBase()); // every translated app byte
+  EXPECT_EQ(RT.lookupFragment(Loop), nullptr);
+  EXPECT_GE(RT.stats().get("region_flushed_fragments"), 1u);
+
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(R.ExitCode, int((50000ull * 50001ull / 2) & 0x7FFFFFFF));
+}
+
+//===----------------------------------------------------------------------===//
+// Consistency: self-modifying code
+//===----------------------------------------------------------------------===//
+
+TEST(CacheMgmt, SelfModifyingCodeRetranslates) {
+  // The smc workload overwrites a function it then calls; executing stale
+  // translated code changes the printed checksum. The write monitor must
+  // invalidate the overlapping fragments — and only those.
+  const Workload *W = findWorkload("smc");
+  ASSERT_NE(W, nullptr);
+  Program P = buildWorkload(*W, W->TestScale);
+  NativeRun Native = runNative(P);
+  ASSERT_EQ(Native.Status, RunStatus::Exited);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  Runtime RT(M, RuntimeConfig::full());
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Native.Output);
+
+  uint64_t Writes = RT.stats().get("smc_code_writes");
+  uint64_t Invalidations = RT.stats().get("smc_invalidations");
+  uint64_t Built = RT.stats().get("basic_blocks_built") +
+                   RT.stats().get("traces_built");
+  EXPECT_GE(Writes, 1u);
+  EXPECT_GE(Invalidations, 1u);
+  // Precision: each write kills only the fragments overlapping it, never
+  // the whole cache.
+  EXPECT_LT(Invalidations, Built);
+}
+
+TEST(CacheMgmt, MonitoringCanBeDisabled) {
+  // With MonitorCodeWrites off the runtime must not fault on code writes
+  // (it just keeps executing the stale translation — the documented
+  // trade-off), and must record no SMC activity.
+  const Workload *W = findWorkload("smc");
+  ASSERT_NE(W, nullptr);
+  Program P = buildWorkload(*W, W->TestScale);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  RuntimeConfig Cfg = RuntimeConfig::full();
+  Cfg.MonitorCodeWrites = false;
+  Runtime RT(M, Cfg);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(RT.stats().get("smc_invalidations"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// dr_flush_region from a clean call
+//===----------------------------------------------------------------------===//
+
+/// Inserts a clean call at the top of the loop block that flushes the
+/// region containing that very block for the first few executions — the
+/// caller is logically inside the fragment it is flushing, so deletion
+/// must defer byte reclamation until control has left it.
+class SelfFlushClient : public Client {
+public:
+  AppPc LoopTag = 0;
+  int Flushes = 0;
+
+  void onBasicBlock(Runtime &RT, AppPc Tag, InstrList &Block) override {
+    if (Tag != LoopTag)
+      return;
+    uint32_t Id = RT.registerCleanCall([this](CleanCallContext &Ctx) {
+      if (Flushes >= 3)
+        return;
+      ++Flushes;
+      dr_flush_region(&Ctx.RT, LoopTag, 1);
+    });
+    Instr *Call = Instr::createSynth(Block.arena(), OP_clientcall,
+                                     {Operand::imm(int64_t(Id), 4)});
+    ASSERT_NE(Call, nullptr);
+    Block.prepend(Call);
+  }
+};
+
+TEST(CacheMgmt, FlushRegionFromCleanCallInsideFlushedFragment) {
+  Program P = hotLoopProgram(200);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  SelfFlushClient C;
+  C.LoopTag = P.symbol("loop");
+  RuntimeConfig Cfg = RuntimeConfig::linkDirect(); // keep the block a bb
+  Runtime RT(M, Cfg, &C);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(R.ExitCode, int(200u * 201u / 2u));
+  EXPECT_EQ(C.Flushes, 3);
+  EXPECT_GE(RT.stats().get("region_flushes"), 3u);
+  EXPECT_GE(RT.stats().get("region_flushed_fragments"), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-cache pressure isolation (maybeFlushForSpace regression)
+//===----------------------------------------------------------------------===//
+
+TEST(CacheMgmt, PressureInBlockCacheLeavesTraceCacheAlone) {
+  // The chain overflows a small block cache while the hot loop lives as a
+  // trace. Space pressure in the block cache must flush only the block
+  // cache: the trace survives.
+  Program P = chainProgram(400, 3);
+  NativeRun Native = runNative(P);
+  ASSERT_EQ(Native.Status, RunStatus::Exited);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  RuntimeConfig Cfg = RuntimeConfig::full();
+  Cfg.Eviction = EvictionPolicy::FlushAll;
+  Cfg.BbCacheSize = 8 * 1024;
+  Runtime RT(M, Cfg);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Native.Output);
+  EXPECT_GE(RT.stats().get("traces_built"), 1u);
+  EXPECT_GE(RT.stats().get("cache_flushes_bb"), 1u);
+  EXPECT_EQ(RT.stats().get("cache_flushes_trace"), 0u);
+}
+
+} // namespace

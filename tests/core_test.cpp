@@ -550,10 +550,10 @@ TEST(CoreCustomTraces, EndTraceHookRespected) {
 namespace {
 
 TEST(CoreCacheMgmt, BoundedCacheFlushesAndStaysCorrect) {
-  // A machine with a tiny runtime region forces cache flushes; execution
-  // must stay correct across them (fragments rebuild on demand). The
-  // program is a long chain of distinct blocks, walked twice, plus a hot
-  // loop — enough code volume to overflow a ~14KB block cache.
+  // A machine with a tiny runtime region forces cache capacity management;
+  // execution must stay correct across it (fragments rebuild on demand).
+  // The program is a long chain of distinct blocks, walked twice, plus a
+  // hot loop — enough code volume to overflow a ~14KB block cache.
   std::string Src = R"(
     main:
       mov esi, 0
@@ -593,13 +593,28 @@ TEST(CoreCacheMgmt, BoundedCacheFlushesAndStaysCorrect) {
   Machine M(MC);
   ASSERT_TRUE(loadProgram(M, P));
   CountingClient C;
-  Runtime RT(M, RuntimeConfig::full(), &C);
+  RuntimeConfig Cfg = RuntimeConfig::full();
+  Cfg.BbCacheSize = 10 * 1024; // the chain needs ~13KB of block fragments
+  Runtime RT(M, Cfg, &C);
   RunResult R = RT.run();
   ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
   EXPECT_EQ(M.output(), Native.Output);
-  EXPECT_GE(RT.stats().get("cache_flushes"), 1u);
+  // The default policy evicts incrementally instead of flushing wholesale.
+  EXPECT_GE(RT.stats().get("cache_evictions"), 1u);
   // The client was told about every deleted fragment.
-  EXPECT_GE(uint64_t(C.Deletes), RT.stats().get("cache_flushes"));
+  EXPECT_GE(uint64_t(C.Deletes), RT.stats().get("cache_evictions"));
+
+  // The FlushAll policy must also survive the same pressure, by emptying
+  // the pressured cache wholesale.
+  Machine M2(MC);
+  ASSERT_TRUE(loadProgram(M2, P));
+  RuntimeConfig FlushCfg = Cfg;
+  FlushCfg.Eviction = EvictionPolicy::FlushAll;
+  Runtime RT2(M2, FlushCfg);
+  RunResult R2 = RT2.run();
+  ASSERT_EQ(R2.Status, RunStatus::Exited) << R2.FaultReason;
+  EXPECT_EQ(M2.output(), Native.Output);
+  EXPECT_GE(RT2.stats().get("cache_flushes_bb"), 1u);
 }
 
 TEST(CoreCacheMgmt, ExplicitFlushRebuildsOnDemand) {
