@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_throughput.json files (bench/bench_throughput).
+
+Each file is an array of {"config", "instructions", "wall_ns", "mips"}
+entries. Configs are matched by name; the MIPS delta is reported for each.
+
+By default the script only *warns* on regressions (exit 0), so it can gate
+CI softly while the checked-in baseline was measured on different hardware
+than the runner. Pass --fail-on-regress to turn a regression beyond the
+threshold into a non-zero exit.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                   [--fail-on-regress]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array")
+    out = {}
+    for entry in data:
+        for key in ("config", "instructions", "wall_ns", "mips"):
+            if key not in entry:
+                raise ValueError(f"{path}: entry missing '{key}': {entry}")
+        out[entry["config"]] = entry
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="exit 1 if any config regresses past the threshold")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    regressions = []
+    print(f"{'config':<14} {'base MIPS':>12} {'cur MIPS':>12} {'delta':>9}")
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<14} {'-':>12} {cur[name]['mips']:>12.2f}   (new)")
+            continue
+        if name not in cur:
+            print(f"{name:<14} {base[name]['mips']:>12.2f} {'-':>12}   (gone)")
+            regressions.append(f"{name}: missing from {args.current}")
+            continue
+        b, c = base[name]["mips"], cur[name]["mips"]
+        delta = (c - b) / b * 100.0 if b else 0.0
+        print(f"{name:<14} {b:>12.2f} {c:>12.2f} {delta:>+8.1f}%")
+        if delta < -args.threshold:
+            regressions.append(
+                f"{name}: {b:.2f} -> {c:.2f} MIPS ({delta:+.1f}%)")
+
+    if regressions:
+        print(f"\nWARNING: regression beyond {args.threshold:.0f}%:")
+        for r in regressions:
+            print(f"  {r}")
+        if args.fail_on_regress:
+            return 1
+    else:
+        print("\nno regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

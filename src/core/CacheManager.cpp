@@ -13,7 +13,13 @@
 namespace rio {
 
 CacheManager::CacheManager(Machine &M, StatisticSet &Stats, bool WatchWrites)
-    : M(M), Stats(Stats), WatchWrites(WatchWrites) {}
+    : M(M), Stats(Stats), WatchWrites(WatchWrites),
+      Occupancy{{Stats.stat("cache_bb_used_bytes"),
+                 Stats.stat("cache_bb_peak_bytes"),
+                 Stats.stat("cache_bb_live_fragments")},
+                {Stats.stat("cache_trace_used_bytes"),
+                 Stats.stat("cache_trace_peak_bytes"),
+                 Stats.stat("cache_trace_live_fragments")}} {}
 
 void CacheManager::configureCache(Fragment::Kind Kind, uint32_t Start,
                                   uint32_t End) {
@@ -253,13 +259,10 @@ uint32_t CacheManager::liveFragments(Fragment::Kind Kind) const {
 
 void CacheManager::publishOccupancy(Fragment::Kind Kind) {
   const Cache &C = cacheFor(Kind);
-  const bool IsTrace = Kind == Fragment::Kind::Trace;
-  Stats.counter(IsTrace ? "cache_trace_used_bytes" : "cache_bb_used_bytes") =
-      C.Used;
-  Stats.counter(IsTrace ? "cache_trace_peak_bytes" : "cache_bb_peak_bytes") =
-      C.Peak;
-  Stats.counter(IsTrace ? "cache_trace_live_fragments"
-                        : "cache_bb_live_fragments") = C.Live;
+  OccupancyStats &O = Occupancy[Kind == Fragment::Kind::Trace ? 1 : 0];
+  O.UsedBytes = C.Used;
+  O.PeakBytes = C.Peak;
+  O.LiveFragments = C.Live;
 }
 
 } // namespace rio

@@ -160,6 +160,12 @@ private:
   Machine &M;
   StatisticSet &Stats;
   bool WatchWrites;
+  /// Occupancy gauges per cache ([0] bb, [1] trace), interned once at
+  /// construction: publishOccupancy runs on every register/retire.
+  struct OccupancyStats {
+    Stat UsedBytes, PeakBytes, LiveFragments;
+  };
+  OccupancyStats Occupancy[2];
   Cache Caches[2]; ///< [0] basic blocks, [1] traces
 
   /// App line (WriteWatchLine granularity) -> live fragments backed by it.

@@ -35,11 +35,10 @@ uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
       // the entire cache). Evicted trace heads stay marked so a re-arrival
       // re-promotes without recounting from zero.
       Addr = CM.allocateEvicting(Kind, Size, Guard, [this](Fragment *Victim) {
-        ++Stats.counter("cache_evictions");
-        Stats.counter("cache_evicted_bytes") +=
-            Victim->CodeSize + Victim->StubsSize;
+        ++S.CacheEvictions;
+        S.CacheEvictedBytes += Victim->CodeSize + Victim->StubsSize;
         if (Victim->isTrace())
-          MarkedHeads[Victim->Tag] = true;
+          Table.slot(Victim->Tag).Marked = true;
         chargeRuntime(M.cost().FragmentEvictCost);
         deleteFragment(Victim);
       });
@@ -430,13 +429,13 @@ Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
   if (Shadow) {
     // Trace-recording stand-in: never registered, never linked.
     ShadowBbs[Tag] = Frag;
-    ++Stats.counter("shadow_blocks_built");
+    ++S.ShadowBlocksBuilt;
     return Frag;
   }
-  Frag->IsTraceHead = Config.EnableTraces && MarkedHeads.count(Tag) &&
-                      MarkedHeads[Tag];
-  Table[Tag] = Frag;
-  ++Stats.counter("basic_blocks_built");
+  FragmentEntry &Entry = Table.slot(Tag);
+  Frag->IsTraceHead = Config.EnableTraces && Entry.Marked;
+  Entry.Frag = Frag;
+  ++S.BasicBlocksBuilt;
   linkNewFragment(Frag);
   return Frag;
 }
@@ -464,7 +463,7 @@ void Runtime::linkExit(Fragment *From, FragmentExit &Exit, Fragment *To) {
   Exit.Linked = true;
   Exit.LinkedTo = To;
   To->IncomingLinks.push_back(Exit.ExitId);
-  ++Stats.counter("links_made");
+  ++S.LinksMade;
 }
 
 void Runtime::unlinkExit(FragmentExit &Exit) {
@@ -485,7 +484,7 @@ void Runtime::unlinkExit(FragmentExit &Exit) {
   }
   Exit.Linked = false;
   Exit.LinkedTo = nullptr;
-  ++Stats.counter("links_removed");
+  ++S.LinksRemoved;
 }
 
 void Runtime::unlinkOutgoing(Fragment *Frag) {
@@ -522,7 +521,7 @@ void Runtime::linkNewFragment(Fragment *Frag) {
 void Runtime::flushCaches() {
   flushCache(Fragment::Kind::BasicBlock);
   flushCache(Fragment::Kind::Trace);
-  ++Stats.counter("cache_flushes");
+  ++S.CacheFlushes;
 }
 
 void Runtime::flushCache(Fragment::Kind Kind) {
@@ -542,8 +541,7 @@ void Runtime::flushCache(Fragment::Kind Kind) {
   for (Fragment *Victim : Victims)
     deleteFragment(Victim);
   CM.reclaimPending(unsafeCachePc());
-  ++Stats.counter(Kind == Fragment::Kind::Trace ? "cache_flushes_trace"
-                                                : "cache_flushes_bb");
+  ++(Kind == Fragment::Kind::Trace ? S.CacheFlushesTrace : S.CacheFlushesBb);
 }
 
 void Runtime::maybeFlushForSpace(Fragment::Kind Kind) {
@@ -563,9 +561,7 @@ void Runtime::deleteFragment(Fragment *Frag) {
     return;
   unlinkIncoming(Frag);
   unlinkOutgoing(Frag);
-  auto It = Table.find(Frag->Tag);
-  if (It != Table.end() && It->second == Frag)
-    Table.erase(It);
+  Table.eraseFragment(Frag->Tag, Frag);
   auto SIt = ShadowBbs.find(Frag->Tag);
   if (SIt != ShadowBbs.end() && SIt->second == Frag)
     ShadowBbs.erase(SIt);
@@ -574,7 +570,7 @@ void Runtime::deleteFragment(Fragment *Frag) {
   DoomedFragments.push_back(Frag);
   if (TheClient)
     TheClient->onFragmentDeleted(*this, Frag->Tag);
-  ++Stats.counter("fragments_deleted");
+  ++S.FragmentsDeleted;
 }
 
 //===----------------------------------------------------------------------===//
@@ -687,7 +683,7 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   Old->IncomingLinks.clear();
   unlinkOutgoing(Old);
 
-  Table[Tag] = New;
+  Table.insert(Tag, New);
   // Emission above may already have evicted Old to make room; only retire
   // and notify once.
   if (!Old->Doomed) {
@@ -698,6 +694,6 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
       TheClient->onFragmentDeleted(*this, Tag);
   }
   linkNewFragment(New);
-  ++Stats.counter("fragments_replaced");
+  ++S.FragmentsReplaced;
   return true;
 }

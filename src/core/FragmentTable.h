@@ -1,0 +1,136 @@
+//===- core/FragmentTable.h - Flat fragment / IBL lookup table -------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime's tag-keyed lookup table, shaped like DynamoRIO's real
+/// indirect-branch-lookup hashtable: one open-addressing array of small
+/// entries, probed linearly from a multiplicative hash of the tag. Each
+/// entry carries, inline, everything the IBL hit path and the trace-head
+/// machinery need for that tag:
+///
+///   - the live Fragment (null when the tag currently has no fragment),
+///   - the NET trace-head execution counter,
+///   - the persistent "marked as trace head" bit.
+///
+/// One probe therefore touches one cache line instead of chasing three
+/// node-based maps (the seed's Table / HeadCounters / MarkedHeads). Entries
+/// are never removed: a deleted fragment just nulls its pointer while the
+/// head counter and marked bit survive — exactly the persistence the
+/// eviction policy relies on ("evicted trace heads stay marked so a
+/// re-arrival re-promotes without recounting from zero").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_CORE_FRAGMENTTABLE_H
+#define RIO_CORE_FRAGMENTTABLE_H
+
+#include "core/Fragment.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rio {
+
+/// Per-tag state: fragment pointer plus inline trace-head bookkeeping.
+struct FragmentEntry {
+  AppPc Tag = 0;
+  Fragment *Frag = nullptr;
+  uint32_t HeadCounter = 0; ///< NET counter; persists across rebuilds
+  bool Marked = false;      ///< dr_mark_trace_head / heuristic mark
+  bool Used = false;        ///< slot occupied (tags are never removed)
+};
+
+/// See file comment.
+class FragmentTable {
+public:
+  FragmentTable() { Entries.resize(InitialCapacity); }
+
+  /// The entry for \p Tag, or null when the tag was never interned.
+  const FragmentEntry *find(AppPc Tag) const {
+    uint32_t Mask = uint32_t(Entries.size()) - 1;
+    for (uint32_t Idx = hashOf(Tag) & Mask;; Idx = (Idx + 1) & Mask) {
+      const FragmentEntry &E = Entries[Idx];
+      if (!E.Used)
+        return nullptr;
+      if (E.Tag == Tag)
+        return &E;
+    }
+  }
+
+  /// The live fragment for \p Tag, or null.
+  Fragment *lookup(AppPc Tag) const {
+    const FragmentEntry *E = find(Tag);
+    return E ? E->Frag : nullptr;
+  }
+
+  /// The entry for \p Tag, interning it (zeroed) on first use.
+  FragmentEntry &slot(AppPc Tag) {
+    if (Count * 4 >= Entries.size() * 3)
+      grow();
+    uint32_t Mask = uint32_t(Entries.size()) - 1;
+    for (uint32_t Idx = hashOf(Tag) & Mask;; Idx = (Idx + 1) & Mask) {
+      FragmentEntry &E = Entries[Idx];
+      if (!E.Used) {
+        E.Used = true;
+        E.Tag = Tag;
+        ++Count;
+        return E;
+      }
+      if (E.Tag == Tag)
+        return E;
+    }
+  }
+
+  /// Binds \p Frag as the live fragment for \p Tag.
+  void insert(AppPc Tag, Fragment *Frag) { slot(Tag).Frag = Frag; }
+
+  /// Unbinds the fragment for \p Tag if it is \p Frag (head state stays).
+  void eraseFragment(AppPc Tag, Fragment *Frag) {
+    if (FragmentEntry *E = findMutable(Tag))
+      if (E->Frag == Frag)
+        E->Frag = nullptr;
+  }
+
+  /// Distinct tags ever interned.
+  size_t size() const { return Count; }
+
+private:
+  static constexpr size_t InitialCapacity = 1u << 10; // power of two
+
+  /// Fibonacci multiplicative hash; tags are word-aligned-ish pcs, so
+  /// pre-shift to feed the low bits meaningful entropy.
+  static uint32_t hashOf(AppPc Tag) {
+    return (Tag ^ (Tag >> 12)) * 2654435761u;
+  }
+
+  FragmentEntry *findMutable(AppPc Tag) {
+    return const_cast<FragmentEntry *>(
+        static_cast<const FragmentTable *>(this)->find(Tag));
+  }
+
+  void grow() {
+    std::vector<FragmentEntry> Old = std::move(Entries);
+    Entries.assign(Old.size() * 2, FragmentEntry());
+    Count = 0;
+    for (const FragmentEntry &E : Old) {
+      if (!E.Used)
+        continue;
+      FragmentEntry &N = slot(E.Tag);
+      N.Frag = E.Frag;
+      N.HeadCounter = E.HeadCounter;
+      N.Marked = E.Marked;
+    }
+  }
+
+  std::vector<FragmentEntry> Entries;
+  size_t Count = 0;
+};
+
+} // namespace rio
+
+#endif // RIO_CORE_FRAGMENTTABLE_H

@@ -21,9 +21,40 @@ AppPc CleanCallContext::ibTarget() const {
   return Value;
 }
 
+Runtime::FlowStats::FlowStats(StatisticSet &S)
+    : Dispatches(S.stat("dispatches")),
+      ContextSwitches(S.stat("context_switches")),
+      IblLookups(S.stat("ibl_lookups")), IblHits(S.stat("ibl_hits")),
+      IblMisses(S.stat("ibl_misses")),
+      HeadCounterBumps(S.stat("head_counter_bumps")),
+      TraceHeads(S.stat("trace_heads")), CleanCalls(S.stat("clean_calls")),
+      RegionFlushes(S.stat("region_flushes")),
+      RegionFlushedFragments(S.stat("region_flushed_fragments")),
+      SmcCodeWrites(S.stat("smc_code_writes")),
+      SmcInvalidations(S.stat("smc_invalidations")),
+      SecurityViolations(S.stat("security_violations_enforced")),
+      IbDispatcherReturns(S.stat("ib_dispatcher_returns")),
+      CacheEvictions(S.stat("cache_evictions")),
+      CacheEvictedBytes(S.stat("cache_evicted_bytes")),
+      ShadowBlocksBuilt(S.stat("shadow_blocks_built")),
+      BasicBlocksBuilt(S.stat("basic_blocks_built")),
+      LinksMade(S.stat("links_made")), LinksRemoved(S.stat("links_removed")),
+      CacheFlushes(S.stat("cache_flushes")),
+      CacheFlushesBb(S.stat("cache_flushes_bb")),
+      CacheFlushesTrace(S.stat("cache_flushes_trace")),
+      FragmentsDeleted(S.stat("fragments_deleted")),
+      FragmentsReplaced(S.stat("fragments_replaced")),
+      TraceGenerationsStarted(S.stat("trace_generations_started")),
+      TracesBuilt(S.stat("traces_built")),
+      TraceBlocksTotal(S.stat("trace_blocks_total")),
+      TraceBranchesInverted(S.stat("trace_branches_inverted")),
+      TraceJmpsElided(S.stat("trace_jmps_elided")),
+      TraceCallsInlined(S.stat("trace_calls_inlined")),
+      IndirectBranchesInlined(S.stat("indirect_branches_inlined")) {}
+
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
-    : M(M), Config(Config), TheClient(TheClient),
+    : M(M), Config(Config), TheClient(TheClient), S(Stats),
       CM(M, Stats, Config.MonitorCodeWrites && Config.Mode == ExecMode::Cache),
       Hooks(Hooks) {
   uint32_t Base = Region.Base ? Region.Base : M.runtimeBase();
@@ -72,22 +103,21 @@ void Runtime::chargeRuntime(uint64_t Cycles) {
   RuntimeCycles += Cycles;
 }
 
-Fragment *Runtime::lookupFragment(AppPc Tag) {
-  auto It = Table.find(Tag);
-  return It == Table.end() ? nullptr : It->second;
-}
-
 void Runtime::markTraceHead(AppPc Tag) {
-  MarkedHeads[Tag] = true;
-  if (Fragment *Frag = lookupFragment(Tag)) {
+  FragmentEntry &Entry = Table.slot(Tag);
+  bool WasMarked = Entry.Marked;
+  Entry.Marked = true;
+  if (Fragment *Frag = Entry.Frag) {
     if (!Frag->isTrace() && !Frag->IsTraceHead) {
       Frag->IsTraceHead = true;
       // Future executions must pass through the dispatcher to be counted.
       unlinkIncoming(Frag);
-      ++Stats.counter("trace_heads");
+      ++S.TraceHeads;
     }
-  } else {
-    ++Stats.counter("trace_heads");
+  } else if (!WasMarked) {
+    // Count a fragment-less tag only on its first marking: re-marks (every
+    // backward branch to a not-yet-built target re-marks it) are no-ops.
+    ++S.TraceHeads;
   }
 }
 
@@ -97,7 +127,7 @@ uint32_t Runtime::registerCleanCall(std::function<void(CleanCallContext &)> Fn) 
 }
 
 void Runtime::serviceCleanCall(uint32_t Id) {
-  ++Stats.counter("clean_calls");
+  ++S.CleanCalls;
   chargeRuntime(M.cost().CleanCallCost);
   if (Id >= CleanCalls.size()) {
     M.fault("clean call with unregistered id " + std::to_string(Id));
@@ -126,14 +156,14 @@ uint32_t Runtime::unsafeCachePc() const {
 //===----------------------------------------------------------------------===//
 
 void Runtime::flushRegion(AppPc Start, uint32_t Size) {
-  ++Stats.counter("region_flushes");
+  ++S.RegionFlushes;
   chargeRuntime(M.cost().RegionFlushCost);
   if (Size == 0)
     return;
   std::vector<Fragment *> Victims;
   CM.fragmentsOverlappingApp(Start, Start + Size, Victims);
   for (Fragment *Victim : Victims) {
-    ++Stats.counter("region_flushed_fragments");
+    ++S.RegionFlushedFragments;
     chargeRuntime(M.cost().FragmentEvictCost);
     deleteFragment(Victim);
   }
@@ -144,7 +174,7 @@ AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
   std::vector<Fragment *> Victims;
   while (CodeWriteCursor < Log.size()) {
     const Machine::CodeWriteEvent &Ev = Log[CodeWriteCursor++];
-    ++Stats.counter("smc_code_writes");
+    ++S.SmcCodeWrites;
     CM.fragmentsOverlappingApp(Ev.Lo, Ev.Hi, Victims);
   }
   if (Victims.empty())
@@ -163,7 +193,7 @@ AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
   for (Fragment *Victim : Victims) {
     if (Victim == Cur)
       Redirect = Victim->appPcAt(CurCachePc - Victim->CacheAddr);
-    ++Stats.counter("smc_invalidations");
+    ++S.SmcInvalidations;
     chargeRuntime(M.cost().FragmentEvictCost);
     deleteFragment(Victim);
   }
@@ -236,7 +266,7 @@ RunResult Runtime::runEmulated(uint64_t Deadline) {
 }
 
 RunResult Runtime::runCached(uint64_t Deadline) {
-  AppPc Target;
+  AppPc Target = 0;
   switch (ResumePoint) {
   case Resume::Fresh:
     Target = M.cpu().Pc;
@@ -291,7 +321,7 @@ RunResult Runtime::runCached(uint64_t Deadline) {
       if (!Frag)
         break; // faulted
     }
-    ++Stats.counter("dispatches");
+    ++S.Dispatches;
     chargeRuntime(M.cost().DispatchCost);
     if (inTraceGen())
       unlinkOutgoing(Frag); // record every block transition at the dispatcher
@@ -350,7 +380,10 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
           markTraceHead(Target);
       }
 
-      Fragment *To = lookupFragment(Target);
+      // One flat-table probe serves the fragment pointer, head counter and
+      // marked bit together (the seed probed three node-based maps here).
+      FragmentEntry &Entry = Table.slot(Target);
+      Fragment *To = Entry.Frag;
 
       // Exits to trace heads do not link; instead the stub increments the
       // head's execution counter and jumps straight on to the head
@@ -360,11 +393,10 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       if (To && Config.EnableTraces && !inTraceGen() && To->IsTraceHead &&
           !To->isTrace()) {
         chargeRuntime(M.cost().HeadCounterCost);
-        ++Stats.counter("head_counter_bumps");
-        unsigned &Counter = HeadCounters[Target];
-        if (++Counter >= Config.TraceThreshold) {
-          --Counter; // the dispatcher's noteDispatch re-counts this arrival
-          ++Stats.counter("context_switches");
+        ++S.HeadCounterBumps;
+        if (++Entry.HeadCounter >= Config.TraceThreshold) {
+          --Entry.HeadCounter; // the dispatcher's noteDispatch re-counts this
+          ++S.ContextSwitches;
           chargeRuntime(M.cost().ContextSwitchCost);
           return Target;
         }
@@ -373,7 +405,7 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       }
 
       // Full context switch back to the dispatcher.
-      ++Stats.counter("context_switches");
+      ++S.ContextSwitches;
       chargeRuntime(M.cost().ContextSwitchCost);
 
       // Lazy linking: if the target fragment exists now, wire the exit up
@@ -408,7 +440,7 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       // out so dispatch re-translates the new code.
       if (CodeWriteCursor < M.codeWriteLog().size()) {
         if (AppPc Redirect = drainCodeWrites(M.cpu().Pc)) {
-          ++Stats.counter("context_switches");
+          ++S.ContextSwitches;
           chargeRuntime(M.cost().ContextSwitchCost);
           return Redirect;
         }
@@ -437,17 +469,15 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
 }
 
 void Runtime::annotateCacheFault(uint32_t CachePc) {
-  for (const auto &Frag : Fragments) {
-    if (Frag->Doomed)
-      continue;
-    if (CachePc >= Frag->CacheAddr &&
-        CachePc < Frag->CacheAddr + Frag->CodeSize) {
-      M.fault(M.faultReason() + " (in the " +
-              (Frag->isTrace() ? "trace" : "basic block") +
-              " for application address " + std::to_string(Frag->Tag) + ")");
-      return;
-    }
-  }
+  // The cache manager's slot map resolves the pc in O(log slots) — the
+  // seed scanned every fragment ever built.
+  Fragment *Frag = CM.fragmentAt(CachePc);
+  if (!Frag || Frag->Doomed)
+    return;
+  if (CachePc < Frag->CacheAddr + Frag->CodeSize)
+    M.fault(M.faultReason() + " (in the " +
+            (Frag->isTrace() ? "trace" : "basic block") +
+            " for application address " + std::to_string(Frag->Tag) + ")");
 }
 
 AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
@@ -460,7 +490,7 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
     const DecodedInstr *Site = M.fetchDecode(SiteCachePc);
     int BranchOp = Site ? int(Site->Op) : int(OP_INVALID);
     if (!TheClient->onIndirectResolved(*this, BranchOp, Target)) {
-      ++Stats.counter("security_violations_enforced");
+      ++S.SecurityViolations;
       M.fault("security policy violation: indirect transfer to " +
               std::to_string(Target));
       return Target; // dispatcher loop observes the fault and stops
@@ -470,19 +500,21 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
   if (!Config.LinkIndirectBranches) {
     // Without indirect linking every indirect branch is a full context
     // switch back to the dispatcher (the "+link direct" rung of Table 1).
-    ++Stats.counter("context_switches");
-    ++Stats.counter("ib_dispatcher_returns");
+    ++S.ContextSwitches;
+    ++S.IbDispatcherReturns;
     chargeRuntime(M.cost().ContextSwitchCost);
     return Target;
   }
 
-  // In-cache hashtable lookup (IBL).
-  ++Stats.counter("ibl_lookups");
+  // In-cache hashtable lookup (IBL): one probe of the flat table yields the
+  // fragment, the head counter and the marked bit in a single cache line.
+  ++S.IblLookups;
   chargeRuntime(M.cost().IblLookupCost);
-  Fragment *To = lookupFragment(Target);
+  FragmentEntry &Entry = Table.slot(Target);
+  Fragment *To = Entry.Frag;
   if (!To || inTraceGen()) {
-    ++Stats.counter("ibl_misses");
-    ++Stats.counter("context_switches");
+    ++S.IblMisses;
+    ++S.ContextSwitches;
     chargeRuntime(M.cost().ContextSwitchCost);
     return Target;
   }
@@ -490,16 +522,15 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
     // Count the head cheaply (as the stubs do) and continue in-cache; a
     // hot head surfaces to the dispatcher for trace generation.
     chargeRuntime(M.cost().HeadCounterCost);
-    ++Stats.counter("head_counter_bumps");
-    unsigned &Counter = HeadCounters[Target];
-    if (++Counter >= Config.TraceThreshold) {
-      --Counter;
-      ++Stats.counter("context_switches");
+    ++S.HeadCounterBumps;
+    if (++Entry.HeadCounter >= Config.TraceThreshold) {
+      --Entry.HeadCounter;
+      ++S.ContextSwitches;
       chargeRuntime(M.cost().ContextSwitchCost);
       return Target;
     }
   }
-  ++Stats.counter("ibl_hits");
+  ++S.IblHits;
   // The translated indirect branch is an indirect jump through the BTB
   // (not the return-address stack) — the paper's Pentium penalty.
   if (!M.predictors().predictIndirect(SiteCachePc, To->CacheAddr))

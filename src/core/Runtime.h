@@ -30,6 +30,7 @@
 #include "core/CacheManager.h"
 #include "core/Client.h"
 #include "core/Fragment.h"
+#include "core/FragmentTable.h"
 #include "core/RuntimeConfig.h"
 #include "ir/Emit.h"
 #include "ir/InstrList.h"
@@ -129,7 +130,7 @@ public:
   // Fragment queries
   //===--------------------------------------------------------------------===
 
-  Fragment *lookupFragment(AppPc Tag);
+  Fragment *lookupFragment(AppPc Tag) { return Table.lookup(Tag); }
   /// Total fragments ever built (for tests/benches).
   size_t numFragments() const { return Fragments.size(); }
 
@@ -265,12 +266,34 @@ private:
   RuntimeConfig Config;
   Client *TheClient;
   StatisticSet Stats;
+
+  /// Interned handles for every hot-path counter: names are hashed once
+  /// here (constructor time); each event is then a single pointer bump.
+  /// Cold paths (tests, clients) still use Stats.counter("name").
+  struct FlowStats {
+    Stat Dispatches, ContextSwitches, IblLookups, IblHits, IblMisses,
+        HeadCounterBumps, TraceHeads, CleanCalls, RegionFlushes,
+        RegionFlushedFragments, SmcCodeWrites, SmcInvalidations,
+        SecurityViolations, IbDispatcherReturns, CacheEvictions,
+        CacheEvictedBytes, ShadowBlocksBuilt, BasicBlocksBuilt, LinksMade,
+        LinksRemoved, CacheFlushes, CacheFlushesBb, CacheFlushesTrace,
+        FragmentsDeleted, FragmentsReplaced, TraceGenerationsStarted,
+        TracesBuilt, TraceBlocksTotal, TraceBranchesInverted,
+        TraceJmpsElided, TraceCallsInlined, IndirectBranchesInlined;
+
+    explicit FlowStats(StatisticSet &S);
+  };
+  FlowStats S;
+
   RuntimeSlots Slots{};
 
   Arena FragArena{1u << 16};   ///< fragment metadata + build-time lists
   Arena ClientArena{1u << 16}; ///< dr_global_alloc backing store
 
-  std::unordered_map<AppPc, Fragment *> Table;
+  /// Tag -> {fragment, trace-head counter, marked bit}: one flat
+  /// open-addressing table on the dispatcher/IBL hot path (replaces the
+  /// seed's three node-based maps Table / HeadCounters / MarkedHeads).
+  FragmentTable Table;
   /// Per-tag basic blocks used while recording a trace whose path crosses
   /// an existing trace: trace generation must observe individual blocks,
   /// so trace fragments are shadowed by plain blocks during recording.
@@ -290,10 +313,6 @@ private:
   /// Set while a clean-call callback runs: the calling fragment's bytes are
   /// live-in even though the machine pc temporarily looks runtime-internal.
   bool InCleanCall = false;
-
-  // Trace-head counters, keyed by tag.
-  std::unordered_map<AppPc, unsigned> HeadCounters;
-  std::unordered_map<AppPc, bool> MarkedHeads;
 
   // How control most recently returned to the dispatcher: true when it was
   // a *direct backward branch* (the NET end-of-trace condition); indirect

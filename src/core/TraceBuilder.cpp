@@ -35,9 +35,7 @@ void Runtime::noteDispatch(Fragment *Frag) {
   }
   if (!Frag->IsTraceHead || Frag->isTrace())
     return;
-  unsigned &Counter = HeadCounters[Frag->Tag];
-  ++Counter;
-  if (Counter < Config.TraceThreshold)
+  if (++Table.slot(Frag->Tag).HeadCounter < Config.TraceThreshold)
     return;
   // Hot: enter trace generation mode starting at this head.
   TraceGenActive = true;
@@ -45,7 +43,7 @@ void Runtime::noteDispatch(Fragment *Frag) {
   TraceGenBlocks.clear();
   TraceGenBlocks.push_back(Frag->Tag);
   TraceGenInstrs = Frag->NumInstrs;
-  ++Stats.counter("trace_generations_started");
+  ++S.TraceGenerationsStarted;
 }
 
 void Runtime::traceGenStep(AppPc NextTag) {
@@ -95,14 +93,14 @@ void Runtime::traceGenStep(AppPc NextTag) {
 void Runtime::abortTrace() {
   TraceGenActive = false;
   TraceGenBlocks.clear();
-  HeadCounters.erase(TraceGenHead);
+  Table.slot(TraceGenHead).HeadCounter = 0;
 }
 
 void Runtime::finalizeTrace() {
   TraceGenActive = false;
   std::vector<AppPc> Blocks = std::move(TraceGenBlocks);
   TraceGenBlocks.clear();
-  HeadCounters.erase(TraceGenHead);
+  Table.slot(TraceGenHead).HeadCounter = 0;
   maybeFlushForSpace(Fragment::Kind::Trace);
 
   unsigned NumInstrs = 0;
@@ -110,9 +108,10 @@ void Runtime::finalizeTrace() {
   if (!IL) {
     // Could not materialize (application code changed / undecodable):
     // permanently demote the head so we do not retry forever.
-    if (Fragment *Head = lookupFragment(TraceGenHead))
-      Head->IsTraceHead = false;
-    MarkedHeads[TraceGenHead] = false;
+    FragmentEntry &Entry = Table.slot(TraceGenHead);
+    if (Entry.Frag)
+      Entry.Frag->IsTraceHead = false;
+    Entry.Marked = false;
     return;
   }
 
@@ -135,11 +134,12 @@ void Runtime::finalizeTrace() {
   if (!Trace)
     return;
   Trace->IsTraceHead = false;
-  MarkedHeads[TraceGenHead] = false;
-  Table[TraceGenHead] = Trace;
+  FragmentEntry &Entry = Table.slot(TraceGenHead);
+  Entry.Marked = false;
+  Entry.Frag = Trace;
   linkNewFragment(Trace);
-  ++Stats.counter("traces_built");
-  Stats.counter("trace_blocks_total") += Blocks.size();
+  ++S.TracesBuilt;
+  S.TraceBlocksTotal += Blocks.size();
 }
 
 //===----------------------------------------------------------------------===//
@@ -214,7 +214,7 @@ InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
             NewBr->setAppAddr(Term->appAddr());
             BlockIL.replace(Term, NewBr);
           }
-          ++Stats.counter("trace_branches_inverted");
+          ++S.TraceBranchesInverted;
         } else if (Scan.FallThrough != NextTag) {
           return nullptr; // conditional branch went somewhere off-trace
         }
@@ -222,7 +222,7 @@ InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
         if (Term->branchTarget() != NextTag)
           return nullptr; // jmp not to the recorded next block
         BlockIL.remove(Term); // elide: blocks become adjacent
-        ++Stats.counter("trace_jmps_elided");
+        ++S.TraceJmpsElided;
       } else if (Term->getOpcode() == OP_call) {
         // Inline the call: push the application return address and fall
         // through into the callee (the next block).
@@ -233,7 +233,7 @@ InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
             Instr::createSynth(A, OP_push, {Operand::imm(int64_t(Ret), 4)});
         Push->setAppAddr(Term->appAddr());
         BlockIL.replace(Term, Push);
-        ++Stats.counter("trace_calls_inlined");
+        ++S.TraceCallsInlined;
       } else if (Term->isIndirectCti()) {
         if (!Config.InlineIndirectInTraces)
           return nullptr; // should have been an end condition
@@ -343,5 +343,5 @@ void Runtime::inlineIndirectCheck(InstrList &IL, Instr *IndirectCti,
   add(Instr::createSynth(A, OP_mov, {Ecx, Spill}));
 
   IL.remove(IndirectCti);
-  ++Stats.counter("indirect_branches_inlined");
+  ++S.IndirectBranchesInlined;
 }

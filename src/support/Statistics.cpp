@@ -12,7 +12,7 @@
 using namespace rio;
 
 void StatisticSet::print(OutStream &OS) const {
-  for (const auto &[Name, Value] : Counters)
+  for (const auto &[Name, Idx] : Index)
     OS.printf("%-40s %12llu\n", Name.c_str(),
-              static_cast<unsigned long long>(Value));
+              static_cast<unsigned long long>(Values[Idx]));
 }

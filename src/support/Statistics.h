@@ -11,41 +11,125 @@
 /// hits and misses, trace builds, ...) through a StatisticSet so that tests
 /// and the bench harness can assert on them.
 ///
+/// Counters live in a dense array; names are interned once. Hot paths
+/// resolve a name to a StatId (or a bound Stat handle) at construction time
+/// and bump the slot directly — string hashing happens only at
+/// registration, lookup-by-name (get) and print time.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RIO_SUPPORT_STATISTICS_H
 #define RIO_SUPPORT_STATISTICS_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace rio {
 
 class OutStream;
+class StatisticSet;
+
+/// An interned counter: a stable index into a StatisticSet's value array.
+/// Obtain one with StatisticSet::id(); valid for the set's lifetime.
+class StatId {
+public:
+  StatId() = default;
+  bool valid() const { return Index != ~0u; }
+
+private:
+  friend class StatisticSet;
+  explicit StatId(uint32_t Index) : Index(Index) {}
+  uint32_t Index = ~0u;
+};
+
+/// A counter handle bound to one slot of one StatisticSet: a single
+/// pointer, so bumping it is one memory op with no hashing. Resolve once
+/// (constructor time), use on every event.
+class Stat {
+public:
+  Stat() = default;
+
+  Stat &operator++() {
+    ++*Ptr;
+    return *this;
+  }
+  Stat &operator+=(uint64_t V) {
+    *Ptr += V;
+    return *this;
+  }
+  Stat &operator=(uint64_t V) {
+    *Ptr = V;
+    return *this;
+  }
+  uint64_t value() const { return *Ptr; }
+
+private:
+  friend class StatisticSet;
+  explicit Stat(uint64_t *Ptr) : Ptr(Ptr) {}
+  uint64_t *Ptr = nullptr;
+};
 
 /// An ordered collection of named counters. Lookup creates the counter on
 /// first use so call sites stay one-liners.
 class StatisticSet {
 public:
-  /// Returns a mutable reference to the counter named \p Name.
-  uint64_t &counter(const std::string &Name) { return Counters[Name]; }
-
-  /// Returns the counter value, or 0 if it was never touched.
-  uint64_t get(const std::string &Name) const {
-    auto It = Counters.find(Name);
-    return It == Counters.end() ? 0 : It->second;
+  /// Interns \p Name (registering a zeroed counter on first use) and
+  /// returns its id. The only name-hashing entry point besides get().
+  StatId id(const std::string &Name) {
+    auto It = Index.find(Name);
+    if (It != Index.end())
+      return StatId(It->second);
+    uint32_t Idx = uint32_t(Values.size());
+    Values.push_back(0);
+    Names.push_back(Name);
+    Index.emplace(Name, Idx);
+    return StatId(Idx);
   }
 
-  void clear() { Counters.clear(); }
+  /// The value slot behind \p Id (ids never invalidate; the deque keeps
+  /// references stable across later registrations).
+  uint64_t &value(StatId Id) { return Values[Id.Index]; }
+  uint64_t value(StatId Id) const { return Values[Id.Index]; }
 
-  const std::map<std::string, uint64_t> &all() const { return Counters; }
+  /// A bound handle for hot call sites: resolve once, bump forever.
+  Stat stat(const std::string &Name) { return Stat(&value(id(Name))); }
+
+  /// Returns a mutable reference to the counter named \p Name (interned on
+  /// first use). Convenience for cold paths and tests; hot paths should
+  /// hold a Stat instead.
+  uint64_t &counter(const std::string &Name) { return value(id(Name)); }
+
+  /// Returns the counter value, or 0 if it was never registered.
+  uint64_t get(const std::string &Name) const {
+    auto It = Index.find(Name);
+    return It == Index.end() ? 0 : Values[It->second];
+  }
+
+  /// Zeroes every counter. Registered names (and outstanding StatId/Stat
+  /// handles) stay valid.
+  void clear() {
+    for (uint64_t &V : Values)
+      V = 0;
+  }
+
+  /// Name -> value snapshot, sorted by name (materialized on demand).
+  std::map<std::string, uint64_t> all() const {
+    std::map<std::string, uint64_t> Out;
+    for (const auto &[Name, Idx] : Index)
+      Out.emplace(Name, Values[Idx]);
+    return Out;
+  }
 
   /// Prints "name: value" lines, sorted by name.
   void print(OutStream &OS) const;
 
 private:
-  std::map<std::string, uint64_t> Counters;
+  std::deque<uint64_t> Values;    ///< dense storage, stable references
+  std::vector<std::string> Names; ///< id -> name
+  std::map<std::string, uint32_t> Index;
 };
 
 } // namespace rio

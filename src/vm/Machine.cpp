@@ -10,6 +10,7 @@
 #include "vm/Syscall.h"
 #include "support/Compiler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -18,7 +19,12 @@ using namespace rio;
 
 Machine::Machine(const MachineConfig &Config)
     : Config(Config), Mem(Config.AppRegionSize + Config.RuntimeRegionSize) {
-  DecodedLines.resize(Mem.size() / WriteWatchLine + 1, 0);
+  LineState.resize(Mem.size() / WriteWatchLine + 1, 0);
+  DecodeCache.resize(DecodeCacheLines);
+  // Lines fill with Gen = LineGen[...] >= 1; the zero-initialized cache
+  // (Gen 0) can therefore never read as valid.
+  LineGen.resize(Mem.size() / WriteWatchLine + 1, 1);
+  CurCpu = &Threads[CurThread].Cpu;
 }
 
 void Machine::fault(const std::string &Reason) {
@@ -27,34 +33,32 @@ void Machine::fault(const std::string &Reason) {
 }
 
 const DecodedInstr *Machine::fetchDecode(AppPc Pc) {
-  auto It = DecodeCache.find(Pc);
-  if (It != DecodeCache.end())
-    return &It->second;
   if (Pc >= Mem.size())
     return nullptr;
+  DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
+  const uint32_t Gen = LineGen[Pc / WriteWatchLine];
+  if (L.Tag == Pc && L.Gen == Gen)
+    return &L.DI;
   DecodedInstr DI;
   if (!decodeInstr(Mem.data() + Pc, Mem.size() - Pc, Pc, DI))
     return nullptr;
-  DecodedLines[Pc / WriteWatchLine] = 1;
-  auto [NewIt, Inserted] = DecodeCache.emplace(Pc, DI);
-  (void)Inserted;
-  return &NewIt->second;
+  LineState[Pc / WriteWatchLine] |= 1; // sticky: stores here now invalidate
+  L.Tag = Pc;
+  L.Gen = Gen;
+  L.Cost = Config.Cost.cyclesFor(DI);
+  L.DI = DI;
+  return &L.DI;
 }
 
 void Machine::invalidateDecodeRange(uint32_t Lo, uint32_t Hi) {
-  // Narrow ranges (link patches, single-instruction stores) are cheaper to
-  // clear pc by pc than by scanning the whole decode cache.
-  if (Hi - Lo <= 4 * WriteWatchLine) {
-    for (uint32_t Pc = Lo; Pc < Hi; ++Pc)
-      DecodeCache.erase(Pc);
+  // Bump the generation of every watch line the range touches: cached
+  // decodes tagged with the old generation fail the validity check on
+  // their next probe. No scan of the decode cache, no per-pc erasure.
+  Hi = std::min<uint64_t>(Hi, Mem.size());
+  if (Lo >= Hi)
     return;
-  }
-  for (auto It = DecodeCache.begin(); It != DecodeCache.end();) {
-    if (It->first >= Lo && It->first < Hi)
-      It = DecodeCache.erase(It);
-    else
-      ++It;
-  }
+  for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
+    ++LineGen[L];
 }
 
 //===----------------------------------------------------------------------===//
@@ -64,37 +68,30 @@ void Machine::invalidateDecodeRange(uint32_t Lo, uint32_t Hi) {
 void Machine::addWriteWatch(uint32_t Lo, uint32_t Hi) {
   if (Lo >= Hi)
     return;
+  Hi = std::min<uint64_t>(Hi, Mem.size());
   for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
-    ++WatchedLines[L];
+    LineState[L] += 2; // watch count lives above the sticky decoded bit
 }
 
 void Machine::removeWriteWatch(uint32_t Lo, uint32_t Hi) {
   if (Lo >= Hi)
     return;
-  for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L) {
-    auto It = WatchedLines.find(L);
-    if (It != WatchedLines.end() && --It->second == 0)
-      WatchedLines.erase(It);
-  }
+  Hi = std::min<uint64_t>(Hi, Mem.size());
+  for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
+    if (LineState[L] >> 1)
+      LineState[L] -= 2;
 }
 
-void Machine::noteWrite(uint32_t Addr, uint32_t Len) {
-  if (Len == 0 || Addr >= Mem.size())
-    return;
-  uint32_t L0 = Addr / WriteWatchLine;
-  uint32_t L1 = (Addr + Len - 1) / WriteWatchLine;
-  bool Decoded = false, Watched = false;
-  for (uint32_t L = L0; L <= L1 && L < DecodedLines.size(); ++L) {
-    Decoded = Decoded || DecodedLines[L] != 0;
-    Watched = Watched || (!WatchedLines.empty() && WatchedLines.count(L));
-  }
-  if (Decoded) {
+void Machine::noteWriteSlow(uint32_t Addr, uint32_t Len, uint32_t State) {
+  // The inline fast path already OR-ed the (at most two) line states; only
+  // monitored stores land here.
+  if (State & 1) {
     // Any instruction starting up to MaxInstrLength-1 bytes before the
     // store may span the written bytes.
     uint32_t Lo = Addr >= MaxInstrLength - 1 ? Addr - (MaxInstrLength - 1) : 0;
     PendingInval.push_back({Lo, Addr + Len});
   }
-  if (Watched)
+  if (State >> 1)
     CodeWrites.push_back({Addr, Addr + Len});
 }
 
@@ -227,51 +224,80 @@ bool Machine::writeOpF64(const Operand &Op, double Value) {
 
 namespace {
 
-bool parityEven(uint32_t Value) {
-  uint8_t B = uint8_t(Value);
-  B ^= B >> 4;
-  B ^= B >> 2;
-  B ^= B >> 1;
-  return (B & 1) == 0;
+/// Parity of the low result byte, precomputed: ParityLut.T[b] is EFLAGS_PF
+/// if b has even parity, else 0.
+struct ParityLut {
+  uint32_t T[256];
+  constexpr ParityLut() : T() {
+    for (unsigned I = 0; I != 256; ++I) {
+      unsigned B = I ^ (I >> 4);
+      B ^= B >> 2;
+      B ^= B >> 1;
+      T[I] = (B & 1) == 0 ? uint32_t(EFLAGS_PF) : 0u;
+    }
+  }
+};
+constexpr ParityLut Parity;
+
+constexpr uint32_t ArithFlags = EFLAGS_CF | EFLAGS_PF | EFLAGS_AF |
+                                EFLAGS_ZF | EFLAGS_SF | EFLAGS_OF;
+
+/// PF/ZF/SF bits for \p Result. SF is bit 7, so the sign bit shifts into
+/// place directly.
+inline uint32_t pzsBits(uint32_t Result) {
+  uint32_t Bits = Parity.T[Result & 0xFF];
+  if (Result == 0)
+    Bits |= EFLAGS_ZF;
+  Bits |= (Result >> 24) & EFLAGS_SF;
+  return Bits;
 }
 
 void setPZS(CpuState &St, uint32_t Result) {
-  St.setFlag(EFLAGS_PF, parityEven(Result));
-  St.setFlag(EFLAGS_ZF, Result == 0);
-  St.setFlag(EFLAGS_SF, (Result >> 31) != 0);
+  St.Eflags = (St.Eflags & ~(EFLAGS_PF | EFLAGS_ZF | EFLAGS_SF)) |
+              pzsBits(Result);
 }
 
-/// add/adc result flags; \p CarryIn is 0 or 1.
-uint32_t doAdd(CpuState &St, uint32_t A, uint32_t B, uint32_t CarryIn,
-               bool WriteCarry = true) {
+/// add/adc result flags; \p CarryIn is 0 or 1. All six arithmetic flags
+/// are merged into Eflags with one read-modify-write.
+inline uint32_t doAdd(CpuState &St, uint32_t A, uint32_t B, uint32_t CarryIn,
+                      bool WriteCarry = true) {
   uint64_t Wide = uint64_t(A) + B + CarryIn;
   uint32_t Result = uint32_t(Wide);
-  if (WriteCarry)
-    St.setFlag(EFLAGS_CF, (Wide >> 32) != 0);
-  St.setFlag(EFLAGS_OF, (((A ^ Result) & (B ^ Result)) >> 31) != 0);
-  St.setFlag(EFLAGS_AF, (((A ^ B ^ Result) >> 4) & 1) != 0);
-  setPZS(St, Result);
+  uint32_t Bits = pzsBits(Result);
+  Bits |= ((A ^ B ^ Result) & EFLAGS_AF); // AF is bit 4 of the carry vector
+  if (((A ^ Result) & (B ^ Result)) >> 31)
+    Bits |= EFLAGS_OF;
+  uint32_t Mask = ArithFlags & ~EFLAGS_CF;
+  if (WriteCarry) {
+    Mask = ArithFlags;
+    if (Wide >> 32)
+      Bits |= EFLAGS_CF;
+  }
+  St.Eflags = (St.Eflags & ~Mask) | Bits;
   return Result;
 }
 
 /// sub/sbb/cmp result flags.
-uint32_t doSub(CpuState &St, uint32_t A, uint32_t B, uint32_t BorrowIn,
-               bool WriteCarry = true) {
+inline uint32_t doSub(CpuState &St, uint32_t A, uint32_t B, uint32_t BorrowIn,
+                      bool WriteCarry = true) {
   uint64_t Rhs = uint64_t(B) + BorrowIn;
   uint32_t Result = uint32_t(A - B - BorrowIn);
-  if (WriteCarry)
-    St.setFlag(EFLAGS_CF, uint64_t(A) < Rhs);
-  St.setFlag(EFLAGS_OF, (((A ^ B) & (A ^ Result)) >> 31) != 0);
-  St.setFlag(EFLAGS_AF, (((A ^ B ^ Result) >> 4) & 1) != 0);
-  setPZS(St, Result);
+  uint32_t Bits = pzsBits(Result);
+  Bits |= ((A ^ B ^ Result) & EFLAGS_AF);
+  if (((A ^ B) & (A ^ Result)) >> 31)
+    Bits |= EFLAGS_OF;
+  uint32_t Mask = ArithFlags & ~EFLAGS_CF;
+  if (WriteCarry) {
+    Mask = ArithFlags;
+    if (uint64_t(A) < Rhs)
+      Bits |= EFLAGS_CF;
+  }
+  St.Eflags = (St.Eflags & ~Mask) | Bits;
   return Result;
 }
 
-void doLogicFlags(CpuState &St, uint32_t Result) {
-  St.setFlag(EFLAGS_CF, false);
-  St.setFlag(EFLAGS_OF, false);
-  St.setFlag(EFLAGS_AF, false);
-  setPZS(St, Result);
+inline void doLogicFlags(CpuState &St, uint32_t Result) {
+  St.Eflags = (St.Eflags & ~ArithFlags) | pzsBits(Result);
 }
 
 bool condHolds(const CpuState &St, unsigned Cc) {
@@ -323,6 +349,7 @@ unsigned Machine::createThread(AppPc Entry, uint32_t StackTop) {
   T.Cpu.Pc = Entry;
   T.Cpu.writeGpr32(REG_ESP, StackTop & ~15u);
   Threads.push_back(T);
+  CurCpu = &Threads[CurThread].Cpu; // push_back may have reallocated
   return unsigned(Threads.size() - 1);
 }
 
@@ -395,27 +422,43 @@ Machine::SyscallResult Machine::doSyscall() {
 
 StepResult Machine::step() {
   StepResult Result;
-  if (!PendingInval.empty())
+  if (RIO_UNLIKELY(!PendingInval.empty()))
     drainPendingInvalidations();
-  if (Status != RunStatus::Running) {
+  if (RIO_UNLIKELY(Status != RunStatus::Running)) {
     Result.Kind =
         Status == RunStatus::Exited ? StepKind::Exited : StepKind::Faulted;
     return Result;
   }
-  if (InstrsExecuted >= Config.MaxInstructions) {
+  if (RIO_UNLIKELY(InstrsExecuted >= Config.MaxInstructions)) {
     fault("instruction budget exceeded");
     Result.Kind = StepKind::Faulted;
     return Result;
   }
-  const DecodedInstr *DI = fetchDecode(cpu().Pc);
-  if (!DI) {
+  // Inline decode-cache hit path: one line probe serves both the decoded
+  // instruction and its memoized cycle cost.
+  const AppPc Pc = CurCpu->Pc;
+  const DecodedInstr *DI;
+  if (RIO_LIKELY(Pc < Mem.size())) {
+    DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
+    if (RIO_LIKELY(L.Tag == Pc && L.Gen == LineGen[Pc / WriteWatchLine])) {
+      Cycles += L.Cost;
+      DI = &L.DI;
+    } else {
+      DI = fetchDecode(Pc);
+      if (RIO_UNLIKELY(!DI)) {
+        fault("undecodable instruction at pc");
+        Result.Kind = StepKind::Faulted;
+        return Result;
+      }
+      Cycles += L.Cost; // fetchDecode refilled this very line
+    }
+  } else {
     fault("undecodable instruction at pc");
     Result.Kind = StepKind::Faulted;
     return Result;
   }
   ++InstrsExecuted;
-  Cycles += Config.Cost.cyclesFor(*DI);
-  LastPc = cpu().Pc;
+  LastPc = Pc;
   return execute(*DI);
 }
 

@@ -27,8 +27,10 @@
 #include "vm/Memory.h"
 #include "vm/Predictors.h"
 
+#include "support/Compiler.h"
+
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 namespace rio {
 
@@ -61,11 +63,17 @@ class Machine {
 public:
   explicit Machine(const MachineConfig &Config = MachineConfig());
 
+  // CurCpu points into Threads; copies would dangle.
+  Machine(const Machine &) = delete;
+  Machine &operator=(const Machine &) = delete;
+
   MemoryImage &mem() { return Mem; }
   const MemoryImage &mem() const { return Mem; }
-  CpuState &cpu() { return Threads[CurThread].Cpu; }
-  const CpuState &cpu() const { return Threads[CurThread].Cpu; }
+  CpuState &cpu() { return *CurCpu; }
+  const CpuState &cpu() const { return *CurCpu; }
   BranchPredictors &predictors() { return Pred; }
+  /// The cost model. Mutate it only before execution starts: decode-cache
+  /// lines memoize per-instruction costs at fill time.
   CostModel &cost() { return Config.Cost; }
   const MachineConfig &config() const { return Config; }
 
@@ -106,12 +114,22 @@ public:
   // Decode caching
   //===--------------------------------------------------------------------===
 
+  /// Number of lines in the direct-mapped decode cache. A pc maps to line
+  /// `pc & (DecodeCacheLines - 1)`; pcs that far apart alias (and evict
+  /// each other on fill — never serving a wrong decode, because each line
+  /// is tagged with its exact pc and a per-region generation).
+  static constexpr uint32_t DecodeCacheLines = 1u << 15;
+
   /// Decoded-instruction cache lookup (a software stand-in for the
   /// hardware's instruction/uop cache). Returns null on undecodable bytes.
+  /// The returned pointer is valid until the next fetchDecode call (an
+  /// aliasing pc may refill the same line).
   const DecodedInstr *fetchDecode(AppPc Pc);
 
   /// Invalidates cached decodes in [Lo, Hi); the runtime calls this when it
-  /// patches, deletes or replaces cache code.
+  /// patches, deletes or replaces cache code. O(1) per WriteWatchLine-sized
+  /// line spanned: bumps the line generations, instantly orphaning every
+  /// decode tagged with the old generation.
   void invalidateDecodeRange(uint32_t Lo, uint32_t Hi);
 
   //===--------------------------------------------------------------------===
@@ -155,6 +173,7 @@ public:
   void switchToThread(unsigned Tid) {
     assert(Tid < Threads.size() && Threads[Tid].Alive && "bad thread");
     CurThread = Tid;
+    CurCpu = &Threads[Tid].Cpu;
   }
 
   /// Creates a thread (entry pc + stack top); returns its id. Exposed for
@@ -171,17 +190,33 @@ private:
   /// execute stale decodes, natively or under a runtime) and logs an event
   /// when the line is watched. Invalidation is deferred to the next step()
   /// because the currently executing DecodedInstr lives in the cache.
-  void noteWrite(uint32_t Addr, uint32_t Len);
+  ///
+  /// The fast path is a single indexed load: LineState packs the sticky
+  /// decoded bit and the watch count per line, and is zero for ordinary
+  /// data lines (the stack, the heap). Callers guarantee [Addr, Addr+Len)
+  /// is in bounds (they note only successful writes) and Len <= 8, so a
+  /// store spans at most two lines.
+  RIO_ALWAYS_INLINE void noteWrite(uint32_t Addr, uint32_t Len) {
+    uint32_t L0 = Addr / WriteWatchLine;
+    uint32_t State = LineState[L0];
+    uint32_t L1 = (Addr + Len - 1) / WriteWatchLine;
+    if (RIO_UNLIKELY(L1 != L0))
+      State |= LineState[L1];
+    if (RIO_UNLIKELY(State != 0))
+      noteWriteSlow(Addr, Len, State);
+  }
+  void noteWriteSlow(uint32_t Addr, uint32_t Len, uint32_t State);
   void drainPendingInvalidations();
 
-  // Operand evaluation helpers (see Machine.cpp).
-  bool memAddr(const Operand &Op, uint32_t &Addr) const;
-  bool readOp32(const Operand &Op, uint32_t &Value);
-  bool writeOp32(const Operand &Op, uint32_t Value);
-  bool readOp8(const Operand &Op, uint8_t &Value);
-  bool writeOp8(const Operand &Op, uint8_t Value);
-  bool readOpF64(const Operand &Op, double &Value);
-  bool writeOpF64(const Operand &Op, double Value);
+  // Operand evaluation helpers (see Machine.cpp). Force-inlined into the
+  // interpreter switch: they are tiny and on the hottest host path.
+  RIO_ALWAYS_INLINE bool memAddr(const Operand &Op, uint32_t &Addr) const;
+  RIO_ALWAYS_INLINE bool readOp32(const Operand &Op, uint32_t &Value);
+  RIO_ALWAYS_INLINE bool writeOp32(const Operand &Op, uint32_t Value);
+  RIO_ALWAYS_INLINE bool readOp8(const Operand &Op, uint8_t &Value);
+  RIO_ALWAYS_INLINE bool writeOp8(const Operand &Op, uint8_t Value);
+  RIO_ALWAYS_INLINE bool readOpF64(const Operand &Op, double &Value);
+  RIO_ALWAYS_INLINE bool writeOpF64(const Operand &Op, double Value);
 
   SyscallResult doSyscall();
 
@@ -205,14 +240,29 @@ private:
   uint64_t InstrsExecuted = 0;
   AppPc LastPc = 0;
 
-  std::unordered_map<AppPc, DecodedInstr> DecodeCache;
+  /// One direct-mapped decode-cache line: valid iff Tag matches the probe
+  /// pc and Gen matches the current generation of the pc's watch line.
+  /// Cost memoizes the (fixed) cost model's cyclesFor at fill time so the
+  /// hit path charges cycles with one load instead of an operand walk.
+  struct DecodeLine {
+    uint32_t Tag = 0;
+    uint32_t Gen = 0; ///< LineGen value at fill time (LineGen starts at 1)
+    uint32_t Cost = 0;
+    DecodedInstr DI;
+  };
+  std::vector<DecodeLine> DecodeCache; ///< DecodeCacheLines entries
+  std::vector<uint32_t> LineGen;       ///< per-WriteWatchLine generation
 
-  // Write-monitor state. DecodedLines is sticky: a set bit means the line
-  // held a cached decode at some point, so stores there must invalidate.
-  std::unordered_map<uint32_t, uint32_t> WatchedLines; ///< line -> watch count
-  std::vector<uint8_t> DecodedLines;                   ///< per-line flag
+  /// Write-monitor state, one word per WriteWatchLine-sized line:
+  /// bit 0 is sticky "a decode was cached from this line" (stores there
+  /// must invalidate); bits 1+ count live write watches (registrations
+  /// nest). Zero means stores to the line are unmonitored — the common
+  /// case, and noteWrite's single-load fast path.
+  std::vector<uint32_t> LineState;
   std::vector<CodeWriteEvent> CodeWrites;
   std::vector<CodeWriteEvent> PendingInval; ///< drained at next step()
+
+  CpuState *CurCpu = nullptr; ///< &Threads[CurThread].Cpu, cached
 };
 
 } // namespace rio

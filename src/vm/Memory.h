@@ -20,23 +20,36 @@
 #include "isa/Operand.h"
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
-#include <vector>
+#include <new>
 
 namespace rio {
 
 /// Bounds-checked byte-addressable memory. All accessors return false on an
 /// out-of-range access (the Machine converts that into a simulated fault).
+///
+/// The image is calloc'd rather than vector-initialized: the OS hands back
+/// lazily-zeroed pages, so constructing a Machine does not touch all 32MB
+/// of a mostly-unused address space.
 class MemoryImage {
 public:
-  explicit MemoryImage(uint32_t Size) : Bytes(Size, 0) {}
+  explicit MemoryImage(uint32_t Size)
+      : Bytes(static_cast<uint8_t *>(std::calloc(Size ? Size : 1, 1))),
+        Sz(Size) {
+    if (!Bytes)
+      throw std::bad_alloc();
+  }
+  ~MemoryImage() { std::free(Bytes); }
+  MemoryImage(const MemoryImage &) = delete;
+  MemoryImage &operator=(const MemoryImage &) = delete;
 
-  uint32_t size() const { return uint32_t(Bytes.size()); }
-  const uint8_t *data() const { return Bytes.data(); }
-  uint8_t *data() { return Bytes.data(); }
+  uint32_t size() const { return Sz; }
+  const uint8_t *data() const { return Bytes; }
+  uint8_t *data() { return Bytes; }
 
   bool inBounds(uint32_t Addr, uint32_t Len) const {
-    return Addr <= Bytes.size() && Len <= Bytes.size() - Addr;
+    return Addr <= Sz && Len <= Sz - Addr;
   }
 
   bool read8(uint32_t Addr, uint8_t &Value) const {
@@ -110,7 +123,8 @@ public:
   }
 
 private:
-  std::vector<uint8_t> Bytes;
+  uint8_t *Bytes;
+  uint32_t Sz;
 };
 
 } // namespace rio

@@ -171,6 +171,79 @@ TEST(CacheMgmt, SelfModifyingCodeRetranslates) {
   EXPECT_LT(Invalidations, Built);
 }
 
+TEST(CacheMgmt, SmcWriteToDecodeCacheAliasedPc) {
+  // Two functions exactly Machine::DecodeCacheLines bytes apart share a
+  // direct-mapped decode-cache line (but live on different write-watch
+  // lines). After both have executed — so the shared line has been filled
+  // by each in turn — the program overwrites the first function's
+  // immediate and calls both again. The stale decode must not survive:
+  // natively via the line-generation invalidation, and under the runtime
+  // via fragment invalidation of the aliased pc only.
+  //
+  //   warm:  4 * (7 + 100)  = 428
+  //   patch f1 -> returns 9
+  //   again: 4 * (9 + 100)  = 436  => checksum 864
+  std::string Pad =
+      std::to_string(Machine::DecodeCacheLines - 8); // f1 body is 8 bytes
+  Program P = assembleOrDie(R"(
+    main:
+      mov esi, 0
+      mov ecx, 4
+    warm:
+      call f1
+      add esi, eax
+      call f2
+      add esi, eax
+      dec ecx
+      jnz warm
+      mov eax, [tmpl]
+      mov edx, [tmpl+4]
+      mov [f1], eax
+      mov [f1+4], edx
+      mov ecx, 4
+    again:
+      call f1
+      add esi, eax
+      call f2
+      add esi, eax
+      dec ecx
+      jnz again
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+    f1:
+      mov eax, 7
+      ret
+      nop
+      nop
+    .space )" + Pad + R"(
+    f2:
+      mov eax, 100
+      ret
+    tmpl:
+      mov eax, 9
+      ret
+      nop
+      nop
+  )");
+  ASSERT_EQ(P.symbol("f2") - P.symbol("f1"), Machine::DecodeCacheLines);
+
+  NativeRun Native = runNative(P);
+  ASSERT_EQ(Native.Status, RunStatus::Exited) << Native.FaultReason;
+  EXPECT_EQ(Native.Output, "864\n"); // stale decode would print 856
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  Runtime RT(M, RuntimeConfig::full());
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), Native.Output);
+  EXPECT_GE(RT.stats().get("smc_invalidations"), 1u);
+}
+
 TEST(CacheMgmt, MonitoringCanBeDisabled) {
   // With MonitorCodeWrites off the runtime must not fault on code writes
   // (it just keeps executing the stale translation — the documented

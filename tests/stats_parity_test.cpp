@@ -1,0 +1,91 @@
+//===- tests/stats_parity_test.cpp - Hot-path refactor parity goldens -------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression goldens for the hot-path data structures (handle-based
+/// statistics, the flat fragment/IBL table, the direct-mapped decode
+/// cache). Those are host-side optimizations: the *simulated* machine —
+/// cycle counts and every Figure 1 flow-chart edge counter — must be
+/// bit-identical to the values recorded before the structures were
+/// introduced. The workloads cover direct branches, megamorphic indirect
+/// branches, trace building, self-modifying code, and FIFO eviction under
+/// cache pressure.
+///
+/// All assertions go through the string-keyed StatisticSet::get() —
+/// deliberately the old-style client API, proving the interned-handle
+/// plumbing feeds the same names clients and tests have always read.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "workloads/Workloads.h"
+
+#include "gtest/gtest.h"
+
+using namespace rio;
+
+namespace {
+
+constexpr const char *FlowKeys[] = {
+    "dispatches",       "context_switches",  "ibl_lookups",
+    "ibl_hits",         "ibl_misses",        "head_counter_bumps",
+    "cache_evictions",  "basic_blocks_built", "traces_built",
+    "links_made",       "smc_invalidations",  "fragments_deleted",
+};
+constexpr size_t NumFlowKeys = sizeof(FlowKeys) / sizeof(FlowKeys[0]);
+
+struct Golden {
+  const char *Workload;
+  uint64_t Cycles;
+  uint64_t Instructions;
+  uint64_t Flow[NumFlowKeys];
+};
+
+// Recorded with the pre-refactor runtime (node-based maps, string-keyed
+// counters, unordered_map decode cache) at default scale, full() config.
+constexpr Golden FullConfigGoldens[] = {
+    {"crafty", 2311526ull, 504163ull,
+     {29, 28, 15226, 15222, 4, 196, 0, 12, 4, 20, 0, 4}},
+    {"vpr", 8092153ull, 3653228ull,
+     {42, 41, 50, 48, 2, 294, 0, 14, 6, 28, 0, 6}},
+    {"gap", 10807576ull, 2820116ull,
+     {22, 21, 180038, 180032, 6, 98, 0, 11, 2, 9, 0, 2}},
+    {"smc", 873883ull, 41548ull,
+     {917, 916, 3302, 3239, 63, 3184, 0, 371, 64, 534, 360, 424}},
+};
+
+// Same recording under bounded caches small enough to force FIFO eviction
+// (546 evictions), exercising head-state persistence across eviction.
+constexpr Golden PressureGolden = {
+    "cachepressure", 1144198ull, 42966ull,
+    {628, 627, 1557, 1054, 503, 43, 546, 561, 1, 94, 0, 547}};
+
+void expectGolden(const Golden &G, const RuntimeConfig &Config) {
+  const Workload *W = findWorkload(G.Workload);
+  ASSERT_NE(W, nullptr) << G.Workload;
+  Outcome O = runUnderRuntime(buildWorkload(*W, 0), Config, ClientKind::None);
+  EXPECT_EQ(O.Status, RunStatus::Exited) << G.Workload;
+  EXPECT_EQ(O.Cycles, G.Cycles) << G.Workload;
+  EXPECT_EQ(O.Instructions, G.Instructions) << G.Workload;
+  for (size_t Idx = 0; Idx != NumFlowKeys; ++Idx)
+    EXPECT_EQ(O.Stats.get(FlowKeys[Idx]), G.Flow[Idx])
+        << G.Workload << " " << FlowKeys[Idx];
+}
+
+TEST(StatsParity, FullConfigWorkloadsMatchPreRefactorGoldens) {
+  for (const Golden &G : FullConfigGoldens)
+    expectGolden(G, RuntimeConfig::full());
+}
+
+TEST(StatsParity, EvictionUnderPressureMatchesPreRefactorGoldens) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.BbCacheSize = 1024;
+  Config.TraceCacheSize = 2048;
+  expectGolden(PressureGolden, Config);
+}
+
+} // namespace

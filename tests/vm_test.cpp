@@ -7,6 +7,8 @@
 
 #include "TestUtil.h"
 
+#include "ir/Instr.h"
+#include "support/Arena.h"
 #include "vm/Syscall.h"
 
 using namespace rio;
@@ -541,6 +543,105 @@ TEST(Predictors, RasOverflowWrapsGracefully) {
     if (I == 36)
       break;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Decode cache (direct-mapped, generation-invalidated)
+//===----------------------------------------------------------------------===//
+
+/// Encodes \p I at \p Pc in \p M's memory; returns the encoded length.
+unsigned placeInstr(Machine &M, uint32_t Pc, Instr *I) {
+  uint8_t Buf[MaxInstrLength];
+  int Len = I->encode(Pc, Buf, false);
+  EXPECT_GT(Len, 0);
+  EXPECT_TRUE(M.mem().writeBlock(Pc, Buf, unsigned(Len)));
+  return unsigned(Len);
+}
+
+TEST(VmDecodeCache, AliasingPcsNeverServeWrongDecode) {
+  Machine M;
+  Arena A(1024);
+  // Two pcs exactly DecodeCacheLines apart map to the same cache line.
+  uint32_t Pc1 = 0x100;
+  uint32_t Pc2 = Pc1 + Machine::DecodeCacheLines;
+  placeInstr(M, Pc1, Instr::createSynth(A, OP_mov, {Operand::reg(REG_EAX),
+                                                    Operand::imm(111, 4)}));
+  placeInstr(M, Pc2, Instr::createSynth(A, OP_mov, {Operand::reg(REG_EBX),
+                                                    Operand::imm(222, 4)}));
+
+  const DecodedInstr *D1 = M.fetchDecode(Pc1);
+  ASSERT_NE(D1, nullptr);
+  EXPECT_EQ(D1->Op, OP_mov);
+  EXPECT_EQ(D1->Srcs[0].getImm(), 111);
+
+  // The aliasing pc evicts Pc1's line but must decode its own bytes.
+  const DecodedInstr *D2 = M.fetchDecode(Pc2);
+  ASSERT_NE(D2, nullptr);
+  EXPECT_EQ(D2->Srcs[0].getImm(), 222);
+  EXPECT_EQ(D2->Dsts[0].getReg(), REG_EBX);
+
+  // Ping-pong: refilling after eviction still yields the right decode.
+  D1 = M.fetchDecode(Pc1);
+  ASSERT_NE(D1, nullptr);
+  EXPECT_EQ(D1->Srcs[0].getImm(), 111);
+  EXPECT_EQ(D1->Dsts[0].getReg(), REG_EAX);
+}
+
+TEST(VmDecodeCache, RangeInvalidationDropsStaleDecode) {
+  Machine M;
+  Arena A(1024);
+  uint32_t Pc = 0x200;
+  unsigned Len = placeInstr(
+      M, Pc,
+      Instr::createSynth(A, OP_mov,
+                         {Operand::reg(REG_EAX), Operand::imm(1, 4)}));
+  const DecodedInstr *D = M.fetchDecode(Pc);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Srcs[0].getImm(), 1);
+
+  // Overwrite the bytes and invalidate: the next fetch must re-decode.
+  placeInstr(M, Pc, Instr::createSynth(A, OP_mov, {Operand::reg(REG_EAX),
+                                                   Operand::imm(2, 4)}));
+  M.invalidateDecodeRange(Pc, Pc + Len);
+  D = M.fetchDecode(Pc);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->Srcs[0].getImm(), 2);
+}
+
+TEST(VmDecodeCache, InvalidationOfOneLineSparesAliasedOther) {
+  Machine M;
+  Arena A(1024);
+  // Same decode-cache line, different write-watch lines: invalidating
+  // around Pc1 bumps only Pc1's line generation. Pc2's decode, filled
+  // afterwards into the shared line, must survive an invalidation aimed
+  // at Pc1's range, and Pc1 must re-decode fresh bytes on its next fetch.
+  uint32_t Pc1 = 0x300;
+  uint32_t Pc2 = Pc1 + Machine::DecodeCacheLines;
+  unsigned Len1 = placeInstr(
+      M, Pc1,
+      Instr::createSynth(A, OP_mov,
+                         {Operand::reg(REG_EAX), Operand::imm(10, 4)}));
+  placeInstr(M, Pc2, Instr::createSynth(A, OP_mov, {Operand::reg(REG_ECX),
+                                                    Operand::imm(20, 4)}));
+
+  ASSERT_NE(M.fetchDecode(Pc1), nullptr);
+  placeInstr(M, Pc1, Instr::createSynth(A, OP_mov, {Operand::reg(REG_EAX),
+                                                    Operand::imm(11, 4)}));
+  M.invalidateDecodeRange(Pc1, Pc1 + Len1);
+
+  const DecodedInstr *D2 = M.fetchDecode(Pc2);
+  ASSERT_NE(D2, nullptr);
+  EXPECT_EQ(D2->Srcs[0].getImm(), 20);
+
+  const DecodedInstr *D1 = M.fetchDecode(Pc1);
+  ASSERT_NE(D1, nullptr);
+  EXPECT_EQ(D1->Srcs[0].getImm(), 11);
+}
+
+TEST(VmDecodeCache, OutOfRangePcReturnsNull) {
+  Machine M;
+  EXPECT_EQ(M.fetchDecode(uint32_t(M.mem().size())), nullptr);
+  EXPECT_EQ(M.fetchDecode(~0u), nullptr);
 }
 
 } // namespace
