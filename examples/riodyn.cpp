@@ -16,6 +16,8 @@
 ///     -client <none|null|inscount|rlr|inc2add|ibdispatch|customtraces|
 ///              shepherd|all4>
 ///     -threads               use the multi-thread scheduler
+///     -shared                one shared code cache for all threads
+///                            (default: thread-private caches)
 ///     -sideline              defer trace optimization to the sideline
 ///     -stats                 print runtime statistics
 ///     -disas <symbol>        disassemble the fragment at a program symbol
@@ -56,8 +58,8 @@ int usage() {
             "full>\n"
             "  -client <none|null|inscount|rlr|inc2add|ibdispatch|"
             "customtraces|shepherd|all4>\n"
-            "  -threads | -sideline | -stats | -scale <n> | -disas <sym> | "
-            "-dump-asm\n"
+            "  -threads [-shared] | -sideline | -stats | -scale <n> | "
+            "-disas <sym> | -dump-asm\n"
             "workloads:");
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
@@ -69,7 +71,8 @@ int usage() {
 
 int main(int argc, char **argv) {
   OutStream &OS = outs();
-  bool Native = false, Threads = false, UseSideline = false, Stats = false;
+  bool Native = false, Threads = false, Shared = false, UseSideline = false,
+       Stats = false;
   bool DumpAsm = false;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym;
   int Scale = 0;
@@ -80,6 +83,8 @@ int main(int argc, char **argv) {
       Native = true;
     else if (Arg == "-threads")
       Threads = true;
+    else if (Arg == "-shared")
+      Threads = Shared = true;
     else if (Arg == "-sideline")
       UseSideline = true;
     else if (Arg == "-stats")
@@ -137,6 +142,8 @@ int main(int argc, char **argv) {
     Config = RuntimeConfig::full();
   else
     return usage();
+  if (Shared)
+    Config.Sharing = CacheSharing::Shared;
 
   // Resolve client.
   ShepherdingClient Shepherd;

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_throughput.json files (bench/bench_throughput).
+"""Compare two BENCH_*.json files produced by the bench binaries.
 
-Each file is an array of {"config", "instructions", "wall_ns", "mips"}
-entries. Configs are matched by name; the MIPS delta is reported for each.
+Two schemas are recognized by their fields:
 
-By default the script only *warns* on regressions (exit 0), so it can gate
-CI softly while the checked-in baseline was measured on different hardware
-than the runner. Pass --fail-on-regress to turn a regression beyond the
-threshold into a non-zero exit.
+  * throughput (bench_throughput): entries carry {"config", "instructions",
+    "wall_ns", "mips"}. MIPS is wall-clock derived, so higher is better and
+    runs on different hardware are only loosely comparable — the default is
+    to warn on regressions and exit 0.
+
+  * simulated (bench_threads): entries carry {"config", "cycles", ...} plus
+    deterministic byte/fragment counts. Lower cycles is better, and the
+    numbers are exact (simulated clock), so any drift is a real behavior
+    change worth reading; cache_bytes drift is reported alongside.
+
+Configs are matched by name. Pass --fail-on-regress to turn a regression
+beyond the threshold into a non-zero exit.
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
@@ -24,13 +31,47 @@ def load(path):
         data = json.load(f)
     if not isinstance(data, list):
         raise ValueError(f"{path}: expected a JSON array")
+    if not data:
+        raise ValueError(f"{path}: empty benchmark array")
+    schema = "throughput" if "mips" in data[0] else "simulated"
+    required = ("config", "instructions", "wall_ns", "mips") \
+        if schema == "throughput" else ("config", "cycles")
     out = {}
     for entry in data:
-        for key in ("config", "instructions", "wall_ns", "mips"):
+        for key in required:
             if key not in entry:
                 raise ValueError(f"{path}: entry missing '{key}': {entry}")
         out[entry["config"]] = entry
-    return out
+    return schema, out
+
+
+def compare(base, cur, metric, higher_is_better, threshold, extra=None):
+    """Prints a per-config table; returns the list of regressions."""
+    regressions = []
+    header = f"{'config':<14} {'base ' + metric:>14} {'cur ' + metric:>14} " \
+             f"{'delta':>9}"
+    if extra:
+        header += f" {extra + ' delta':>17}"
+    print(header)
+    for name in sorted(set(base) | set(cur)):
+        if name not in base:
+            print(f"{name:<14} {'-':>14} {cur[name][metric]:>14}   (new)")
+            continue
+        if name not in cur:
+            print(f"{name:<14} {base[name][metric]:>14} {'-':>14}   (gone)")
+            regressions.append(f"{name}: missing from current file")
+            continue
+        b, c = float(base[name][metric]), float(cur[name][metric])
+        delta = (c - b) / b * 100.0 if b else 0.0
+        line = f"{name:<14} {b:>14.2f} {c:>14.2f} {delta:>+8.1f}%"
+        if extra and extra in base[name] and extra in cur[name]:
+            line += f" {cur[name][extra] - base[name][extra]:>+17}"
+        print(line)
+        worse = -delta if higher_is_better else delta
+        if worse > threshold:
+            regressions.append(f"{name}: {b:.2f} -> {c:.2f} {metric} "
+                               f"({delta:+.1f}%)")
+    return regressions
 
 
 def main():
@@ -43,25 +84,19 @@ def main():
                     help="exit 1 if any config regresses past the threshold")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base_schema, base = load(args.baseline)
+    cur_schema, cur = load(args.current)
+    if base_schema != cur_schema:
+        print(f"schema mismatch: {args.baseline} is {base_schema}, "
+              f"{args.current} is {cur_schema}")
+        return 1
 
-    regressions = []
-    print(f"{'config':<14} {'base MIPS':>12} {'cur MIPS':>12} {'delta':>9}")
-    for name in sorted(set(base) | set(cur)):
-        if name not in base:
-            print(f"{name:<14} {'-':>12} {cur[name]['mips']:>12.2f}   (new)")
-            continue
-        if name not in cur:
-            print(f"{name:<14} {base[name]['mips']:>12.2f} {'-':>12}   (gone)")
-            regressions.append(f"{name}: missing from {args.current}")
-            continue
-        b, c = base[name]["mips"], cur[name]["mips"]
-        delta = (c - b) / b * 100.0 if b else 0.0
-        print(f"{name:<14} {b:>12.2f} {c:>12.2f} {delta:>+8.1f}%")
-        if delta < -args.threshold:
-            regressions.append(
-                f"{name}: {b:.2f} -> {c:.2f} MIPS ({delta:+.1f}%)")
+    if base_schema == "throughput":
+        regressions = compare(base, cur, "mips", higher_is_better=True,
+                              threshold=args.threshold)
+    else:
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
         print(f"\nWARNING: regression beyond {args.threshold:.0f}%:")

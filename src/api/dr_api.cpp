@@ -289,6 +289,14 @@ uint32_t rio::dr_get_tls_field(void *Context) {
   return Value;
 }
 
+bool rio::dr_using_shared_cache(void *Context) {
+  return runtimeOf(Context).config().Sharing == CacheSharing::Shared;
+}
+
+unsigned rio::dr_get_thread_id(void *Context) {
+  return runtimeOf(Context).activeContext().Tid;
+}
+
 //===----------------------------------------------------------------------===//
 // Spill slots and clean calls
 //===----------------------------------------------------------------------===//

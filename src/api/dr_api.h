@@ -226,8 +226,30 @@ void *dr_global_alloc(void *context, size_t size);
 void *dr_thread_alloc(void *context, size_t size);
 
 /// Generic client thread-local field (a runtime slot, paper Section 3.2).
+/// Under shared caches (dr_using_shared_cache) the slot is banked per
+/// thread by the scheduler, so reads/writes always see the field of the
+/// thread the runtime is currently executing as.
 void dr_set_tls_field(void *context, uint32_t value);
 uint32_t dr_get_tls_field(void *context);
+
+//===----------------------------------------------------------------------===//
+// Threads and cache sharing (paper Section 2)
+//===----------------------------------------------------------------------===//
+
+/// True when this runtime serves every application thread from one shared
+/// pair of code caches (RuntimeConfig::CacheSharing::Shared) instead of the
+/// paper's thread-private caches: "the cost of duplicating [shared code]
+/// for each thread was far outweighed by the savings of not having to
+/// synchronize changes in the cache" (Section 2). Clients caring about
+/// per-fragment thread affinity (a fragment is executed by every thread in
+/// shared mode) can branch on this.
+bool dr_using_shared_cache(void *context);
+
+/// Id of the application thread this runtime is currently executing as.
+/// Always 0 under thread-private caches (each thread has its own runtime,
+/// each considering itself thread 0); under a shared cache, the id of the
+/// active thread context.
+unsigned dr_get_thread_id(void *context);
 
 //===----------------------------------------------------------------------===//
 // Register spill slots and clean calls

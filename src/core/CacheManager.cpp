@@ -37,13 +37,13 @@ void CacheManager::configureCache(Fragment::Kind Kind, uint32_t Start,
 //===----------------------------------------------------------------------===//
 
 uint32_t CacheManager::allocate(Fragment::Kind Kind, uint32_t Size,
-                                uint32_t GuardPc) {
+                                const std::vector<uint32_t> &GuardPcs) {
   Cache &C = cacheFor(Kind);
   assert(C.End > C.Start && "cache not configured");
   Size = (Size + 3u) & ~3u;
   if (Size == 0 || Size > C.End - C.Start)
     return 0;
-  reclaimPending(GuardPc);
+  reclaimPending(GuardPcs);
   for (auto It = C.FreeGaps.begin(); It != C.FreeGaps.end(); ++It) {
     if (It->second < Size)
       continue;
@@ -58,11 +58,11 @@ uint32_t CacheManager::allocate(Fragment::Kind Kind, uint32_t Size,
 }
 
 uint32_t CacheManager::allocateEvicting(
-    Fragment::Kind Kind, uint32_t Size, uint32_t GuardPc,
+    Fragment::Kind Kind, uint32_t Size, const std::vector<uint32_t> &GuardPcs,
     const std::function<void(Fragment *)> &Evict) {
   Cache &C = cacheFor(Kind);
   for (;;) {
-    if (uint32_t Addr = allocate(Kind, Size, GuardPc))
+    if (uint32_t Addr = allocate(Kind, Size, GuardPcs))
       return Addr;
     // Pop the oldest live fragment; entries of already-retired fragments
     // are skipped lazily (a FIFO entry is live only while the slot map
@@ -141,14 +141,14 @@ void CacheManager::retireFragment(Fragment *Frag) {
   publishOccupancy(Frag->FragKind);
 }
 
-void CacheManager::reclaimPending(uint32_t GuardPc) {
+void CacheManager::reclaimPending(const std::vector<uint32_t> &GuardPcs) {
   for (Cache &C : Caches) {
     if (C.Pending.empty())
       continue;
     std::vector<std::pair<uint32_t, uint32_t>> Kept;
     for (auto &Slot : C.Pending) {
-      if (GuardPc && slotContains(Slot.first, Slot.second, GuardPc))
-        Kept.push_back(Slot); // execution still sits in these bytes
+      if (slotContainsAny(Slot.first, Slot.second, GuardPcs))
+        Kept.push_back(Slot); // some thread still sits in these bytes
       else
         freeRange(C, Slot.first, Slot.second);
     }

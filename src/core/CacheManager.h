@@ -17,7 +17,11 @@
 ///   - deferred reclamation: a deleted fragment's bytes stay in place (so
 ///     execution logically inside it stays well-defined) until the next
 ///     allocation drains the pending list — skipping any slot that still
-///     contains the guard pc (a suspended or clean-calling thread);
+///     contains *any* guard pc. With thread-private caches there is at most
+///     one guard (the suspended or clean-calling owner thread); in shared
+///     mode (CacheSharing::Shared) the runtime passes every suspended
+///     thread's resume pc, so a slot is reclaimed only once every thread
+///     has left it;
 ///   - an application-range index mapping app code lines to the live
 ///     fragments they back, for consistency invalidation (self-modifying
 ///     code, dr_flush_region) via the Machine's write monitor.
@@ -62,8 +66,14 @@ public:
 
   /// First-fit allocation of \p Size bytes (4-byte aligned) from the free
   /// list, draining reclaimable retired slots first. Returns 0 when no gap
-  /// fits — the caller evicts (allocateEvicting) or flushes.
-  uint32_t allocate(Fragment::Kind Kind, uint32_t Size, uint32_t GuardPc = 0);
+  /// fits — the caller evicts (allocateEvicting) or flushes. \p GuardPcs
+  /// are cache pcs execution may still re-enter (suspended threads, a
+  /// clean-calling fragment); slots containing one stay unreclaimed.
+  uint32_t allocate(Fragment::Kind Kind, uint32_t Size,
+                    const std::vector<uint32_t> &GuardPcs = {});
+  uint32_t allocate(Fragment::Kind Kind, uint32_t Size, uint32_t GuardPc) {
+    return allocate(Kind, Size, guardSetOf(GuardPc));
+  }
 
   /// Like allocate(), but when space runs out evicts live fragments in
   /// FIFO order — \p Evict must fully delete the victim (unlink incoming
@@ -71,8 +81,13 @@ public:
   /// retireFragment(). Returns 0 only if the cache cannot hold \p Size
   /// even after evicting everything evictable.
   uint32_t allocateEvicting(Fragment::Kind Kind, uint32_t Size,
-                            uint32_t GuardPc,
+                            const std::vector<uint32_t> &GuardPcs,
                             const std::function<void(Fragment *)> &Evict);
+  uint32_t allocateEvicting(Fragment::Kind Kind, uint32_t Size,
+                            uint32_t GuardPc,
+                            const std::function<void(Fragment *)> &Evict) {
+    return allocateEvicting(Kind, Size, guardSetOf(GuardPc), Evict);
+  }
 
   //===--------------------------------------------------------------------===
   // Fragment lifecycle
@@ -89,9 +104,11 @@ public:
   void retireFragment(Fragment *Frag);
 
   /// Frees pending retired slots into the free list (coalescing adjacent
-  /// gaps). A slot containing \p GuardPc stays pending: execution is still
-  /// logically inside it.
-  void reclaimPending(uint32_t GuardPc);
+  /// gaps). A slot containing any pc of \p GuardPcs stays pending:
+  /// execution is still logically inside it — in shared-cache mode that
+  /// may be several suspended threads at once.
+  void reclaimPending(const std::vector<uint32_t> &GuardPcs);
+  void reclaimPending(uint32_t GuardPc) { reclaimPending(guardSetOf(GuardPc)); }
 
   //===--------------------------------------------------------------------===
   // Queries
@@ -150,6 +167,20 @@ private:
   }
   static bool slotContains(uint32_t Addr, uint32_t Size, uint32_t Pc) {
     return Pc >= Addr && Pc < Addr + Size;
+  }
+  static bool slotContainsAny(uint32_t Addr, uint32_t Size,
+                              const std::vector<uint32_t> &Pcs) {
+    for (uint32_t Pc : Pcs)
+      if (slotContains(Addr, Size, Pc))
+        return true;
+    return false;
+  }
+  /// Adapter for the single-guard convenience overloads (0 = no guard).
+  static std::vector<uint32_t> guardSetOf(uint32_t GuardPc) {
+    std::vector<uint32_t> Set;
+    if (GuardPc)
+      Set.push_back(GuardPc);
+    return Set;
   }
 
   /// Inserts [Addr, Addr+Size) into the free list, merging with adjacent

@@ -26,15 +26,19 @@ using namespace rio;
 //===----------------------------------------------------------------------===//
 
 uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
-  uint32_t Guard = unsafeCachePc();
-  uint32_t Addr = CM.allocate(Kind, Size, Guard);
+  // Guards: cache pcs some thread may still re-enter. The active thread
+  // contributes its clean-call/suspension pc; in shared-cache mode every
+  // other suspended thread contributes its resume pc, so eviction and
+  // reclamation below never free bytes any thread is logically inside.
+  const std::vector<uint32_t> &Guards = collectGuardPcs();
+  uint32_t Addr = CM.allocate(Kind, Size, Guards);
   if (!Addr) {
     if (Config.Eviction == EvictionPolicy::Fifo) {
       // Incremental capacity management: make room by evicting the oldest
       // fragments of this cache (paper Section 6's alternative to flushing
       // the entire cache). Evicted trace heads stay marked so a re-arrival
       // re-promotes without recounting from zero.
-      Addr = CM.allocateEvicting(Kind, Size, Guard, [this](Fragment *Victim) {
+      Addr = CM.allocateEvicting(Kind, Size, Guards, [this](Fragment *Victim) {
         ++S.CacheEvictions;
         S.CacheEvictedBytes += Victim->CodeSize + Victim->StubsSize;
         if (Victim->isTrace())
@@ -44,7 +48,7 @@ uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
       });
     } else {
       flushCache(Kind);
-      Addr = CM.allocate(Kind, Size, Guard);
+      Addr = CM.allocate(Kind, Size, collectGuardPcs());
     }
   }
   if (!Addr) {
@@ -413,7 +417,7 @@ Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
                 uint64_t(M.cost().BlockBuildPerInstr) * Scan.NumInstrs);
 
   if (TheClient) {
-    CurrentFragmentTag = Tag;
+    TC->CurrentFragmentTag = Tag;
     TheClient->onBasicBlock(*this, Tag, IL);
   }
   // Level-of-detail cost: pay for whatever representation this list
@@ -525,7 +529,7 @@ void Runtime::flushCaches() {
 }
 
 void Runtime::flushCache(Fragment::Kind Kind) {
-  if (TraceGenActive)
+  if (inTraceGen())
     abortTrace();
   // Delete every live fragment of this cache: dissolve links, notify the
   // client, drop the lookup entries, and hand the space back. The old
@@ -540,7 +544,7 @@ void Runtime::flushCache(Fragment::Kind Kind) {
       Victims.push_back(Frag.get());
   for (Fragment *Victim : Victims)
     deleteFragment(Victim);
-  CM.reclaimPending(unsafeCachePc());
+  CM.reclaimPending(collectGuardPcs());
   ++(Kind == Fragment::Kind::Trace ? S.CacheFlushesTrace : S.CacheFlushesBb);
 }
 

@@ -99,6 +99,16 @@ public:
   /// Distinct tags ever interned.
   size_t size() const { return Count; }
 
+  /// Visits every interned entry (including tags whose fragment is
+  /// currently null). Used by benches/tools to survey per-tag state — e.g.
+  /// counting how many tags several thread-private tables duplicate versus
+  /// one shared table.
+  template <typename Fn> void forEachEntry(Fn Visit) const {
+    for (const FragmentEntry &E : Entries)
+      if (E.Used)
+        Visit(E);
+  }
+
 private:
   static constexpr size_t InitialCapacity = 1u << 10; // power of two
 

@@ -10,6 +10,7 @@
 #include "support/Compiler.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace rio;
 
@@ -50,7 +51,8 @@ Runtime::FlowStats::FlowStats(StatisticSet &S)
       TraceBranchesInverted(S.stat("trace_branches_inverted")),
       TraceJmpsElided(S.stat("trace_jmps_elided")),
       TraceCallsInlined(S.stat("trace_calls_inlined")),
-      IndirectBranchesInlined(S.stat("indirect_branches_inlined")) {}
+      IndirectBranchesInlined(S.stat("indirect_branches_inlined")),
+      ThreadContextSwaps(S.stat("thread_context_swaps")) {}
 
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
@@ -89,6 +91,11 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
   CM.configureCache(Fragment::Kind::Trace, CacheStart + BbBytes,
                     CacheStart + BbBytes + TraceBytes);
 
+  // Thread 0's context exists (and is active) from the start; a shared
+  // Runtime grows more as the scheduler activates other threads.
+  Contexts.emplace_back(new ThreadContext(0));
+  TC = Contexts.front().get();
+
   if (TheClient && Hooks == HookMode::All) {
     TheClient->onInit(*this);
     TheClient->onThreadInit(*this);
@@ -103,16 +110,58 @@ void Runtime::chargeRuntime(uint64_t Cycles) {
   RuntimeCycles += Cycles;
 }
 
+ThreadContext &Runtime::activateThread(unsigned Tid) {
+  while (Contexts.size() <= Tid)
+    Contexts.emplace_back(new ThreadContext(unsigned(Contexts.size())));
+  ThreadContext *Next = Contexts[Tid].get();
+  if (Next == TC)
+    return *Next; // already active: no swap, no cost
+  // Bank the outgoing thread's slot window and restore the incoming one's.
+  // Emitted code addresses the slots absolutely, so this swap is what makes
+  // one shared cache correct for every thread (the simulated analogue of
+  // re-pointing a TLS segment base on an OS context switch).
+  uint8_t *Window = M.mem().data() + Slots.ExitIdSlot;
+  std::memcpy(TC->SlotImage.data(), Window, ThreadContext::WindowBytes);
+  std::memcpy(Window, Next->SlotImage.data(), ThreadContext::WindowBytes);
+  chargeRuntime(M.cost().ThreadContextSwapCost);
+  ++S.ThreadContextSwaps;
+  TC = Next;
+  return *Next;
+}
+
+const std::vector<uint32_t> &Runtime::collectGuardPcs() {
+  GuardBuf.clear();
+  if (uint32_t Pc = unsafeCachePc())
+    GuardBuf.push_back(Pc);
+  for (const auto &Ctx : Contexts)
+    if (Ctx.get() != TC && Ctx->ResumePoint == ThreadContext::Resume::InCache)
+      GuardBuf.push_back(Ctx->ResumeCachePc);
+  return GuardBuf;
+}
+
 void Runtime::markTraceHead(AppPc Tag) {
   FragmentEntry &Entry = Table.slot(Tag);
   bool WasMarked = Entry.Marked;
   Entry.Marked = true;
+  // The marked bit outlives the fragment (deletion, eviction, rebuild) and
+  // in shared-cache mode is visible to every thread, so it is the one
+  // source of truth for "this head has been counted": with traces enabled
+  // a live non-trace fragment under a marked tag is always promoted
+  // already (buildBasicBlock promotes at build time), meaning a re-mark —
+  // from any thread — can never reach the counting path below.
+  assert((!WasMarked || !Config.EnableTraces || !Entry.Frag ||
+          Entry.Frag->isTrace() || Entry.Frag->IsTraceHead) &&
+         "re-marked trace head was never promoted: would double-count");
   if (Fragment *Frag = Entry.Frag) {
     if (!Frag->isTrace() && !Frag->IsTraceHead) {
       Frag->IsTraceHead = true;
       // Future executions must pass through the dispatcher to be counted.
       unlinkIncoming(Frag);
-      ++S.TraceHeads;
+      // Only a first marking counts: a tag marked before this fragment
+      // existed (traces off, or marked via dr_mark_trace_head and then
+      // built) was already counted then.
+      if (!WasMarked)
+        ++S.TraceHeads;
     }
   } else if (!WasMarked) {
     // Count a fragment-less tag only on its first marking: re-marks (every
@@ -133,7 +182,7 @@ void Runtime::serviceCleanCall(uint32_t Id) {
     M.fault("clean call with unregistered id " + std::to_string(Id));
     return;
   }
-  CleanCallContext Ctx{*this, CurrentFragmentTag};
+  CleanCallContext Ctx{*this, TC->CurrentFragmentTag};
   // While the callback runs, the calling fragment's cache bytes are live-in
   // even though the machine pc looks runtime-internal; flushes the callback
   // triggers (dr_flush_region) must not reclaim them yet.
@@ -146,8 +195,8 @@ void Runtime::serviceCleanCall(uint32_t Id) {
 uint32_t Runtime::unsafeCachePc() const {
   if (InCleanCall)
     return M.cpu().Pc;
-  if (ResumePoint == Resume::InCache)
-    return ResumeCachePc;
+  if (TC->ResumePoint == ThreadContext::Resume::InCache)
+    return TC->ResumeCachePc;
   return 0;
 }
 
@@ -197,7 +246,7 @@ AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
     chargeRuntime(M.cost().FragmentEvictCost);
     deleteFragment(Victim);
   }
-  if (Redirect && TraceGenActive)
+  if (Redirect && inTraceGen())
     abortTrace(); // the recorded path just became stale
   return Redirect;
 }
@@ -218,7 +267,7 @@ RunResult Runtime::runFor(uint64_t MaxInstructions) {
                           ? ~0ull
                           : M.instructionsExecuted() + MaxInstructions;
   RunResult Result;
-  if (ThreadFinished) {
+  if (TC->ThreadFinished) {
     Result = finishRun(/*Quantum=*/false);
   } else if (Config.Mode == ExecMode::Emulate) {
     Result = runEmulated(Deadline);
@@ -240,9 +289,9 @@ RunResult Runtime::finishRun(bool Quantum) {
   Result.FaultReason = M.faultReason();
   Result.Cycles = M.cycles();
   Result.Instructions = M.instructionsExecuted();
-  Result.ThreadDone = ThreadFinished;
+  Result.ThreadDone = TC->ThreadFinished;
   Result.QuantumExpired = Quantum && M.status() == RunStatus::Running &&
-                          !ThreadFinished;
+                          !TC->ThreadFinished;
   return Result;
 }
 
@@ -258,7 +307,7 @@ RunResult Runtime::runEmulated(uint64_t Deadline) {
     if (Step.Kind == StepKind::ClientCall)
       M.fault("clientcall executed under emulation");
     if (Step.Kind == StepKind::ThreadExited) {
-      ThreadFinished = true;
+      TC->ThreadFinished = true;
       break;
     }
   }
@@ -267,31 +316,31 @@ RunResult Runtime::runEmulated(uint64_t Deadline) {
 
 RunResult Runtime::runCached(uint64_t Deadline) {
   AppPc Target = 0;
-  switch (ResumePoint) {
-  case Resume::Fresh:
+  switch (TC->ResumePoint) {
+  case ThreadContext::Resume::Fresh:
     Target = M.cpu().Pc;
     break;
-  case Resume::AtDispatcher:
-    Target = ResumeTag;
+  case ThreadContext::Resume::AtDispatcher:
+    Target = TC->ResumeTag;
     break;
-  case Resume::InCache:
-    Target = executeFrom(ResumeCachePc, Deadline);
+  case ThreadContext::Resume::InCache:
+    Target = executeFrom(TC->ResumeCachePc, Deadline);
     if (Target == 0) {
-      if (ResumePoint == Resume::InCache && M.status() == RunStatus::Running &&
-          !ThreadFinished)
+      if (TC->ResumePoint == ThreadContext::Resume::InCache &&
+          M.status() == RunStatus::Running && !TC->ThreadFinished)
         return finishRun(/*Quantum=*/true);
-      if (TraceGenActive)
+      if (inTraceGen())
         abortTrace();
       return finishRun(/*Quantum=*/false);
     }
     break;
   }
-  ResumePoint = Resume::Fresh;
+  TC->ResumePoint = ThreadContext::Resume::Fresh;
 
   while (M.status() == RunStatus::Running) {
     if (M.instructionsExecuted() >= Deadline) {
-      ResumePoint = Resume::AtDispatcher;
-      ResumeTag = Target;
+      TC->ResumePoint = ThreadContext::Resume::AtDispatcher;
+      TC->ResumeTag = Target;
       return finishRun(/*Quantum=*/true);
     }
     Fragment *Frag = lookupFragment(Target);
@@ -325,16 +374,16 @@ RunResult Runtime::runCached(uint64_t Deadline) {
     chargeRuntime(M.cost().DispatchCost);
     if (inTraceGen())
       unlinkOutgoing(Frag); // record every block transition at the dispatcher
-    CurrentFragmentTag = Frag->Tag;
+    TC->CurrentFragmentTag = Frag->Tag;
     Target = executeFrom(Frag->CacheAddr, Deadline);
     if (Target == 0) {
-      if (ResumePoint == Resume::InCache && M.status() == RunStatus::Running &&
-          !ThreadFinished)
+      if (TC->ResumePoint == ThreadContext::Resume::InCache &&
+          M.status() == RunStatus::Running && !TC->ThreadFinished)
         return finishRun(/*Quantum=*/true);
       break;
     }
   }
-  if (TraceGenActive)
+  if (inTraceGen())
     abortTrace();
   return finishRun(/*Quantum=*/false);
 }
@@ -350,8 +399,8 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
 
     if (M.instructionsExecuted() >= Deadline) {
       // Quantum expired mid-cache: suspend right here.
-      ResumePoint = Resume::InCache;
-      ResumeCachePc = Pc;
+      TC->ResumePoint = ThreadContext::Resume::InCache;
+      TC->ResumeCachePc = Pc;
       return 0;
     }
 
@@ -368,7 +417,7 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       assert(Exit.ExitKind == FragmentExit::Kind::Direct &&
              "indirect exits do not use stubs");
       AppPc Target = Exit.TargetTag;
-      LastTransitionBackwardBranch =
+      TC->LastTransitionBackwardBranch =
           Exit.SourceAppPc != 0 && Target <= Exit.SourceAppPc;
 
       // Trace-head discovery: targets of backward branches and targets of
@@ -454,7 +503,7 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
         return 0;
       break;
     case StepKind::ThreadExited:
-      ThreadFinished = true;
+      TC->ThreadFinished = true;
       return 0;
     case StepKind::Faulted:
       // The fault happened inside cache code; report it in application
@@ -482,7 +531,7 @@ void Runtime::annotateCacheFault(uint32_t CachePc) {
 
 AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
                                      AppPc &Resume) {
-  LastTransitionBackwardBranch = false;
+  TC->LastTransitionBackwardBranch = false;
 
   if (TheClient) {
     // Security vetting hook (program shepherding). The transferring

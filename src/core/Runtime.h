@@ -38,6 +38,7 @@
 #include "support/Statistics.h"
 #include "vm/Machine.h"
 
+#include <array>
 #include <functional>
 #include <map>
 #include <memory>
@@ -66,6 +67,52 @@ struct RuntimeSlots {
 struct RuntimeRegion {
   uint32_t Base = 0; ///< 0: the whole machine runtime region
   uint32_t Size = 0; ///< 0: everything from Base to the region end
+};
+
+/// Per-thread execution state, split out of the Runtime proper so several
+/// application threads can execute from one shared pair of code caches
+/// (CacheSharing::Shared). Everything here is what distinguishes one
+/// thread's view of the runtime from another's: where it is suspended,
+/// whether it is mid-trace-recording, and the contents of its private slot
+/// window. The cache layout (bb/trace ranges, fragment table, links) stays
+/// in the Runtime and is shared by every context.
+///
+/// Emitted code addresses the spill/scratch slots absolutely, so rather
+/// than re-emitting per-thread addresses the scheduler *banks* the slot
+/// window on a context switch: the outgoing thread's window bytes are
+/// copied into its SlotImage and the incoming thread's image is copied
+/// back — the simulated analogue of re-pointing a TLS segment base.
+struct ThreadContext {
+  explicit ThreadContext(unsigned Tid) : Tid(Tid) {}
+
+  unsigned Tid;
+
+  /// Suspension state for Runtime::runFor (quantum-sliced execution).
+  enum class Resume { Fresh, AtDispatcher, InCache };
+  Resume ResumePoint = Resume::Fresh;
+  AppPc ResumeTag = 0;
+  uint32_t ResumeCachePc = 0;
+  bool ThreadFinished = false;
+
+  /// How control most recently returned to the dispatcher: true when it
+  /// was a *direct backward branch* (the NET end-of-trace condition).
+  bool LastTransitionBackwardBranch = false;
+
+  /// Fragment (tag) whose code triggered the current client callback.
+  AppPc CurrentFragmentTag = 0;
+
+  /// Trace-recording state (NET). Recording can span scheduling quanta, so
+  /// it must survive suspension per thread.
+  bool TraceGenActive = false;
+  AppPc TraceGenHead = 0;
+  std::vector<AppPc> TraceGenBlocks;
+  unsigned TraceGenInstrs = 0;
+
+  /// The banked slot window: [ExitIdSlot .. ScratchSlots + 16*4), i.e.
+  /// region offsets [0x10, 0x80). Holds this thread's slot contents while
+  /// it is not the active one. Zero-initialized = fresh slots.
+  static constexpr uint32_t WindowBytes = 0x70;
+  std::array<uint8_t, WindowBytes> SlotImage{};
 };
 
 /// How the runtime drives the client's lifecycle hooks.
@@ -125,6 +172,23 @@ public:
   StatisticSet &stats() { return Stats; }
   const RuntimeSlots &slots() const { return Slots; }
   Client *client() { return TheClient; }
+
+  //===--------------------------------------------------------------------===
+  // Thread contexts (CacheSharing::Shared)
+  //===--------------------------------------------------------------------===
+
+  /// Makes thread \p Tid's context the active one, creating it on first
+  /// use. Swaps the slot window (outgoing context's window is banked, the
+  /// incoming one's restored) and charges ThreadContextSwapCost — unless
+  /// \p Tid is already active, which is free. All subsequent run/runFor
+  /// calls execute as this thread.
+  ThreadContext &activateThread(unsigned Tid);
+
+  /// The context run/runFor currently executes as. A single-thread Runtime
+  /// always has exactly one (Tid 0), active from construction.
+  ThreadContext &activeContext() { return *TC; }
+  const ThreadContext &activeContext() const { return *TC; }
+  size_t numThreadContexts() const { return Contexts.size(); }
 
   //===--------------------------------------------------------------------===
   // Fragment queries
@@ -241,10 +305,15 @@ private:
   void maybeFlushForSpace(Fragment::Kind Kind);
   /// Deletes every live fragment in \p Kind's cache.
   void flushCache(Fragment::Kind Kind);
-  /// Cache pc whose slot must not be reclaimed yet: the suspended resume
-  /// point or the pc of a fragment currently servicing a clean call; 0 when
-  /// no cache bytes are live-in.
+  /// Cache pc whose slot must not be reclaimed yet for the *active*
+  /// context: the suspended resume point or the pc of a fragment currently
+  /// servicing a clean call; 0 when no cache bytes are live-in.
   uint32_t unsafeCachePc() const;
+  /// Every cache pc no reclamation may free: the active context's unsafe
+  /// pc plus the resume pc of every other context suspended mid-fragment
+  /// (shared-cache mode). Returns a reference to a reused buffer, valid
+  /// until the next call.
+  const std::vector<uint32_t> &collectGuardPcs();
   /// Consumes new machine code-write events, flushing fragments whose
   /// source code was overwritten. Returns the application pc to redirect
   /// execution to when the fragment at \p CurCachePc was flushed, else 0.
@@ -253,7 +322,7 @@ private:
 
   //===--- traces (TraceBuilder.cpp) ----------------------------------------===
   void noteDispatch(Fragment *Frag);
-  bool inTraceGen() const { return TraceGenActive; }
+  bool inTraceGen() const { return TC->TraceGenActive; }
   void traceGenStep(AppPc NextTag);
   void finalizeTrace();
   void abortTrace();
@@ -279,7 +348,8 @@ private:
         LinksRemoved, CacheFlushes, CacheFlushesBb, CacheFlushesTrace,
         FragmentsDeleted, FragmentsReplaced, TraceGenerationsStarted,
         TracesBuilt, TraceBlocksTotal, TraceBranchesInverted,
-        TraceJmpsElided, TraceCallsInlined, IndirectBranchesInlined;
+        TraceJmpsElided, TraceCallsInlined, IndirectBranchesInlined,
+        ThreadContextSwaps;
 
     explicit FlowStats(StatisticSet &S);
   };
@@ -312,18 +382,8 @@ private:
 
   /// Set while a clean-call callback runs: the calling fragment's bytes are
   /// live-in even though the machine pc temporarily looks runtime-internal.
+  /// Transient (clean calls never span a suspension), so not per-context.
   bool InCleanCall = false;
-
-  // How control most recently returned to the dispatcher: true when it was
-  // a *direct backward branch* (the NET end-of-trace condition); indirect
-  // transfers (returns, indirect jumps) do not end traces by direction.
-  bool LastTransitionBackwardBranch = false;
-
-  // Trace-generation state.
-  bool TraceGenActive = false;
-  AppPc TraceGenHead = 0;
-  std::vector<AppPc> TraceGenBlocks;
-  unsigned TraceGenInstrs = 0;
 
   // Custom stub registrations (valid between a client hook and emission).
   struct CustomStub {
@@ -334,18 +394,20 @@ private:
   std::vector<CustomStub> PendingCustomStubs;
 
   std::vector<std::function<void(CleanCallContext &)>> CleanCalls;
-  AppPc CurrentFragmentTag = 0;
 
   uint64_t RuntimeCycles = 0;
   bool ClientInitDone = false;
   HookMode Hooks = HookMode::All;
 
-  // Suspension state for runFor (quantum-sliced execution).
-  enum class Resume { Fresh, AtDispatcher, InCache };
-  Resume ResumePoint = Resume::Fresh;
-  AppPc ResumeTag = 0;
-  uint32_t ResumeCachePc = 0;
-  bool ThreadFinished = false;
+  /// Thread contexts, indexed by tid. A thread-private Runtime only ever
+  /// has [0]; a shared Runtime grows one per application thread as the
+  /// scheduler activates them.
+  std::vector<std::unique_ptr<ThreadContext>> Contexts;
+  /// The active context (never null). All per-thread state — suspension,
+  /// trace recording, the current fragment tag — is read through this.
+  ThreadContext *TC = nullptr;
+  /// Reused buffer for collectGuardPcs().
+  std::vector<uint32_t> GuardBuf;
 };
 
 } // namespace rio

@@ -36,6 +36,25 @@ enum class EvictionPolicy {
   Fifo,     ///< evict fragments incrementally, oldest first
 };
 
+/// How code caches relate to application threads (paper Section 2). The
+/// paper asserts thread-private caches win because "the cost of duplicating
+/// [shared code] for each thread was far outweighed by the savings of not
+/// having to synchronize changes in the cache"; this knob makes both sides
+/// of that trade-off runnable so the claim can actually be measured
+/// (bench/bench_threads).
+enum class CacheSharing {
+  /// Each thread gets its own Runtime over a disjoint runtime-region slice:
+  /// private spill slots, dispatcher entry, bb/trace caches, fragment
+  /// table, and trace-head counters. No cross-thread coordination at all.
+  ThreadPrivate,
+  /// All threads execute from one bb cache, one trace cache, and one
+  /// fragment table. Per-thread state (spill slots, suspension point,
+  /// trace recording) lives in a ThreadContext that the scheduler swaps on
+  /// every quantum context switch, and fragment deletion defers byte
+  /// reclamation until *every* suspended thread has left the slot.
+  Shared,
+};
+
 struct RuntimeConfig {
   ExecMode Mode = ExecMode::Cache;
 
@@ -83,6 +102,20 @@ struct RuntimeConfig {
   /// fragments when the application writes to it (cache consistency for
   /// self-modifying code). Without it, stale fragments keep executing.
   bool MonitorCodeWrites = true;
+
+  /// Thread-private caches (the paper's design) or one synchronized shared
+  /// cache for all threads (the alternative it argues against).
+  CacheSharing Sharing = CacheSharing::ThreadPrivate;
+
+  /// Scheduler capacity (core/ThreadedRunner): in ThreadPrivate mode the
+  /// machine's runtime region is divided into this many thread slices, so
+  /// lowering it gives few-thread runs proportionally larger private
+  /// caches. Clamped so every slice can hold slots plus two minimal caches.
+  unsigned MaxThreads = 8;
+
+  /// Instructions each thread runs per round-robin scheduling quantum (the
+  /// simulated analogue of an OS timeslice).
+  uint64_t ThreadQuantum = 5000;
 
   /// Convenience constructors for the Table 1 ladder.
   static RuntimeConfig emulate() {

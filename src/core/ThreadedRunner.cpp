@@ -9,33 +9,78 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
+
 using namespace rio;
 
 ThreadedRunner::ThreadedRunner(Machine &M, const RuntimeConfig &Config,
                                Client *SharedClient, uint64_t Quantum)
-    : M(M), Config(Config), SharedClient(SharedClient), Quantum(Quantum) {}
+    : M(M), Config(Config), SharedClient(SharedClient),
+      Quantum(Quantum ? Quantum : Config.ThreadQuantum) {}
 
 ThreadedRunner::~ThreadedRunner() = default;
 
+unsigned ThreadedRunner::maxThreads() const {
+  // Every thread-private slice must hold the slot page (0x1000) plus two
+  // minimally useful caches; 0x4000 per slice keeps a healthy margin above
+  // the Runtime's own floor.
+  constexpr uint32_t MinSliceBytes = 0x4000;
+  unsigned Cap = std::max(1u, M.config().RuntimeRegionSize / MinSliceBytes);
+  return std::min(std::max(Config.MaxThreads, 1u), Cap);
+}
+
 Runtime *ThreadedRunner::runtimeFor(unsigned Tid) {
+  if (Config.Sharing == CacheSharing::Shared)
+    return Tid < ThreadsSeen && !Runtimes.empty() ? Runtimes[0].get() : nullptr;
   return Tid < Runtimes.size() ? Runtimes[Tid].get() : nullptr;
 }
 
-Runtime &ThreadedRunner::ensureRuntime(unsigned Tid) {
+Runtime &ThreadedRunner::runtimeForThread(unsigned Tid) {
+  if (Finished.size() <= Tid)
+    Finished.resize(Tid + 1, false);
+  bool NewThread = Tid >= ThreadsSeen;
+  if (NewThread)
+    ThreadsSeen = Tid + 1;
+
+  if (Config.Sharing == CacheSharing::Shared) {
+    // One runtime over the whole region; thread identity is a context the
+    // runtime swaps in (slot-window banking) rather than a region slice.
+    if (Runtimes.empty()) {
+      Runtimes.emplace_back(std::make_unique<Runtime>(
+          M, Config, SharedClient, RuntimeRegion(), HookMode::None));
+      if (SharedClient && !InitFired) {
+        SharedClient->onInit(*Runtimes[0]);
+        InitFired = true;
+      }
+    }
+    Runtime &RT = *Runtimes[0];
+    RT.activateThread(Tid);
+    // Thread-init fires with the new thread's context active, so a client
+    // writing its TLS slot writes this thread's banked window.
+    if (NewThread && SharedClient)
+      SharedClient->onThreadInit(RT);
+    return RT;
+  }
+
   if (Tid < Runtimes.size() && Runtimes[Tid])
     return *Runtimes[Tid];
-  assert(Tid < MaxThreads && "thread limit exceeded");
-  // Thread-private region: a fixed 1/MaxThreads slice per thread.
-  uint32_t Slice = M.config().RuntimeRegionSize / MaxThreads;
+  unsigned Max = maxThreads();
+  assert(Tid < Max && "thread limit exceeded");
+  (void)Max;
+  // Thread-private region: a fixed 1/maxThreads() slice per thread, so a
+  // lower configured limit stops wasting region on slices that can never
+  // be used.
+  uint32_t Slice = M.config().RuntimeRegionSize / maxThreads();
   RuntimeRegion Region;
   Region.Base = M.runtimeBase() + Tid * Slice;
   Region.Size = Slice;
-  if (Runtimes.size() <= Tid) {
+  if (Runtimes.size() <= Tid)
     Runtimes.resize(Tid + 1);
-    Finished.resize(Tid + 1, false);
-  }
   Runtimes[Tid] = std::make_unique<Runtime>(M, Config, SharedClient, Region,
                                             HookMode::None);
+  // A private runtime has exactly one context; label it with the real
+  // thread id so dr_get_thread_id answers the same in both sharing modes.
+  Runtimes[Tid]->activeContext().Tid = Tid;
   if (SharedClient) {
     if (!InitFired) {
       SharedClient->onInit(*Runtimes[Tid]);
@@ -48,7 +93,7 @@ Runtime &ThreadedRunner::ensureRuntime(unsigned Tid) {
 
 RunResult ThreadedRunner::run() {
   RunResult Last;
-  ensureRuntime(0);
+  runtimeForThread(0);
   while (M.status() == RunStatus::Running) {
     bool AnyAlive = false;
     for (unsigned Tid = 0; Tid != M.numThreads(); ++Tid) {
@@ -58,7 +103,7 @@ RunResult ThreadedRunner::run() {
         continue;
       AnyAlive = true;
       M.switchToThread(Tid);
-      Runtime &RT = ensureRuntime(Tid);
+      Runtime &RT = runtimeForThread(Tid);
       Last = RT.runFor(Quantum);
       if (Last.ThreadDone) {
         Finished[Tid] = true;
@@ -73,9 +118,10 @@ RunResult ThreadedRunner::run() {
   }
   if (SharedClient && InitFired && !Runtimes.empty() && Runtimes[0]) {
     // Fire the remaining thread-exit hooks and the process-exit hook once.
-    for (unsigned Tid = 0; Tid != Runtimes.size(); ++Tid)
-      if (Runtimes[Tid] && !(Tid < Finished.size() && Finished[Tid]))
-        SharedClient->onThreadExit(*Runtimes[Tid]);
+    for (unsigned Tid = 0; Tid != ThreadsSeen; ++Tid)
+      if (Runtime *RT = runtimeFor(Tid))
+        if (!(Tid < Finished.size() && Finished[Tid]))
+          SharedClient->onThreadExit(*RT);
     SharedClient->onExit(*Runtimes[0]);
   }
   Last.Status = M.status();

@@ -6,19 +6,30 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs multi-threaded applications under the runtime with *thread-private
-/// code caches*, as the paper describes (Section 2): "DynamoRIO maintains
-/// thread-private code caches ... the cost of duplicating the small amount
-/// [of shared code] for each thread was far outweighed by the savings of
-/// not having to synchronize changes in the cache".
+/// Runs multi-threaded applications under the runtime, in either cache
+/// sharing mode (RuntimeConfig::Sharing):
 ///
-/// Each application thread gets its own Runtime instance over a disjoint
-/// slice of the machine's runtime region — private spill slots, dispatcher
-/// entry, basic-block and trace caches, trace-head counters. The runner
-/// schedules threads round-robin with a deterministic instruction quantum
-/// (the simulated analogue of OS preemption), creating runtimes lazily as
-/// the application spawns threads, and fires the client's thread
-/// init/exit hooks (paper Table 3) around each thread's lifetime.
+/// *Thread-private caches* — the paper's design (Section 2): "DynamoRIO
+/// maintains thread-private code caches ... the cost of duplicating the
+/// small amount [of shared code] for each thread was far outweighed by the
+/// savings of not having to synchronize changes in the cache". Each
+/// application thread gets its own Runtime instance over a disjoint slice
+/// of the machine's runtime region — private spill slots, dispatcher
+/// entry, basic-block and trace caches, trace-head counters.
+///
+/// *Shared caches* — the alternative the paper argues against, made
+/// runnable so the claim can be measured: one Runtime over the whole
+/// runtime region serves every thread. Per-thread state lives in a
+/// ThreadContext the runner activates on each quantum context switch
+/// (banking the slot window; Runtime::activateThread), and fragment
+/// deletion defers byte reclamation until every suspended thread's resume
+/// pc has left the slot.
+///
+/// Both modes schedule threads round-robin with a deterministic
+/// instruction quantum (the simulated analogue of OS preemption), creating
+/// per-thread state lazily as the application spawns threads, and fire the
+/// client's thread init/exit hooks (paper Table 3) around each thread's
+/// lifetime.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,32 +46,48 @@ namespace rio {
 /// Scheduler for multi-threaded applications under the runtime.
 class ThreadedRunner {
 public:
-  /// At most this many threads (the machine's runtime region is divided
-  /// into this many fixed thread-private slices).
-  static constexpr unsigned MaxThreads = 8;
-
+  /// \p Quantum instructions per scheduling slice; 0 uses
+  /// Config.ThreadQuantum. The thread limit comes from Config.MaxThreads,
+  /// clamped so every thread-private slice can hold the runtime slots plus
+  /// two minimally sized caches (see maxThreads()).
   ThreadedRunner(Machine &M, const RuntimeConfig &Config,
-                 Client *SharedClient = nullptr, uint64_t Quantum = 5000);
+                 Client *SharedClient = nullptr, uint64_t Quantum = 0);
   ~ThreadedRunner();
 
   /// Runs every thread to completion (round-robin, deterministic).
   RunResult run();
 
-  /// The (lazily created) runtime of thread \p Tid, or null.
+  /// The effective thread limit: Config.MaxThreads clamped to what the
+  /// machine's runtime region can slice in ThreadPrivate mode. In
+  /// ThreadPrivate mode the region is divided into exactly this many
+  /// slices, so a smaller configured limit gives each thread
+  /// proportionally larger private caches.
+  unsigned maxThreads() const;
+
+  /// The runtime serving thread \p Tid, or null if the thread was never
+  /// scheduled. In Shared mode every seen thread maps to the one shared
+  /// runtime.
   Runtime *runtimeFor(unsigned Tid);
 
   /// Threads that ever existed.
-  unsigned threadsSeen() const { return unsigned(Runtimes.size()); }
+  unsigned threadsSeen() const { return ThreadsSeen; }
 
 private:
-  Runtime &ensureRuntime(unsigned Tid);
+  /// Returns the runtime thread \p Tid executes under, creating state
+  /// lazily: in ThreadPrivate mode a new Runtime over the thread's region
+  /// slice; in Shared mode the one shared Runtime with the thread's
+  /// context activated. Fires onInit/onThreadInit as state appears.
+  Runtime &runtimeForThread(unsigned Tid);
 
   Machine &M;
   RuntimeConfig Config;
   Client *SharedClient;
   uint64_t Quantum;
+  /// ThreadPrivate: one entry per thread (lazily filled). Shared: a single
+  /// entry, the shared runtime.
   std::vector<std::unique_ptr<Runtime>> Runtimes;
   std::vector<bool> Finished;
+  unsigned ThreadsSeen = 0;
   bool InitFired = false;
 };
 

@@ -37,26 +37,28 @@ void Runtime::noteDispatch(Fragment *Frag) {
     return;
   if (++Table.slot(Frag->Tag).HeadCounter < Config.TraceThreshold)
     return;
-  // Hot: enter trace generation mode starting at this head.
-  TraceGenActive = true;
-  TraceGenHead = Frag->Tag;
-  TraceGenBlocks.clear();
-  TraceGenBlocks.push_back(Frag->Tag);
-  TraceGenInstrs = Frag->NumInstrs;
+  // Hot: enter trace generation mode starting at this head. Recording is
+  // per-thread state: in shared-cache mode another thread may be recording
+  // its own trace concurrently (each observes only its own dispatches).
+  TC->TraceGenActive = true;
+  TC->TraceGenHead = Frag->Tag;
+  TC->TraceGenBlocks.clear();
+  TC->TraceGenBlocks.push_back(Frag->Tag);
+  TC->TraceGenInstrs = Frag->NumInstrs;
   ++S.TraceGenerationsStarted;
 }
 
 void Runtime::traceGenStep(AppPc NextTag) {
-  assert(TraceGenActive && !TraceGenBlocks.empty() &&
+  assert(TC->TraceGenActive && !TC->TraceGenBlocks.empty() &&
          "trace-gen step without an active trace");
 
   bool EndNow;
   Client::EndTrace Decision =
-      TheClient ? TheClient->onEndTrace(*this, TraceGenHead, NextTag)
+      TheClient ? TheClient->onEndTrace(*this, TC->TraceGenHead, NextTag)
                 : Client::EndTrace::Default;
   // Hard caps apply regardless of the client's wishes.
-  bool AtCap = TraceGenBlocks.size() >= Config.MaxTraceBlocks ||
-               TraceGenInstrs >= 4 * Config.MaxBlockInstrs;
+  bool AtCap = TC->TraceGenBlocks.size() >= Config.MaxTraceBlocks ||
+               TC->TraceGenInstrs >= 4 * Config.MaxBlockInstrs;
   switch (Decision) {
   case Client::EndTrace::End:
     EndNow = true;
@@ -70,9 +72,9 @@ void Runtime::traceGenStep(AppPc NextTag) {
     // returns) do not end a trace by direction — inlining them is the
     // point of trace building.
     Fragment *Next = lookupFragment(NextTag);
-    EndNow = AtCap || NextTag == TraceGenHead ||
+    EndNow = AtCap || NextTag == TC->TraceGenHead ||
              (Next && (Next->isTrace() || Next->IsTraceHead)) ||
-             LastTransitionBackwardBranch;
+             TC->LastTransitionBackwardBranch;
     break;
   }
   default:
@@ -80,27 +82,28 @@ void Runtime::traceGenStep(AppPc NextTag) {
   }
 
   if (!EndNow) {
-    TraceGenBlocks.push_back(NextTag);
+    TC->TraceGenBlocks.push_back(NextTag);
     if (Fragment *Next = lookupFragment(NextTag))
-      TraceGenInstrs += Next->NumInstrs;
+      TC->TraceGenInstrs += Next->NumInstrs;
     else
-      TraceGenInstrs += 8; // block not built yet; estimate
+      TC->TraceGenInstrs += 8; // block not built yet; estimate
     return;
   }
   finalizeTrace();
 }
 
 void Runtime::abortTrace() {
-  TraceGenActive = false;
-  TraceGenBlocks.clear();
-  Table.slot(TraceGenHead).HeadCounter = 0;
+  TC->TraceGenActive = false;
+  TC->TraceGenBlocks.clear();
+  Table.slot(TC->TraceGenHead).HeadCounter = 0;
 }
 
 void Runtime::finalizeTrace() {
-  TraceGenActive = false;
-  std::vector<AppPc> Blocks = std::move(TraceGenBlocks);
-  TraceGenBlocks.clear();
-  Table.slot(TraceGenHead).HeadCounter = 0;
+  TC->TraceGenActive = false;
+  AppPc Head = TC->TraceGenHead;
+  std::vector<AppPc> Blocks = std::move(TC->TraceGenBlocks);
+  TC->TraceGenBlocks.clear();
+  Table.slot(Head).HeadCounter = 0;
   maybeFlushForSpace(Fragment::Kind::Trace);
 
   unsigned NumInstrs = 0;
@@ -108,7 +111,7 @@ void Runtime::finalizeTrace() {
   if (!IL) {
     // Could not materialize (application code changed / undecodable):
     // permanently demote the head so we do not retry forever.
-    FragmentEntry &Entry = Table.slot(TraceGenHead);
+    FragmentEntry &Entry = Table.slot(Head);
     if (Entry.Frag)
       Entry.Frag->IsTraceHead = false;
     Entry.Marked = false;
@@ -119,22 +122,21 @@ void Runtime::finalizeTrace() {
                 M.cost().BlockBuildFixed);
 
   if (TheClient) {
-    CurrentFragmentTag = TraceGenHead;
-    TheClient->onTrace(*this, TraceGenHead, *IL);
+    TC->CurrentFragmentTag = Head;
+    TheClient->onTrace(*this, Head, *IL);
     chargeRuntime(clientTransformCost(*IL));
   }
 
   mangleForCache(*IL);
 
-  Fragment *Old = lookupFragment(TraceGenHead);
+  Fragment *Old = lookupFragment(Head);
   if (Old)
     deleteFragment(Old);
-  Fragment *Trace =
-      emitFragment(TraceGenHead, *IL, Fragment::Kind::Trace, NumInstrs);
+  Fragment *Trace = emitFragment(Head, *IL, Fragment::Kind::Trace, NumInstrs);
   if (!Trace)
     return;
   Trace->IsTraceHead = false;
-  FragmentEntry &Entry = Table.slot(TraceGenHead);
+  FragmentEntry &Entry = Table.slot(Head);
   Entry.Marked = false;
   Entry.Frag = Trace;
   linkNewFragment(Trace);

@@ -67,6 +67,10 @@ struct CostModel {
   unsigned FragmentReplaceCost = 800; ///< dr_replace_fragment relink work
   unsigned FragmentEvictCost = 120; ///< unlink + slot reclaim for one victim
   unsigned RegionFlushCost = 200;   ///< dr_flush_region / SMC flush overhead
+  /// Shared-cache mode only: banking one thread's slot window and restoring
+  /// the next one's on a quantum context switch (the simulated analogue of
+  /// re-pointing a TLS segment base; CacheSharing::Shared).
+  unsigned ThreadContextSwapCost = 40;
   /// Client instrumentation cost per instruction *examined* at each level
   /// of detail (models the Table 2 asymmetry inside the cost model).
   unsigned ClientDecodeLevel02 = 4;

@@ -21,6 +21,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "asm/Assembler.h"
+#include "core/ThreadedRunner.h"
 #include "harness/Experiment.h"
 #include "workloads/Workloads.h"
 
@@ -86,6 +88,121 @@ TEST(StatsParity, EvictionUnderPressureMatchesPreRefactorGoldens) {
   Config.BbCacheSize = 1024;
   Config.TraceCacheSize = 2048;
   expectGolden(PressureGolden, Config);
+}
+
+//===----------------------------------------------------------------------===//
+// Threaded goldens: ThreadPrivate mode pinned bit-identical across the
+// thread-context / cache-layout split (ISSUE 3 tentpole requirement).
+//===----------------------------------------------------------------------===//
+
+/// Three workers all hammering one shared function — the program shape the
+/// sharing trade-off is about. Deterministic under quantum scheduling.
+Program threadedWorkProgram(int Workers, int Iters) {
+  std::string S = R"(
+    results: .space 32
+    flags:   .space 32
+    stacks:  .space 8192
+    main:
+  )";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov ebx, worker" + std::to_string(W) + "\n";
+    S += "  mov ecx, stacks+" + std::to_string((W + 1) * 1024) + "\n";
+    S += "  mov eax, 5\n  int 0x80\n"; // thread_create
+  }
+  S += "join:\n";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov eax, [flags+" + std::to_string(W * 4) + "]\n";
+    S += "  test eax, eax\n  jz join\n";
+  }
+  S += "  mov esi, 0\n";
+  for (int W = 0; W != Workers; ++W)
+    S += "  add esi, [results+" + std::to_string(W * 4) + "]\n";
+  S += "  and esi, 0xFFFFFF\n";
+  S += "  mov ebx, esi\n  mov eax, 2\n  int 0x80\n";
+  S += "  mov ebx, 0\n  mov eax, 1\n  int 0x80\n";
+  for (int W = 0; W != Workers; ++W) {
+    std::string Id = std::to_string(W);
+    S += "worker" + Id + ":\n";
+    S += "  mov esi, 0\n";
+    S += "  mov ecx, " + std::to_string(Iters) + "\n";
+    S += "wloop" + Id + ":\n";
+    S += "  mov eax, ecx\n";
+    S += "  call shared_fn\n";
+    S += "  add esi, eax\n  and esi, 0xFFFFFF\n";
+    S += "  dec ecx\n  jnz wloop" + Id + "\n";
+    S += "  mov [results+" + std::to_string(W * 4) + "], esi\n";
+    S += "  mov eax, 1\n  mov [flags+" + std::to_string(W * 4) + "], eax\n";
+    S += "  mov eax, 6\n  int 0x80\n"; // thread_exit
+  }
+  S += R"(
+    shared_fn:
+      imul eax, eax, 17
+      and eax, 1023
+      add eax, 3
+      ret
+  )";
+  Program Prog;
+  std::string Error;
+  if (!assemble(S, Prog, Error)) {
+    ADD_FAILURE() << "assembly failed: " << Error;
+    std::abort();
+  }
+  return Prog;
+}
+
+constexpr const char *ThreadFlowKeys[] = {
+    "dispatches",   "context_switches",   "ibl_lookups",
+    "ibl_hits",     "head_counter_bumps", "basic_blocks_built",
+    "traces_built", "links_made",         "fragments_deleted",
+    "cache_evictions",
+};
+constexpr size_t NumThreadFlowKeys =
+    sizeof(ThreadFlowKeys) / sizeof(ThreadFlowKeys[0]);
+
+struct ThreadedGolden {
+  uint64_t Cycles;
+  uint64_t Instructions;
+  uint64_t Flow[NumThreadFlowKeys]; ///< summed over the per-thread runtimes
+};
+
+// Recorded with the pre-refactor ThreadedRunner (hard-coded MaxThreads=8,
+// quantum 5000, per-runtime resume state): threadedWorkProgram(3, 2000),
+// output "3073800\n". The full() row uses default cache bounds; the
+// pressure row uses BbCacheSize = TraceCacheSize = 256 to force eviction
+// under quantum scheduling.
+constexpr ThreadedGolden ThreadedFullGolden = {
+    264156ull, 119769ull, {37, 33, 153, 147, 196, 23, 4, 13, 4, 0}};
+constexpr ThreadedGolden ThreadedPressureGolden = {
+    264396ull, 119769ull, {37, 33, 153, 147, 196, 23, 4, 13, 6, 2}};
+
+void expectThreadedGolden(const ThreadedGolden &G,
+                          const RuntimeConfig &Config) {
+  Program P = threadedWorkProgram(3, 2000);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  ThreadedRunner Runner(M, Config);
+  RunResult R = Runner.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(R.Cycles, G.Cycles);
+  EXPECT_EQ(R.Instructions, G.Instructions);
+  EXPECT_EQ(M.output(), "3073800\n");
+  for (size_t Idx = 0; Idx != NumThreadFlowKeys; ++Idx) {
+    uint64_t Sum = 0;
+    for (unsigned Tid = 0; Tid != Runner.threadsSeen(); ++Tid)
+      Sum += Runner.runtimeFor(Tid)->stats().get(ThreadFlowKeys[Idx]);
+    EXPECT_EQ(Sum, G.Flow[Idx]) << ThreadFlowKeys[Idx];
+  }
+}
+
+TEST(StatsParity, ThreadPrivateModeMatchesPreRefactorGoldens) {
+  expectThreadedGolden(ThreadedFullGolden, RuntimeConfig::full());
+}
+
+TEST(StatsParity, ThreadPrivatePressureMatchesPreRefactorGoldens) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.BbCacheSize = 256;
+  Config.TraceCacheSize = 256;
+  expectThreadedGolden(ThreadedPressureGolden, Config);
 }
 
 } // namespace
