@@ -1,0 +1,155 @@
+//===- bench/bench_observability.cpp - Tracing overhead on/idle/recording ----===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the observability layer costs in its three states:
+///
+///   * off       — no sink attached (Config.Trace == nullptr); every
+///                 RIO_TRACE site is one predictable null-check branch.
+///   * idle      — an EventTrace is attached but setEnabled(false); sites
+///                 take the same single branch, nothing is recorded.
+///   * recording — tracing enabled AND a cycle-sampling profiler attached;
+///                 the full event stream and sample set are produced.
+///
+/// The layer is purely host-side by construction: no instrumentation path
+/// ever charges simulated cycles. So the bench *hard-asserts* that the
+/// simulated cycle count is bit-identical across all three states — a much
+/// stronger property than the "<1% disabled overhead" requirement, and one
+/// that makes this JSON exactly diffable across commits. Wall-clock time
+/// per state is reported informationally (host-dependent, not gated).
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+#include "support/EventTrace.h"
+#include "support/OutStream.h"
+#include "support/Profile.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace rio;
+
+namespace {
+
+struct Sample {
+  std::string Config;  ///< e.g. "crafty_recording"
+  const char *Mode;    ///< off | idle | recording
+  uint64_t Cycles;     ///< simulated — identical across modes by design
+  uint64_t Events;     ///< events recorded (0 unless recording)
+  uint64_t Samples;    ///< profiler samples taken (0 unless recording)
+  uint64_t WallNs;     ///< best-of-3 host wall clock, informational
+};
+
+uint64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One workload in one observability state, best-of-\p Reps wall clock.
+Sample measure(const Workload &W, const char *Mode, int Reps) {
+  Program Prog = buildWorkload(W, 0);
+  Sample Out{std::string(W.Name) + "_" + Mode, Mode, 0, 0, 0, ~0ull};
+  for (int Rep = 0; Rep != Reps; ++Rep) {
+    // Fresh sinks per rep so event/sample counts are per-run, not summed.
+    EventTrace Trace;
+    SampleProfile Profiler(1000);
+    RuntimeConfig Config = RuntimeConfig::full();
+    if (Mode[0] != 'o') { // idle or recording: sink attached
+      Config.Trace = &Trace;
+      Trace.setEnabled(Mode[0] == 'r');
+      if (Mode[0] == 'r')
+        Config.Profiler = &Profiler;
+    }
+    uint64_t Start = nowNs();
+    Outcome O = runUnderRuntime(Prog, Config, ClientKind::None);
+    uint64_t Wall = nowNs() - Start;
+    if (O.Status != RunStatus::Exited) {
+      errs().printf("%s: run did not exit cleanly\n", Out.Config.c_str());
+      std::abort();
+    }
+    Out.Cycles = O.Cycles;
+    Out.Events = Trace.totalRecorded();
+    Out.Samples = Profiler.totalSamples();
+    if (Wall < Out.WallNs)
+      Out.WallNs = Wall;
+  }
+  return Out;
+}
+
+bool writeJson(const char *Path, const std::vector<Sample> &Samples) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F)
+    return false;
+  std::fprintf(F, "[\n");
+  for (size_t Idx = 0; Idx != Samples.size(); ++Idx) {
+    const Sample &S = Samples[Idx];
+    std::fprintf(F,
+                 "  {\"config\": \"%s\", \"mode\": \"%s\", \"cycles\": %llu, "
+                 "\"events\": %llu, \"samples\": %llu}%s\n",
+                 S.Config.c_str(), S.Mode, (unsigned long long)S.Cycles,
+                 (unsigned long long)S.Events, (unsigned long long)S.Samples,
+                 Idx + 1 == Samples.size() ? "" : ",");
+  }
+  std::fprintf(F, "]\n");
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_observability.json";
+  OutStream &OS = outs();
+  OS.printf("Observability overhead: off vs idle vs recording\n");
+  OS.printf("simulated cycles must be IDENTICAL in all three states\n\n");
+  OS.printf("%-20s %12s %10s %9s %12s\n", "config", "cycles", "events",
+            "samples", "wall_ns");
+
+  const char *Workloads[] = {"crafty", "vpr", "gap"};
+  const char *Modes[] = {"off", "idle", "recording"};
+  std::vector<Sample> Samples;
+  bool CyclesIdentical = true;
+  for (const char *Name : Workloads) {
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      OS.printf("unknown workload '%s'\n", Name);
+      return 1;
+    }
+    uint64_t OffCycles = 0;
+    for (const char *Mode : Modes) {
+      Sample S = measure(*W, Mode, 3);
+      OS.printf("%-20s %12llu %10llu %9llu %12llu\n", S.Config.c_str(),
+                (unsigned long long)S.Cycles, (unsigned long long)S.Events,
+                (unsigned long long)S.Samples, (unsigned long long)S.WallNs);
+      if (Mode[0] == 'o')
+        OffCycles = S.Cycles;
+      else if (S.Cycles != OffCycles)
+        CyclesIdentical = false;
+      Samples.push_back(std::move(S));
+    }
+  }
+
+  if (!writeJson(OutPath, Samples)) {
+    OS.printf("failed to write %s\n", OutPath);
+    return 1;
+  }
+  OS.printf("\nwrote %s\n", OutPath);
+  if (!CyclesIdentical) {
+    OS.printf("ERROR: simulated cycles drifted between observability "
+              "states — instrumentation leaked into the simulated clock\n");
+    return 1;
+  }
+  OS.printf("\nSimulated cycles are bit-identical across off/idle/recording: "
+            "the\nobservability layer is invisible to the simulated machine, "
+            "so the\ndisabled-tracing overhead gate (<1%% cycles) holds at "
+            "exactly 0%%.\n");
+  return 0;
+}

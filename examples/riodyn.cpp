@@ -20,6 +20,9 @@
 ///                            (default: thread-private caches)
 ///     -sideline              defer trace optimization to the sideline
 ///     -stats                 print runtime statistics
+///     -trace <file>          record runtime events; write Chrome trace JSON
+///     -profile               cycle-sampled profile, printed after the run
+///     -sample-interval <n>   simulated cycles between samples (default 1000)
 ///     -disas <symbol>        disassemble the fragment at a program symbol
 ///     -scale <n>             workload scale override
 ///
@@ -29,9 +32,12 @@
 #include "core/Sideline.h"
 #include "core/ThreadedRunner.h"
 #include "harness/Experiment.h"
+#include "support/EventTrace.h"
 #include "support/OutStream.h"
+#include "support/Profile.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -60,6 +66,7 @@ int usage() {
             "customtraces|shepherd|all4>\n"
             "  -threads [-shared] | -sideline | -stats | -scale <n> | "
             "-disas <sym> | -dump-asm\n"
+            "  -trace <file> | -profile | -sample-interval <n>\n"
             "workloads:");
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
@@ -73,8 +80,10 @@ int main(int argc, char **argv) {
   OutStream &OS = outs();
   bool Native = false, Threads = false, Shared = false, UseSideline = false,
        Stats = false;
-  bool DumpAsm = false;
-  std::string ConfigName = "full", ClientName = "none", Target, DisasSym;
+  bool DumpAsm = false, Profile = false;
+  std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
+              TraceFile;
+  uint64_t SampleInterval = 1000;
   int Scale = 0;
 
   for (int I = 1; I < argc; ++I) {
@@ -99,6 +108,16 @@ int main(int argc, char **argv) {
       Scale = std::atoi(argv[++I]);
     else if (Arg == "-disas" && I + 1 < argc)
       DisasSym = argv[++I];
+    else if (Arg == "-trace" && I + 1 < argc)
+      TraceFile = argv[++I];
+    else if (Arg.rfind("-trace=", 0) == 0)
+      TraceFile = Arg.substr(7);
+    else if (Arg == "-profile")
+      Profile = true;
+    else if (Arg == "-sample-interval" && I + 1 < argc)
+      SampleInterval = std::strtoull(argv[++I], nullptr, 0);
+    else if (Arg.rfind("-sample-interval=", 0) == 0)
+      SampleInterval = std::strtoull(Arg.c_str() + 17, nullptr, 0);
     else if (Arg[0] != '-')
       Target = Arg;
     else
@@ -144,6 +163,15 @@ int main(int argc, char **argv) {
     return usage();
   if (Shared)
     Config.Sharing = CacheSharing::Shared;
+
+  // Observability sinks: stack-owned, shared by every runtime the run
+  // creates (the config is copied by value, the pointers ride along).
+  EventTrace Trace;
+  SampleProfile Profiler(SampleInterval ? SampleInterval : 1000);
+  if (!TraceFile.empty())
+    Config.Trace = &Trace;
+  if (Profile)
+    Config.Profiler = &Profiler;
 
   // Resolve client.
   ShepherdingClient Shepherd;
@@ -211,6 +239,23 @@ int main(int argc, char **argv) {
   if (Stats && RT) {
     OS.printf("\nruntime statistics:\n");
     RT->stats().print(OS);
+  }
+  if (!TraceFile.empty()) {
+    std::FILE *F = std::fopen(TraceFile.c_str(), "wb");
+    if (!F) {
+      OS.printf("error: cannot open trace file '%s'\n", TraceFile.c_str());
+      return 1;
+    }
+    FileOutStream TraceOS(F);
+    writeChromeTrace(TraceOS, Trace);
+    std::fclose(F);
+    OS.printf("trace: %llu events recorded (%llu dropped) -> %s\n",
+              (unsigned long long)Trace.totalRecorded(),
+              (unsigned long long)Trace.droppedEvents(), TraceFile.c_str());
+  }
+  if (Profile) {
+    OS.printf("\n");
+    writeProfileReport(OS, Profiler);
   }
   if (!DisasSym.empty() && RT) {
     AppPc Tag = Prog.symbol(DisasSym);

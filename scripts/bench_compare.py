@@ -1,12 +1,18 @@
 #!/usr/bin/env python3
 """Compare two BENCH_*.json files produced by the bench binaries.
 
-Two schemas are recognized by their fields:
+Three schemas are recognized by their fields:
 
   * throughput (bench_throughput): entries carry {"config", "instructions",
     "wall_ns", "mips"}. MIPS is wall-clock derived, so higher is better and
     runs on different hardware are only loosely comparable — the default is
     to warn on regressions and exit 0.
+
+  * observability (bench_observability): entries carry {"config", "cycles",
+    "events", "samples"}. The simulated cycle counts must be bit-identical
+    across the off/idle/recording states AND across commits (the
+    observability layer is host-side only), so these are compared with a
+    zero threshold — any drift at all is a regression.
 
   * simulated (bench_threads): entries carry {"config", "cycles", ...} plus
     deterministic byte/fragment counts. Lower cycles is better, and the
@@ -33,9 +39,15 @@ def load(path):
         raise ValueError(f"{path}: expected a JSON array")
     if not data:
         raise ValueError(f"{path}: empty benchmark array")
-    schema = "throughput" if "mips" in data[0] else "simulated"
-    required = ("config", "instructions", "wall_ns", "mips") \
-        if schema == "throughput" else ("config", "cycles")
+    if "mips" in data[0]:
+        schema = "throughput"
+        required = ("config", "instructions", "wall_ns", "mips")
+    elif "events" in data[0]:
+        schema = "observability"
+        required = ("config", "cycles", "events", "samples")
+    else:
+        schema = "simulated"
+        required = ("config", "cycles")
     out = {}
     for entry in data:
         for key in required:
@@ -74,6 +86,18 @@ def compare(base, cur, metric, higher_is_better, threshold, extra=None):
     return regressions
 
 
+def compare_exact(base, cur, metric):
+    """Flags ANY difference in metric, improvements included (used for the
+    observability schema, where the simulated clock may not move at all)."""
+    diffs = []
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name][metric], cur[name][metric]
+        if b != c:
+            diffs.append(f"{name}: {metric} changed {b} -> {c} "
+                         f"(must be bit-identical)")
+    return diffs
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -94,12 +118,22 @@ def main():
     if base_schema == "throughput":
         regressions = compare(base, cur, "mips", higher_is_better=True,
                               threshold=args.threshold)
+    elif base_schema == "observability":
+        # Host-side-only invariant: cycles must not move at all, in either
+        # direction. A "speedup" here is just as much a bug as a slowdown.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=0.0, extra="events")
+        regressions += compare_exact(base, cur, "cycles")
     else:
         regressions = compare(base, cur, "cycles", higher_is_better=False,
                               threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
-        print(f"\nWARNING: regression beyond {args.threshold:.0f}%:")
+        if base_schema == "observability":
+            print("\nWARNING: simulated cycles drifted (must be "
+                  "bit-identical):")
+        else:
+            print(f"\nWARNING: regression beyond {args.threshold:.0f}%:")
         for r in regressions:
             print(f"  {r}")
         if args.fail_on_regress:

@@ -298,6 +298,37 @@ unsigned rio::dr_get_thread_id(void *Context) {
 }
 
 //===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+void rio::dr_trace_event(void *Context, const char *Label, uint32_t Value) {
+  Runtime &RT = runtimeOf(Context);
+  EventTrace *Trace = RT.eventTrace();
+  if (!Trace)
+    return;
+  RT.noteClientEvent(Trace->internLabel(Label ? Label : ""), Value);
+}
+
+bool rio::dr_register_event_hook(
+    void *Context, std::function<void(const TraceEvent &)> Hook) {
+  EventTrace *Trace = runtimeOf(Context).eventTrace();
+  if (!Trace)
+    return false;
+  Trace->setHook(std::move(Hook));
+  return true;
+}
+
+std::vector<rio::dr_profile_entry> rio::dr_get_profile(void *Context) {
+  std::vector<dr_profile_entry> Out;
+  SampleProfile *Prof = runtimeOf(Context).profiler();
+  if (!Prof)
+    return Out;
+  for (const SampleProfile::Entry &E : Prof->hottest())
+    Out.push_back({E.Tag, E.Samples, E.TraceSamples});
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
 // Spill slots and clean calls
 //===----------------------------------------------------------------------===//
 

@@ -252,6 +252,38 @@ bool dr_using_shared_cache(void *context);
 unsigned dr_get_thread_id(void *context);
 
 //===----------------------------------------------------------------------===//
+// Observability (support/EventTrace.h, support/Profile.h)
+//===----------------------------------------------------------------------===//
+
+/// Records a client-defined marker event into the runtime's event trace,
+/// timestamped with the simulated cycle clock and attributed to the active
+/// thread. \p label is interned (stable id per distinct string) and shows
+/// up by name in the Chrome trace export. No-op when no trace is attached
+/// (RuntimeConfig::Trace) or tracing is disabled. Host-side only: never
+/// charges simulated cycles.
+void dr_trace_event(void *context, const char *label, uint32_t value);
+
+/// Registers \p hook to be called synchronously for every event the
+/// runtime records — the adaptive-tool analogue of the paper's counter
+/// export: a client can watch evictions or IBL misses as they happen and
+/// react (e.g. dr_mark_trace_head). One hook per trace; re-registering
+/// replaces it. Returns false when no trace is attached.
+bool dr_register_event_hook(void *context,
+                            std::function<void(const TraceEvent &)> hook);
+
+/// One row of the cycle-sampled execution profile.
+struct dr_profile_entry {
+  app_pc tag;            ///< fragment tag (0 = runtime-internal time)
+  uint64_t samples;      ///< samples attributed to the tag
+  uint64_t trace_samples; ///< subset taken while a trace was executing
+};
+
+/// The per-tag profile accumulated by the attached sampling profiler
+/// (RuntimeConfig::Profiler), hottest first with deterministic tie-breaks.
+/// Empty when no profiler is attached.
+std::vector<dr_profile_entry> dr_get_profile(void *context);
+
+//===----------------------------------------------------------------------===//
 // Register spill slots and clean calls
 //===----------------------------------------------------------------------===//
 

@@ -7,6 +7,8 @@
 
 #include "core/CacheManager.h"
 
+#include "support/EventTrace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -147,10 +149,13 @@ void CacheManager::reclaimPending(const std::vector<uint32_t> &GuardPcs) {
       continue;
     std::vector<std::pair<uint32_t, uint32_t>> Kept;
     for (auto &Slot : C.Pending) {
-      if (slotContainsAny(Slot.first, Slot.second, GuardPcs))
+      if (slotContainsAny(Slot.first, Slot.second, GuardPcs)) {
         Kept.push_back(Slot); // some thread still sits in these bytes
-      else
+      } else {
+        RIO_TRACE(Trace, M.cycles(), ActiveTid ? *ActiveTid : 0,
+                  TraceEventKind::SlotReclaimed, Slot.first, Slot.second);
         freeRange(C, Slot.first, Slot.second);
+      }
     }
     C.Pending = std::move(Kept);
   }

@@ -46,6 +46,8 @@
 
 namespace rio {
 
+class EventTrace;
+
 /// See file comment.
 class CacheManager {
 public:
@@ -59,6 +61,15 @@ public:
   /// Assigns the address range [Start, End) to the cache holding \p Kind
   /// fragments. Must be called once per kind before any allocation.
   void configureCache(Fragment::Kind Kind, uint32_t Start, uint32_t End);
+
+  /// Observability: the manager records slot reclamation into \p Trace
+  /// (null = no tracing), attributing events to *\p ActiveTid — a pointer
+  /// into the owning Runtime, so attribution tracks thread activation
+  /// without a call per switch. Host-side only; charges nothing.
+  void attachTrace(EventTrace *Trace, const unsigned *ActiveTid) {
+    this->Trace = Trace;
+    this->ActiveTid = ActiveTid;
+  }
 
   //===--------------------------------------------------------------------===
   // Allocation
@@ -191,6 +202,8 @@ private:
   Machine &M;
   StatisticSet &Stats;
   bool WatchWrites;
+  EventTrace *Trace = nullptr;      ///< see attachTrace
+  const unsigned *ActiveTid = nullptr;
   /// Occupancy gauges per cache ([0] bb, [1] trace), interned once at
   /// construction: publishOccupancy runs on every register/retire.
   struct OccupancyStats {

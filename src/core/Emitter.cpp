@@ -41,6 +41,10 @@ uint32_t Runtime::allocCache(unsigned Size, Fragment::Kind Kind) {
       Addr = CM.allocateEvicting(Kind, Size, Guards, [this](Fragment *Victim) {
         ++S.CacheEvictions;
         S.CacheEvictedBytes += Victim->CodeSize + Victim->StubsSize;
+        obsEvent(TraceEventKind::CacheEvicted, Victim->Tag,
+                 Victim->CodeSize + Victim->StubsSize);
+        if (Prof)
+          Prof->EvictionAges.add(M.cycles() - Victim->BirthCycles);
         if (Victim->isTrace())
           Table.slot(Victim->Tag).Marked = true;
         chargeRuntime(M.cost().FragmentEvictCost);
@@ -251,6 +255,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
   Frag->CodeSize = BodySize;
   Frag->StubsSize = StubBytes;
   Frag->NumInstrs = NumInstrs;
+  Frag->BirthCycles = M.cycles();
 
   // Create exit records and retarget direct exit CTIs at their stubs.
   for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
@@ -373,6 +378,9 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
   }
   Frag->AppRanges = std::move(Merged);
   CM.registerFragment(Frag);
+  obsEvent(TraceEventKind::FragmentBuilt, Tag, Base);
+  if (Prof)
+    Prof->FragmentSizes.add(BodySize + StubBytes);
   return Frag;
 }
 
@@ -456,10 +464,10 @@ void Runtime::patchRel32(uint32_t CtiAddr, unsigned CtiLen,
 }
 
 void Runtime::linkExit(Fragment *From, FragmentExit &Exit, Fragment *To) {
-  (void)From;
   if (Exit.Linked || Exit.ExitKind != FragmentExit::Kind::Direct)
     return;
   assert(Exit.TargetTag == To->Tag && "linking exit to wrong fragment");
+  obsEvent(TraceEventKind::FragmentLinked, From->Tag, To->Tag);
   if (Exit.AlwaysThroughStub)
     patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, To->CacheAddr);
   else
@@ -473,6 +481,8 @@ void Runtime::linkExit(Fragment *From, FragmentExit &Exit, Fragment *To) {
 void Runtime::unlinkExit(FragmentExit &Exit) {
   if (!Exit.Linked)
     return;
+  obsEvent(TraceEventKind::FragmentUnlinked,
+           Exit.LinkedTo ? Exit.LinkedTo->Tag : 0, Exit.StubAddr);
   if (Exit.AlwaysThroughStub)
     patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, Slots.DispatcherEntry);
   else
@@ -546,6 +556,8 @@ void Runtime::flushCache(Fragment::Kind Kind) {
     deleteFragment(Victim);
   CM.reclaimPending(collectGuardPcs());
   ++(Kind == Fragment::Kind::Trace ? S.CacheFlushesTrace : S.CacheFlushesBb);
+  obsEvent(TraceEventKind::CacheFlushed, Kind == Fragment::Kind::Trace ? 1 : 0,
+           uint32_t(Victims.size()));
 }
 
 void Runtime::maybeFlushForSpace(Fragment::Kind Kind) {
@@ -575,6 +587,7 @@ void Runtime::deleteFragment(Fragment *Frag) {
   if (TheClient)
     TheClient->onFragmentDeleted(*this, Frag->Tag);
   ++S.FragmentsDeleted;
+  obsEvent(TraceEventKind::FragmentDeleted, Frag->Tag, Frag->CacheAddr);
 }
 
 //===----------------------------------------------------------------------===//

@@ -94,6 +94,11 @@ struct Fragment {
   unsigned StubsSize = 0; ///< bytes of stubs following the body
   unsigned NumInstrs = 0; ///< instruction count of the body
 
+  /// Simulated cycle count at emission. Host-side bookkeeping for the
+  /// eviction-age histogram (support/Profile.h); never read by emitted
+  /// code or the cost model.
+  uint64_t BirthCycles = 0;
+
   std::vector<FragmentExit> Exits;
 
   /// Merged application ranges backing the body (sorted by Lo).

@@ -96,6 +96,13 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
   Contexts.emplace_back(new ThreadContext(0));
   TC = Contexts.front().get();
 
+  // Observability sinks ride in on the config (one shared ring/profile for
+  // every runtime built from it). The cache manager records its reclaim
+  // events itself, attributed to whichever thread is active here.
+  ObsTrace = this->Config.Trace;
+  Prof = this->Config.Profiler;
+  CM.attachTrace(ObsTrace, &ObsTid);
+
   if (TheClient && Hooks == HookMode::All) {
     TheClient->onInit(*this);
     TheClient->onThreadInit(*this);
@@ -125,7 +132,10 @@ ThreadContext &Runtime::activateThread(unsigned Tid) {
   std::memcpy(Window, Next->SlotImage.data(), ThreadContext::WindowBytes);
   chargeRuntime(M.cost().ThreadContextSwapCost);
   ++S.ThreadContextSwaps;
+  unsigned PrevTid = TC->Tid;
   TC = Next;
+  ObsTid = Next->Tid;
+  obsEvent(TraceEventKind::ContextSwapped, PrevTid, Next->Tid);
   return *Next;
 }
 
@@ -143,6 +153,8 @@ void Runtime::markTraceHead(AppPc Tag) {
   FragmentEntry &Entry = Table.slot(Tag);
   bool WasMarked = Entry.Marked;
   Entry.Marked = true;
+  if (!WasMarked)
+    obsEvent(TraceEventKind::TraceHeadMarked, Tag);
   // The marked bit outlives the fragment (deletion, eviction, rebuild) and
   // in shared-cache mode is visible to every thread, so it is the one
   // source of truth for "this head has been counted": with traces enabled
@@ -206,6 +218,7 @@ uint32_t Runtime::unsafeCachePc() const {
 
 void Runtime::flushRegion(AppPc Start, uint32_t Size) {
   ++S.RegionFlushes;
+  obsEvent(TraceEventKind::RegionFlushed, Start, Size);
   chargeRuntime(M.cost().RegionFlushCost);
   if (Size == 0)
     return;
@@ -243,6 +256,7 @@ AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
     if (Victim == Cur)
       Redirect = Victim->appPcAt(CurCachePc - Victim->CacheAddr);
     ++S.SmcInvalidations;
+    obsEvent(TraceEventKind::SmcInvalidated, Victim->Tag, Victim->CacheAddr);
     chargeRuntime(M.cost().FragmentEvictCost);
     deleteFragment(Victim);
   }
@@ -396,6 +410,10 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
   M.cpu().Pc = CachePc;
   for (;;) {
     AppPc Pc = M.cpu().Pc;
+
+    // Cycle-driven sampling (host-side; charges nothing). One predictable
+    // branch when no profiler is attached.
+    obsMaybeSample(Pc);
 
     if (M.instructionsExecuted() >= Deadline) {
       // Quantum expired mid-cache: suspend right here.
@@ -563,6 +581,7 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
   Fragment *To = Entry.Frag;
   if (!To || inTraceGen()) {
     ++S.IblMisses;
+    obsEvent(TraceEventKind::IblMiss, Target, SiteCachePc);
     ++S.ContextSwitches;
     chargeRuntime(M.cost().ContextSwitchCost);
     return Target;
@@ -580,10 +599,28 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
     }
   }
   ++S.IblHits;
+  obsEvent(TraceEventKind::IblHit, Target, To->CacheAddr);
   // The translated indirect branch is an indirect jump through the BTB
   // (not the return-address stack) — the paper's Pentium penalty.
   if (!M.predictors().predictIndirect(SiteCachePc, To->CacheAddr))
     chargeRuntime(M.cost().MispredictPenalty);
   Resume = To->CacheAddr;
   return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+void Runtime::takeSample(uint32_t Pc) {
+  // Attribute the sample through the cache manager's slot map: a pc inside
+  // a live fragment's slot charges that fragment's tag; anything else
+  // (dispatcher entry, runtime slots, retired bytes) is runtime time,
+  // reported under tag 0.
+  Fragment *Frag = CM.fragmentAt(Pc);
+  if (Frag && Frag->Doomed)
+    Frag = nullptr;
+  AppPc Tag = Frag ? Frag->Tag : 0;
+  Prof->sample(M.cycles(), Tag, Frag && Frag->isTrace());
+  obsEvent(TraceEventKind::Sample, Tag, Pc);
 }

@@ -35,6 +35,9 @@
 #include "ir/Emit.h"
 #include "ir/InstrList.h"
 #include "support/Arena.h"
+#include "support/Compiler.h"
+#include "support/EventTrace.h"
+#include "support/Profile.h"
 #include "support/Statistics.h"
 #include "vm/Machine.h"
 
@@ -190,6 +193,33 @@ public:
   const ThreadContext &activeContext() const { return *TC; }
   size_t numThreadContexts() const { return Contexts.size(); }
 
+  /// Relabels the active context with the real application thread id
+  /// without swapping anything — what the thread-private scheduler uses,
+  /// since each private Runtime has exactly one context that *is* thread
+  /// \p Tid. Keeps event/sample attribution consistent with shared mode.
+  void labelActiveThread(unsigned Tid) {
+    TC->Tid = Tid;
+    ObsTid = Tid;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Observability (support/EventTrace.h, support/Profile.h)
+  //===--------------------------------------------------------------------===
+
+  /// The event ring this runtime records into (RuntimeConfig::Trace); null
+  /// when tracing is not attached.
+  EventTrace *eventTrace() { return ObsTrace; }
+
+  /// The sampling profiler (RuntimeConfig::Profiler); null when not
+  /// attached.
+  SampleProfile *profiler() { return Prof; }
+
+  /// Records a client-defined marker event (dr_trace_event): \p LabelId is
+  /// an id from eventTrace()->internLabel(). No-op without a trace.
+  void noteClientEvent(uint32_t LabelId, uint32_t Value) {
+    obsEvent(TraceEventKind::ClientMarker, LabelId, Value);
+  }
+
   //===--------------------------------------------------------------------===
   // Fragment queries
   //===--------------------------------------------------------------------===
@@ -320,6 +350,21 @@ private:
   AppPc drainCodeWrites(uint32_t CurCachePc);
   uint64_t clientTransformCost(InstrList &IL) const;
 
+  //===--- observability (host-side only; charges no simulated cycles) ------===
+  /// Records one event attributed to the active thread at the current
+  /// simulated cycle. Compiles to one predictable branch when no trace is
+  /// attached (and to nothing under RIO_DISABLE_TRACING).
+  RIO_ALWAYS_INLINE void obsEvent(TraceEventKind Kind, uint32_t Tag,
+                                  uint32_t Aux = 0) {
+    RIO_TRACE(ObsTrace, M.cycles(), ObsTid, Kind, Tag, Aux);
+  }
+  /// Cycle-driven sampling check for the cache-execution hot loop.
+  RIO_ALWAYS_INLINE void obsMaybeSample(uint32_t Pc) {
+    if (RIO_UNLIKELY(Prof != nullptr) && RIO_UNLIKELY(Prof->due(M.cycles())))
+      takeSample(Pc);
+  }
+  void takeSample(uint32_t Pc); // cold path of obsMaybeSample
+
   //===--- traces (TraceBuilder.cpp) ----------------------------------------===
   void noteDispatch(Fragment *Frag);
   bool inTraceGen() const { return TC->TraceGenActive; }
@@ -398,6 +443,14 @@ private:
   uint64_t RuntimeCycles = 0;
   bool ClientInitDone = false;
   HookMode Hooks = HookMode::All;
+
+  /// Observability sinks (from RuntimeConfig; null = not attached) and the
+  /// thread id events/samples are attributed to. ObsTid mirrors TC->Tid
+  /// (kept in sync by activateThread / labelActiveThread) and has a stable
+  /// address the CacheManager reads for its own events.
+  EventTrace *ObsTrace = nullptr;
+  SampleProfile *Prof = nullptr;
+  unsigned ObsTid = 0;
 
   /// Thread contexts, indexed by tid. A thread-private Runtime only ever
   /// has [0]; a shared Runtime grows one per application thread as the

@@ -24,6 +24,9 @@
 
 namespace rio {
 
+class EventTrace;
+class SampleProfile;
+
 enum class ExecMode {
   Emulate, ///< pure interpretation, no code cache
   Cache,   ///< copy code into the cache and run it there
@@ -116,6 +119,20 @@ struct RuntimeConfig {
   /// Instructions each thread runs per round-robin scheduling quantum (the
   /// simulated analogue of an OS timeslice).
   uint64_t ThreadQuantum = 5000;
+
+  /// Observability sink (support/EventTrace.h): when non-null the runtime
+  /// records fragment-lifecycle events into this ring. Not owned; shared by
+  /// every Runtime constructed from this config (ThreadedRunner passes the
+  /// config to each per-thread runtime, so one ring sees all threads in
+  /// both sharing modes). Recording is host-side only — it never charges
+  /// simulated cycles, so traced and untraced runs are cycle-identical.
+  EventTrace *Trace = nullptr;
+
+  /// Cycle-driven sampling profiler (support/Profile.h): when non-null the
+  /// runtime samples the executing fragment every Profiler->interval()
+  /// simulated cycles and feeds the size/length/age histograms. Not owned;
+  /// host-side only, like Trace.
+  SampleProfile *Profiler = nullptr;
 
   /// Convenience constructors for the Table 1 ladder.
   static RuntimeConfig emulate() {

@@ -7,6 +7,8 @@
 
 #include "core/Sideline.h"
 
+#include "support/EventTrace.h"
+
 #include <algorithm>
 
 using namespace rio;
@@ -52,6 +54,8 @@ bool SidelineOptimizer::processOne(Runtime &RT) {
       M.refundCycles(Charged - SyncCost);
     RT.stats().counter("sideline_traces_optimized") += 1;
     ++Optimized;
+    RIO_TRACE(RT.eventTrace(), M.cycles(), RT.activeContext().Tid,
+              TraceEventKind::SidelineOptimized, Tag, 0);
     return true;
   }
   return false;

@@ -8,6 +8,7 @@
 #include "core/ThreadedRunner.h"
 
 #include "support/Compiler.h"
+#include "support/EventTrace.h"
 
 #include <algorithm>
 
@@ -79,8 +80,9 @@ Runtime &ThreadedRunner::runtimeForThread(unsigned Tid) {
   Runtimes[Tid] = std::make_unique<Runtime>(M, Config, SharedClient, Region,
                                             HookMode::None);
   // A private runtime has exactly one context; label it with the real
-  // thread id so dr_get_thread_id answers the same in both sharing modes.
-  Runtimes[Tid]->activeContext().Tid = Tid;
+  // thread id so dr_get_thread_id (and event/sample attribution) answers
+  // the same in both sharing modes.
+  Runtimes[Tid]->labelActiveThread(Tid);
   if (SharedClient) {
     if (!InitFired) {
       SharedClient->onInit(*Runtimes[Tid]);
@@ -104,6 +106,10 @@ RunResult ThreadedRunner::run() {
       AnyAlive = true;
       M.switchToThread(Tid);
       Runtime &RT = runtimeForThread(Tid);
+      // One quantum-switch event per slice, from the scheduler's vantage
+      // (context-bank swaps inside a shared runtime trace separately).
+      RIO_TRACE(Config.Trace, M.cycles(), Tid,
+                TraceEventKind::ThreadScheduled, Tid, 0);
       Last = RT.runFor(Quantum);
       if (Last.ThreadDone) {
         Finished[Tid] = true;

@@ -46,6 +46,7 @@ void Runtime::noteDispatch(Fragment *Frag) {
   TC->TraceGenBlocks.push_back(Frag->Tag);
   TC->TraceGenInstrs = Frag->NumInstrs;
   ++S.TraceGenerationsStarted;
+  obsEvent(TraceEventKind::TraceGenStarted, Frag->Tag);
 }
 
 void Runtime::traceGenStep(AppPc NextTag) {
@@ -93,6 +94,8 @@ void Runtime::traceGenStep(AppPc NextTag) {
 }
 
 void Runtime::abortTrace() {
+  if (TC->TraceGenActive)
+    obsEvent(TraceEventKind::TraceAborted, TC->TraceGenHead);
   TC->TraceGenActive = false;
   TC->TraceGenBlocks.clear();
   Table.slot(TC->TraceGenHead).HeadCounter = 0;
@@ -142,6 +145,9 @@ void Runtime::finalizeTrace() {
   linkNewFragment(Trace);
   ++S.TracesBuilt;
   S.TraceBlocksTotal += Blocks.size();
+  obsEvent(TraceEventKind::TraceBuilt, Head, uint32_t(Blocks.size()));
+  if (Prof)
+    Prof->TraceLengths.add(Blocks.size());
 }
 
 //===----------------------------------------------------------------------===//

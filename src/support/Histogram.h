@@ -1,0 +1,100 @@
+//===- support/Histogram.h - Log2-bucketed distribution counters -----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny log2-bucketed histogram for runtime distributions: fragment
+/// sizes, trace lengths, eviction ages. Bucket 0 holds the value 0; bucket
+/// i (i >= 1) holds values in [2^(i-1), 2^i). Purely host-side — feeding a
+/// histogram never charges simulated cycles — and deterministic: the same
+/// value stream always yields the same table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_HISTOGRAM_H
+#define RIO_SUPPORT_HISTOGRAM_H
+
+#include "support/OutStream.h"
+
+#include <array>
+#include <cstdint>
+
+namespace rio {
+
+/// See file comment.
+class Histogram {
+public:
+  /// Bucket 0 plus one bucket per bit of a uint64_t.
+  static constexpr unsigned NumBuckets = 65;
+
+  static unsigned bucketOf(uint64_t Value) {
+    unsigned B = 0;
+    while (Value) {
+      Value >>= 1;
+      ++B;
+    }
+    return B; // 0 -> 0; [2^(i-1), 2^i) -> i
+  }
+  /// Inclusive lower bound of bucket \p B.
+  static uint64_t bucketLo(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+  /// Inclusive upper bound of bucket \p B.
+  static uint64_t bucketHi(unsigned B) {
+    return B == 0 ? 0 : (uint64_t(1) << B) - 1;
+  }
+
+  void add(uint64_t Value) {
+    ++Buckets[bucketOf(Value)];
+    ++N;
+    Total += Value;
+    if (Value > Largest)
+      Largest = Value;
+  }
+
+  uint64_t bucket(unsigned B) const { return Buckets[B]; }
+  uint64_t count() const { return N; }
+  uint64_t sum() const { return Total; }
+  uint64_t max() const { return Largest; }
+  bool empty() const { return N == 0; }
+
+  /// Prints the non-empty bucket rows with a proportional bar, plus a
+  /// count/mean/max footer. Deterministic.
+  void print(OutStream &OS, const char *Title) const {
+    OS.printf("%s\n", Title);
+    if (empty()) {
+      OS.printf("  (empty)\n");
+      return;
+    }
+    uint64_t Peak = 0;
+    for (uint64_t B : Buckets)
+      Peak = Peak > B ? Peak : B;
+    for (unsigned B = 0; B != NumBuckets; ++B) {
+      if (!Buckets[B])
+        continue;
+      unsigned Bar = unsigned((Buckets[B] * 40 + Peak - 1) / Peak);
+      OS.printf("  [%10llu, %10llu] %8llu |",
+                (unsigned long long)bucketLo(B),
+                (unsigned long long)bucketHi(B),
+                (unsigned long long)Buckets[B]);
+      for (unsigned I = 0; I != Bar; ++I)
+        OS << "#";
+      OS << "\n";
+    }
+    OS.printf("  count %llu, mean %llu, max %llu\n", (unsigned long long)N,
+              (unsigned long long)(Total / N), (unsigned long long)Largest);
+  }
+
+private:
+  std::array<uint64_t, NumBuckets> Buckets{};
+  uint64_t N = 0;
+  uint64_t Total = 0;
+  uint64_t Largest = 0;
+};
+
+} // namespace rio
+
+#endif // RIO_SUPPORT_HISTOGRAM_H

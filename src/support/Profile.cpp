@@ -1,0 +1,65 @@
+//===- support/Profile.cpp - Cycle-driven sampling profiler ----------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Profile.h"
+
+#include "support/OutStream.h"
+
+#include <algorithm>
+
+using namespace rio;
+
+std::vector<SampleProfile::Entry> SampleProfile::hottest() const {
+  std::vector<Entry> Out;
+  Out.reserve(ByTag.size());
+  for (const auto &[Tag, E] : ByTag)
+    Out.push_back(E);
+  std::sort(Out.begin(), Out.end(), [](const Entry &A, const Entry &B) {
+    if (A.Samples != B.Samples)
+      return A.Samples > B.Samples;
+    return A.Tag < B.Tag;
+  });
+  return Out;
+}
+
+void rio::writeProfileReport(OutStream &OS, const SampleProfile &Profile,
+                             size_t TopK) {
+  OS.printf("=== cycle-sampled profile (interval %llu cycles, %llu samples) "
+            "===\n",
+            (unsigned long long)Profile.interval(),
+            (unsigned long long)Profile.totalSamples());
+  std::vector<SampleProfile::Entry> Hot = Profile.hottest();
+  OS.printf("%-12s %10s %8s  %s\n", "tag", "samples", "cycles%", "kind");
+  size_t Shown = 0;
+  uint64_t Total = Profile.totalSamples();
+  for (const SampleProfile::Entry &E : Hot) {
+    if (Shown++ == TopK)
+      break;
+    // Integer basis points, so the percentage column is host-independent.
+    uint64_t Bp = Total ? E.Samples * 10000 / Total : 0;
+    char TagBuf[16];
+    std::snprintf(TagBuf, sizeof(TagBuf), "0x%x", E.Tag);
+    OS.printf("%-12s %10llu %5llu.%02llu%%  %s\n",
+              E.Tag ? TagBuf : "<runtime>",
+              (unsigned long long)E.Samples, (unsigned long long)(Bp / 100),
+              (unsigned long long)(Bp % 100),
+              E.Tag == 0        ? "-"
+              : E.TraceSamples  ? (E.TraceSamples == E.Samples ? "trace"
+                                                               : "trace+bb")
+                                : "bb");
+  }
+  if (Hot.size() > TopK)
+    OS.printf("  ... %llu more tags\n",
+              (unsigned long long)(Hot.size() - TopK));
+
+  OS << "\n";
+  Profile.FragmentSizes.print(OS, "fragment sizes (bytes):");
+  OS << "\n";
+  Profile.TraceLengths.print(OS, "trace lengths (basic blocks):");
+  OS << "\n";
+  Profile.EvictionAges.print(OS, "eviction ages (cycles):");
+}

@@ -12,7 +12,11 @@
 using namespace rio;
 
 void StatisticSet::print(OutStream &OS) const {
-  for (const auto &[Name, Idx] : Index)
-    OS.printf("%-40s %12llu\n", Name.c_str(),
+  // Registration order, not map iteration order: the line order then
+  // reflects when each counter entered the set (runtime counters first,
+  // client counters after) and is stable under renames that would reshuffle
+  // a name-sorted listing. Name-sorted access remains available via all().
+  for (uint32_t Idx = 0; Idx != Names.size(); ++Idx)
+    OS.printf("%-40s %12llu\n", Names[Idx].c_str(),
               static_cast<unsigned long long>(Values[Idx]));
 }

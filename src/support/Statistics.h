@@ -123,7 +123,9 @@ public:
     return Out;
   }
 
-  /// Prints "name: value" lines, sorted by name.
+  /// Prints "name value" lines in deterministic registration order (the
+  /// order counters were first interned), not name order — see all() for a
+  /// name-sorted snapshot.
   void print(OutStream &OS) const;
 
 private:

@@ -1,0 +1,469 @@
+//===- tests/observability_test.cpp - Event tracing / profiling tests -------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime introspection layer: EventTrace ring semantics (wraparound,
+/// dropped counting, ordering), deterministic event streams (bit-identical
+/// across two runs of the same workload), per-thread attribution under
+/// both cache-sharing modes, the cycle-sampling profiler, the client API
+/// surface (dr_trace_event / dr_register_event_hook / dr_get_profile), and
+/// the Chrome trace export. Also pins the core transparency property: a
+/// traced run charges exactly the same simulated cycles as an untraced
+/// one.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/dr_api.h"
+#include "asm/Assembler.h"
+#include "core/ThreadedRunner.h"
+#include "harness/Experiment.h"
+#include "support/EventTrace.h"
+#include "support/Histogram.h"
+#include "support/Profile.h"
+#include "support/OutStream.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+#include <vector>
+
+using namespace rio;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Ring buffer semantics
+//===----------------------------------------------------------------------===//
+
+TEST(EventTraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventTrace(8).capacity(), 8u);
+  EXPECT_EQ(EventTrace(9).capacity(), 16u);
+  EXPECT_EQ(EventTrace(1).capacity(), 2u);
+  EXPECT_EQ(EventTrace(0).capacity(), 2u);
+}
+
+TEST(EventTraceRing, WrapsAndCountsDropped) {
+  EventTrace T(8);
+  for (uint32_t I = 0; I != 20; ++I)
+    T.record(/*Cycles=*/100 + I, /*Tid=*/0, TraceEventKind::FragmentBuilt,
+             /*Tag=*/I, /*Aux=*/0);
+  EXPECT_EQ(T.capacity(), 8u);
+  EXPECT_EQ(T.size(), 8u);
+  EXPECT_EQ(T.totalRecorded(), 20u);
+  EXPECT_EQ(T.droppedEvents(), 12u);
+  // Retained events are the 12th..19th recorded, oldest first.
+  for (size_t I = 0; I != T.size(); ++I) {
+    EXPECT_EQ(T.event(I).Tag, 12 + I);
+    EXPECT_EQ(T.event(I).Cycles, 112 + I);
+  }
+}
+
+TEST(EventTraceRing, NoDropsBeforeWrap) {
+  EventTrace T(8);
+  for (uint32_t I = 0; I != 5; ++I)
+    T.record(I, 0, TraceEventKind::IblHit, I, 0);
+  EXPECT_EQ(T.size(), 5u);
+  EXPECT_EQ(T.droppedEvents(), 0u);
+  EXPECT_EQ(T.event(0).Tag, 0u);
+  EXPECT_EQ(T.event(4).Tag, 4u);
+}
+
+TEST(EventTraceRing, DisabledRecordsNothingThroughMacro) {
+  EventTrace T(8);
+  T.setEnabled(false);
+  RIO_TRACE(&T, 1, 0, TraceEventKind::IblMiss, 0x10, 0);
+  EXPECT_EQ(T.totalRecorded(), 0u);
+  // A null sink is legal at every call site too.
+  RIO_TRACE(static_cast<EventTrace *>(nullptr), 1, 0, TraceEventKind::IblMiss,
+            0x10, 0);
+  T.setEnabled(true);
+  RIO_TRACE(&T, 2, 0, TraceEventKind::IblMiss, 0x11, 0);
+  EXPECT_EQ(T.totalRecorded(), 1u);
+  EXPECT_EQ(T.event(0).Tag, 0x11u);
+}
+
+TEST(EventTraceRing, ClearKeepsLabelsAndKnob) {
+  EventTrace T(8);
+  uint32_t Id = T.internLabel("phase");
+  T.record(1, 0, TraceEventKind::ClientMarker, Id, 42);
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_EQ(T.droppedEvents(), 0u);
+  EXPECT_EQ(T.internLabel("phase"), Id) << "labels must survive clear()";
+  EXPECT_TRUE(T.enabled());
+}
+
+TEST(EventTraceRing, LabelInterningIsStable) {
+  EventTrace T;
+  uint32_t A = T.internLabel("alpha");
+  uint32_t B = T.internLabel("beta");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.internLabel("alpha"), A);
+  EXPECT_EQ(T.label(A), "alpha");
+  EXPECT_EQ(T.label(B), "beta");
+  EXPECT_EQ(T.label(9999), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram / profiler units
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, Log2Bucketing) {
+  EXPECT_EQ(Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(Histogram::bucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::bucketOf(1024), 11u);
+  Histogram H;
+  H.add(0);
+  H.add(3);
+  H.add(3);
+  H.add(100);
+  EXPECT_EQ(H.count(), 4u);
+  EXPECT_EQ(H.sum(), 106u);
+  EXPECT_EQ(H.max(), 100u);
+  EXPECT_EQ(H.bucket(2), 2u);
+  EXPECT_EQ(H.bucket(7), 1u); // 100 in [64, 127]
+}
+
+TEST(SampleProfileTest, OneSamplePerCrossingHoweverFarTheClockJumped) {
+  SampleProfile P(100);
+  EXPECT_FALSE(P.due(99));
+  EXPECT_TRUE(P.due(100));
+  P.sample(100, 0x10, false);
+  EXPECT_EQ(P.totalSamples(), 1u);
+  EXPECT_FALSE(P.due(199));
+  // The clock jumps 10 intervals at once: one sample, then re-armed past
+  // the current time — not 10 back-to-back samples.
+  EXPECT_TRUE(P.due(1100));
+  P.sample(1100, 0x20, true);
+  EXPECT_EQ(P.totalSamples(), 2u);
+  EXPECT_FALSE(P.due(1199));
+  EXPECT_TRUE(P.due(1200));
+}
+
+TEST(SampleProfileTest, HottestSortsBySamplesThenTag) {
+  SampleProfile P(1);
+  P.sample(1, 0x30, false);
+  P.sample(2, 0x10, false);
+  P.sample(3, 0x10, true);
+  P.sample(4, 0x20, false);
+  std::vector<SampleProfile::Entry> H = P.hottest();
+  ASSERT_EQ(H.size(), 3u);
+  EXPECT_EQ(H[0].Tag, 0x10u);
+  EXPECT_EQ(H[0].Samples, 2u);
+  EXPECT_EQ(H[0].TraceSamples, 1u);
+  EXPECT_EQ(H[1].Tag, 0x20u) << "ties break by ascending tag";
+  EXPECT_EQ(H[2].Tag, 0x30u);
+}
+
+//===----------------------------------------------------------------------===//
+// Whole-run properties
+//===----------------------------------------------------------------------===//
+
+/// Runs \p Name at default scale under full() with the given sinks.
+Outcome runTraced(const char *Name, EventTrace *Trace, SampleProfile *Prof) {
+  const Workload *W = findWorkload(Name);
+  EXPECT_NE(W, nullptr) << Name;
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.Trace = Trace;
+  Config.Profiler = Prof;
+  return runUnderRuntime(buildWorkload(*W, 0), Config, ClientKind::None);
+}
+
+TEST(Observability, TracingIsInvisibleToTheSimulatedMachine) {
+  Outcome Plain = runTraced("crafty", nullptr, nullptr);
+  EventTrace Trace;
+  SampleProfile Prof(500);
+  Outcome Traced = runTraced("crafty", &Trace, &Prof);
+  ASSERT_EQ(Plain.Status, RunStatus::Exited);
+  ASSERT_EQ(Traced.Status, RunStatus::Exited);
+  EXPECT_EQ(Traced.Cycles, Plain.Cycles);
+  EXPECT_EQ(Traced.Instructions, Plain.Instructions);
+  EXPECT_EQ(Traced.Output, Plain.Output);
+  EXPECT_GT(Trace.totalRecorded(), 0u);
+  EXPECT_GT(Prof.totalSamples(), 0u);
+}
+
+TEST(Observability, EventStreamsAreBitIdenticalAcrossRuns) {
+  EventTrace A, B;
+  ASSERT_EQ(runTraced("crafty", &A, nullptr).Status, RunStatus::Exited);
+  ASSERT_EQ(runTraced("crafty", &B, nullptr).Status, RunStatus::Exited);
+  ASSERT_EQ(A.totalRecorded(), B.totalRecorded());
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    ASSERT_EQ(A.event(I), B.event(I)) << "event " << I << " diverged";
+}
+
+TEST(Observability, SampleEventsCarryExecutingTags) {
+  EventTrace Trace;
+  SampleProfile Prof(500);
+  ASSERT_EQ(runTraced("crafty", &Trace, &Prof).Status, RunStatus::Exited);
+  uint64_t SampleEvents = 0;
+  Trace.forEach([&](const TraceEvent &E) {
+    if (E.kind() == TraceEventKind::Sample)
+      ++SampleEvents;
+  });
+  // Every sample the profiler took is mirrored as a Sample event (the ring
+  // is big enough for this workload — nothing dropped).
+  ASSERT_EQ(Trace.droppedEvents(), 0u);
+  EXPECT_EQ(SampleEvents, Prof.totalSamples());
+  // Most samples land in application fragments, not runtime-internal time.
+  EXPECT_GT(Prof.totalSamples() - Prof.samplesFor(0), Prof.samplesFor(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread attribution under both cache-sharing modes
+//===----------------------------------------------------------------------===//
+
+/// Three workers all calling one shared function (each via its own worker
+/// routine, so only shared_fn is common code). Deterministic.
+Program threadedProgram(int Workers, int Iters) {
+  std::string S = R"(
+    results: .space 32
+    flags:   .space 32
+    stacks:  .space 8192
+    main:
+  )";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov ebx, worker" + std::to_string(W) + "\n";
+    S += "  mov ecx, stacks+" + std::to_string((W + 1) * 1024) + "\n";
+    S += "  mov eax, 5\n  int 0x80\n"; // thread_create
+  }
+  S += "join:\n";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov eax, [flags+" + std::to_string(W * 4) + "]\n";
+    S += "  test eax, eax\n  jz join\n";
+  }
+  S += "  mov esi, 0\n";
+  for (int W = 0; W != Workers; ++W)
+    S += "  add esi, [results+" + std::to_string(W * 4) + "]\n";
+  S += "  and esi, 0xFFFFFF\n";
+  S += "  mov ebx, esi\n  mov eax, 2\n  int 0x80\n";
+  S += "  mov ebx, 0\n  mov eax, 1\n  int 0x80\n";
+  for (int W = 0; W != Workers; ++W) {
+    std::string Id = std::to_string(W);
+    S += "worker" + Id + ":\n";
+    S += "  mov esi, 0\n";
+    S += "  mov ecx, " + std::to_string(Iters) + "\n";
+    S += "wloop" + Id + ":\n";
+    S += "  mov eax, ecx\n";
+    S += "  call shared_fn\n";
+    S += "  add esi, eax\n  and esi, 0xFFFFFF\n";
+    S += "  dec ecx\n  jnz wloop" + Id + "\n";
+    S += "  mov [results+" + std::to_string(W * 4) + "], esi\n";
+    S += "  mov eax, 1\n  mov [flags+" + std::to_string(W * 4) + "], eax\n";
+    S += "  mov eax, 6\n  int 0x80\n"; // thread_exit
+  }
+  S += R"(
+    shared_fn:
+      imul eax, eax, 17
+      and eax, 1023
+      add eax, 3
+      ret
+  )";
+  Program Prog;
+  std::string Error;
+  if (!assemble(S, Prog, Error)) {
+    ADD_FAILURE() << "assembly failed: " << Error;
+    std::abort();
+  }
+  return Prog;
+}
+
+struct ThreadedTraceRun {
+  std::set<unsigned> TidsSeen;      ///< over every recorded event
+  uint64_t SharedFnBuilt = 0;       ///< FragmentBuilt events for shared_fn
+  uint64_t ContextSwaps = 0;        ///< ContextSwapped events
+  uint64_t ThreadSchedules = 0;     ///< ThreadScheduled events
+};
+
+ThreadedTraceRun runThreadedTraced(CacheSharing Sharing) {
+  Program Prog = threadedProgram(3, 2000);
+  AppPc SharedFn = Prog.symbol("shared_fn");
+  EXPECT_NE(SharedFn, 0u);
+  Machine M;
+  EXPECT_TRUE(loadProgram(M, Prog));
+  EventTrace Trace(1u << 18);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.Sharing = Sharing;
+  Config.Trace = &Trace;
+  ThreadedRunner Runner(M, Config);
+  RunResult R = Runner.run();
+  EXPECT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  EXPECT_EQ(M.output(), "3073800\n");
+
+  ThreadedTraceRun Out;
+  EXPECT_EQ(Trace.droppedEvents(), 0u);
+  Trace.forEach([&](const TraceEvent &E) {
+    Out.TidsSeen.insert(E.Tid);
+    switch (E.kind()) {
+    case TraceEventKind::FragmentBuilt:
+      if (E.Tag == SharedFn)
+        ++Out.SharedFnBuilt;
+      break;
+    case TraceEventKind::ContextSwapped:
+      ++Out.ContextSwaps;
+      break;
+    case TraceEventKind::ThreadScheduled:
+      ++Out.ThreadSchedules;
+      break;
+    default:
+      break;
+    }
+  });
+  return Out;
+}
+
+TEST(Observability, SharedCacheAttributesEventsToEveryThread) {
+  ThreadedTraceRun Run = runThreadedTraced(CacheSharing::Shared);
+  // Main thread + 3 workers all show up on their own track.
+  for (unsigned Tid = 0; Tid != 4; ++Tid)
+    EXPECT_TRUE(Run.TidsSeen.count(Tid)) << "tid " << Tid;
+  // One shared cache: the common function is built once as a basic block
+  // (possibly once more as a trace), never per-thread.
+  EXPECT_GE(Run.SharedFnBuilt, 1u);
+  EXPECT_LE(Run.SharedFnBuilt, 2u);
+  // Shared mode swaps thread contexts inside the one runtime.
+  EXPECT_GT(Run.ContextSwaps, 0u);
+  EXPECT_GT(Run.ThreadSchedules, 0u);
+}
+
+TEST(Observability, PrivateCachesAttributeEventsAndDuplicateSharedCode) {
+  ThreadedTraceRun Run = runThreadedTraced(CacheSharing::ThreadPrivate);
+  // Private runtimes are labeled with real thread ids, so attribution
+  // matches shared mode even though each runtime has a single context.
+  for (unsigned Tid = 0; Tid != 4; ++Tid)
+    EXPECT_TRUE(Run.TidsSeen.count(Tid)) << "tid " << Tid;
+  // Each worker's private cache builds its own copy of the common code.
+  EXPECT_GE(Run.SharedFnBuilt, 3u);
+  EXPECT_GT(Run.ThreadSchedules, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Client API surface
+//===----------------------------------------------------------------------===//
+
+Program counterProgram() {
+  Program Prog;
+  std::string Error;
+  bool Ok = assemble(R"(
+    main:
+      mov ecx, 2000
+    loop:
+      dec ecx
+      jnz loop
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )",
+                     Prog, Error);
+  EXPECT_TRUE(Ok) << Error;
+  return Prog;
+}
+
+TEST(Observability, ClientMarkersHooksAndProfileApi) {
+  Program Prog = counterProgram();
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  EventTrace Trace;
+  SampleProfile Prof(100);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.Trace = &Trace;
+  Config.Profiler = &Prof;
+  Runtime RT(M, Config, nullptr);
+  void *Ctx = &RT;
+
+  // The hook sees every subsequent event synchronously.
+  uint64_t Hooked = 0;
+  ASSERT_TRUE(dr_register_event_hook(Ctx, [&](const TraceEvent &) {
+    ++Hooked;
+  }));
+  dr_trace_event(Ctx, "before-run", 1);
+  RunResult R = RT.run();
+  ASSERT_EQ(R.Status, RunStatus::Exited);
+  dr_trace_event(Ctx, "after-run", 2);
+  EXPECT_EQ(Hooked, Trace.totalRecorded());
+  EXPECT_GT(Hooked, 2u);
+
+  // Marker events carry the interned label and the client value.
+  const TraceEvent &First = Trace.event(0);
+  EXPECT_EQ(First.kind(), TraceEventKind::ClientMarker);
+  EXPECT_EQ(Trace.label(First.Tag), "before-run");
+  EXPECT_EQ(First.Aux, 1u);
+  const TraceEvent &Last = Trace.event(Trace.size() - 1);
+  EXPECT_EQ(Last.kind(), TraceEventKind::ClientMarker);
+  EXPECT_EQ(Trace.label(Last.Tag), "after-run");
+  EXPECT_EQ(Last.Aux, 2u);
+
+  // The profile API mirrors the profiler, hottest first.
+  std::vector<dr_profile_entry> Profile = dr_get_profile(Ctx);
+  ASSERT_FALSE(Profile.empty());
+  uint64_t Sum = 0;
+  for (size_t I = 0; I != Profile.size(); ++I) {
+    Sum += Profile[I].samples;
+    if (I) {
+      EXPECT_GE(Profile[I - 1].samples, Profile[I].samples);
+    }
+  }
+  EXPECT_EQ(Sum, Prof.totalSamples());
+}
+
+TEST(Observability, ApiIsSafeWithoutSinks) {
+  Program Prog = counterProgram();
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  Runtime RT(M, RuntimeConfig::full(), nullptr);
+  void *Ctx = &RT;
+  dr_trace_event(Ctx, "ignored", 0); // no trace attached: no-op
+  EXPECT_FALSE(dr_register_event_hook(Ctx, [](const TraceEvent &) {}));
+  EXPECT_TRUE(dr_get_profile(Ctx).empty());
+  EXPECT_EQ(RT.run().Status, RunStatus::Exited);
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, ChromeExportShapeAndDeterminism) {
+  EventTrace Trace;
+  SampleProfile Prof(500);
+  ASSERT_EQ(runTraced("crafty", &Trace, &Prof).Status, RunStatus::Exited);
+  StringOutStream OS;
+  writeChromeTrace(OS, Trace);
+  const std::string &J = OS.str();
+  EXPECT_NE(J.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(J.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(J.find("\"app thread 0\""), std::string::npos);
+  EXPECT_NE(J.find("\"fragment_built\""), std::string::npos);
+  EXPECT_NE(J.find("\"sample\""), std::string::npos);
+  EXPECT_NE(J.find("\"droppedEvents\""), std::string::npos);
+  // Byte-for-byte deterministic for a deterministic stream.
+  StringOutStream OS2;
+  writeChromeTrace(OS2, Trace);
+  EXPECT_EQ(J, OS2.str());
+}
+
+TEST(Observability, ProfileReportIsDeterministicAndRanked) {
+  EventTrace Trace;
+  SampleProfile Prof(500);
+  ASSERT_EQ(runTraced("crafty", &Trace, &Prof).Status, RunStatus::Exited);
+  StringOutStream OS;
+  writeProfileReport(OS, Prof);
+  const std::string &R = OS.str();
+  EXPECT_NE(R.find("cycle-sampled profile"), std::string::npos);
+  EXPECT_NE(R.find("fragment sizes"), std::string::npos);
+  EXPECT_NE(R.find("trace lengths"), std::string::npos);
+  EXPECT_NE(R.find("eviction ages"), std::string::npos);
+  StringOutStream OS2;
+  writeProfileReport(OS2, Prof);
+  EXPECT_EQ(R, OS2.str());
+}
+
+} // namespace

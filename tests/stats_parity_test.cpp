@@ -24,6 +24,8 @@
 #include "asm/Assembler.h"
 #include "core/ThreadedRunner.h"
 #include "harness/Experiment.h"
+#include "support/OutStream.h"
+#include "support/Statistics.h"
 #include "workloads/Workloads.h"
 
 #include "gtest/gtest.h"
@@ -203,6 +205,43 @@ TEST(StatsParity, ThreadPrivatePressureMatchesPreRefactorGoldens) {
   Config.BbCacheSize = 256;
   Config.TraceCacheSize = 256;
   expectThreadedGolden(ThreadedPressureGolden, Config);
+}
+
+// Shared-cache mode pinned alongside (ISSUE 4: tracing disabled must leave
+// BOTH sharing modes bit-identical; these values were recorded before the
+// observability instrumentation landed).
+constexpr ThreadedGolden ThreadedSharedGolden = {
+    263032ull, 119765ull, {140, 124, 612, 588, 784, 84, 16, 72, 16, 0}};
+
+TEST(StatsParity, SharedCacheModeMatchesPreObservabilityGoldens) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.Sharing = CacheSharing::Shared;
+  expectThreadedGolden(ThreadedSharedGolden, Config);
+}
+
+//===----------------------------------------------------------------------===//
+// StatisticSet::print order: counters must print in REGISTRATION order,
+// not name-sorted (the interned-handle refactor briefly iterated the
+// name->index map, which silently re-sorted reports alphabetically).
+//===----------------------------------------------------------------------===//
+
+TEST(StatsParity, PrintFollowsRegistrationOrderNotNameOrder) {
+  StatisticSet S;
+  // Deliberately anti-alphabetical registration order.
+  S.counter("zeta") += 1;
+  S.counter("alpha") += 2;
+  S.counter("mid") += 3;
+  StringOutStream OS;
+  S.print(OS);
+  const std::string &Text = OS.str();
+  size_t Zeta = Text.find("zeta");
+  size_t Alpha = Text.find("alpha");
+  size_t Mid = Text.find("mid");
+  ASSERT_NE(Zeta, std::string::npos);
+  ASSERT_NE(Alpha, std::string::npos);
+  ASSERT_NE(Mid, std::string::npos);
+  EXPECT_LT(Zeta, Alpha) << "print() re-sorted counters by name:\n" << Text;
+  EXPECT_LT(Alpha, Mid) << "print() re-sorted counters by name:\n" << Text;
 }
 
 } // namespace
