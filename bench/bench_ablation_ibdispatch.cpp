@@ -38,6 +38,15 @@ double runWithOptions(const Workload &W, IBDispatchClient::Options Opts) {
   return double(R.Cycles) / double(Native.Cycles);
 }
 
+double runWithConfig(const Workload &W, const RuntimeConfig &Config) {
+  Program Prog = buildWorkload(W, 0);
+  Outcome Native = runNativeProgram(Prog);
+  Outcome O = runUnderRuntime(Prog, Config, ClientKind::None);
+  if (O.Status != RunStatus::Exited || O.Output != Native.Output)
+    return -1;
+  return double(O.Cycles) / double(Native.Cycles);
+}
+
 } // namespace
 
 int main() {
@@ -65,6 +74,38 @@ int main() {
       }
       OS.printf("\n");
     }
+  }
+
+  // Second axis: where the indirect-branch dispatch work happens. The
+  // global IBL alone, the trace builder's single-target inline check, or
+  // the runtime's adaptive inline caches rewriting hot block fragments
+  // (no traces, no client — the chains are the only optimization on).
+  struct Mode {
+    const char *Name;
+    RuntimeConfig Config;
+  };
+  RuntimeConfig GlobalIbl = RuntimeConfig::linkIndirect();
+  RuntimeConfig TracesOnly = RuntimeConfig::full();
+  RuntimeConfig Adaptive = RuntimeConfig::linkIndirect();
+  Adaptive.IbInline = true;
+  const Mode Modes[] = {
+      {"global-ibl-only", GlobalIbl},
+      {"traces-only-inline", TracesOnly},
+      {"adaptive-inline", Adaptive},
+  };
+
+  OS.printf("\nDispatch-mode axis (normalized time)\n\n");
+  OS.printf("%-22s", "mode");
+  for (const char *Name : Benches)
+    OS.printf(" %10s", Name);
+  OS.printf("\n");
+  for (const Mode &M : Modes) {
+    OS.printf("%-22s", M.Name);
+    for (const char *Name : Benches) {
+      const Workload *W = findWorkload(Name);
+      OS.printf(" %10.3f", runWithConfig(*W, M.Config));
+    }
+    OS.printf("\n");
   }
   return 0;
 }

@@ -67,6 +67,7 @@ int usage() {
             "  -threads [-shared] | -sideline | -stats | -scale <n> | "
             "-disas <sym> | -dump-asm\n"
             "  -trace <file> | -profile | -sample-interval <n>\n"
+            "  -ib-inline             adaptive indirect-branch inline caches\n"
             "workloads:");
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
@@ -80,7 +81,7 @@ int main(int argc, char **argv) {
   OutStream &OS = outs();
   bool Native = false, Threads = false, Shared = false, UseSideline = false,
        Stats = false;
-  bool DumpAsm = false, Profile = false;
+  bool DumpAsm = false, Profile = false, IbInline = false;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
               TraceFile;
   uint64_t SampleInterval = 1000;
@@ -114,6 +115,8 @@ int main(int argc, char **argv) {
       TraceFile = Arg.substr(7);
     else if (Arg == "-profile")
       Profile = true;
+    else if (Arg == "-ib-inline")
+      IbInline = true;
     else if (Arg == "-sample-interval" && I + 1 < argc)
       SampleInterval = std::strtoull(argv[++I], nullptr, 0);
     else if (Arg.rfind("-sample-interval=", 0) == 0)
@@ -163,6 +166,8 @@ int main(int argc, char **argv) {
     return usage();
   if (Shared)
     Config.Sharing = CacheSharing::Shared;
+  if (IbInline)
+    Config.IbInline = true;
 
   // Observability sinks: stack-owned, shared by every runtime the run
   // creates (the config is copied by value, the pointers ride along).

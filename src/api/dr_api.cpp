@@ -297,6 +297,10 @@ unsigned rio::dr_get_thread_id(void *Context) {
   return runtimeOf(Context).activeContext().Tid;
 }
 
+bool rio::dr_ib_inlining_enabled(void *Context) {
+  return runtimeOf(Context).config().IbInline;
+}
+
 //===----------------------------------------------------------------------===//
 // Observability
 //===----------------------------------------------------------------------===//

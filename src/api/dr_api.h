@@ -251,6 +251,14 @@ bool dr_using_shared_cache(void *context);
 /// active thread context.
 unsigned dr_get_thread_id(void *context);
 
+/// Whether the runtime's adaptive indirect-branch inline caches are on
+/// (RuntimeConfig::IbInline). When they are, spill slot 7 is reserved for
+/// the chain's ecx spill, so clients using dr_save_reg should keep to the
+/// lower slots; a client rewriting indirect-branch dispatch itself
+/// (e.g. ibdispatch) may prefer to stand down when the runtime already
+/// inlines hot targets.
+bool dr_ib_inlining_enabled(void *context);
+
 //===----------------------------------------------------------------------===//
 // Observability (support/EventTrace.h, support/Profile.h)
 //===----------------------------------------------------------------------===//

@@ -11,24 +11,148 @@
 
 using namespace rio;
 
-bool rio::flagsLiveAt(Instr *From) {
+uint32_t rio::eflagsReadBy(Instr *I) {
+  return I->getEflags() & EFLAGS_READ_ALL;
+}
+
+uint32_t rio::eflagsWrittenBy(Instr *I) {
+  return (I->getEflags() & EFLAGS_WRITE_ALL) >> 6;
+}
+
+uint32_t rio::liveEflagsAt(Instr *From) {
+  uint32_t Live = 0;
   uint32_t Written = 0; // read-mask space (bits 0-5)
   for (Instr *I = From; I; I = I->next()) {
     if (I->isLabel())
       continue;
-    if (I->isBundle())
-      return true; // cannot see inside; be conservative
-    uint32_t Effect = I->getEflags();
-    uint32_t Reads = Effect & EFLAGS_READ_ALL;
-    if (Reads & ~Written)
-      return true;
-    Written |= (Effect & EFLAGS_WRITE_ALL) >> 6;
+    if (I->isBundle()) // cannot see inside; be conservative
+      return Live | (EFLAGS_READ_ALL & ~Written);
+    Live |= eflagsReadBy(I) & ~Written;
+    Written |= eflagsWrittenBy(I);
     if (Written == EFLAGS_READ_ALL)
-      return false;
-    if (I->isCti())
-      return true; // control may leave with flags still partially unwritten
+      return Live;
+    if (I->isCti()) // control may leave with flags still partially unwritten
+      return Live | (EFLAGS_READ_ALL & ~Written);
   }
-  return true; // fell off the list with flags unwritten
+  return Live | (EFLAGS_READ_ALL & ~Written); // fell off the list
+}
+
+bool rio::flagsLiveAt(Instr *From) { return liveEflagsAt(From) != 0; }
+
+unsigned rio::elideDeadFlagSavePairs(InstrList &IL) {
+  unsigned Removed = 0;
+  Instr *I = IL.first();
+  while (I) {
+    Instr *Next = I->next();
+    if (!I->isLabel() && !I->isBundle() && I->getOpcode() == OP_savef) {
+      Operand Slot = I->getDst(0);
+      // Find the matching restf in the same straight-line run. Any label,
+      // CTI, bundle, nested savef, or other touch of [Slot] aborts.
+      Instr *Restf = nullptr;
+      for (Instr *J = I->next(); J; J = J->next()) {
+        if (J->isLabel() || J->isBundle())
+          break;
+        Opcode Op = J->getOpcode();
+        if (Op == OP_restf && J->getSrc(0) == Slot) {
+          Restf = J;
+          break;
+        }
+        if (J->isCti() || Op == OP_savef)
+          break;
+        bool TouchesSlot = false;
+        for (unsigned Idx = 0, N = J->numSrcs(); Idx != N && !TouchesSlot;
+             ++Idx)
+          TouchesSlot = J->getSrc(Idx) == Slot;
+        for (unsigned Idx = 0, N = J->numDsts(); Idx != N && !TouchesSlot;
+             ++Idx)
+          TouchesSlot = J->getDst(Idx) == Slot;
+        if (TouchesSlot)
+          break;
+      }
+      // The pair is removable only when the flags the restf would restore
+      // are dead afterwards (per-bit: an inc downstream preserves CF, so a
+      // CF reader past it keeps the pair alive).
+      if (Restf && Restf->next() && liveEflagsAt(Restf->next()) == 0) {
+        IL.remove(Restf);
+        Next = I->next();
+        IL.remove(I);
+        ++Removed;
+      }
+    }
+    I = Next;
+  }
+  return Removed;
+}
+
+namespace {
+/// Matches `mov reg32, [abs]` / `mov [abs], reg32`. Absolute (base- and
+/// index-free) memory operands only: those are the runtime's spill/lookup
+/// slots, which cannot fault and cannot alias an operand this pass leaves
+/// in place, so deleting the access is safe.
+bool isAbsMem(const Operand &Op) {
+  return Op.isMem() && Op.getBase() == REG_NULL && Op.getIndex() == REG_NULL;
+}
+bool isSlotLoad(Instr *I, Register &Reg, Operand &Slot) {
+  if (I->isLabel() || I->isBundle() || I->getOpcode() != OP_mov)
+    return false;
+  if (!I->getDst(0).isReg() || !isAbsMem(I->getSrc(0)))
+    return false;
+  Reg = I->getDst(0).getReg();
+  Slot = I->getSrc(0);
+  return isGpr32(Reg);
+}
+bool isSlotStore(Instr *I, Register &Reg, Operand &Slot) {
+  if (I->isLabel() || I->isBundle() || I->getOpcode() != OP_mov)
+    return false;
+  if (!I->getSrc(0).isReg() || !isAbsMem(I->getDst(0)))
+    return false;
+  Reg = I->getSrc(0).getReg();
+  Slot = I->getDst(0);
+  return isGpr32(Reg);
+}
+} // namespace
+
+unsigned rio::collapseRedundantSpills(InstrList &IL) {
+  unsigned Removed = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (Instr *I = IL.first(); I; I = I->next()) {
+      Instr *J = I->next();
+      if (!J)
+        break;
+      Register RegA, RegB;
+      Operand SlotA, SlotB;
+      // load r,[M] ; store [M],r  ->  the store writes back what was just
+      // read; drop the store.
+      if (isSlotLoad(I, RegA, SlotA) && isSlotStore(J, RegB, SlotB) &&
+          RegA == RegB && SlotA == SlotB) {
+        IL.remove(J);
+        ++Removed;
+        Changed = true;
+        break;
+      }
+      // store [M],r ; load r,[M]  ->  the load reads back what was just
+      // written; drop the load.
+      if (isSlotStore(I, RegA, SlotA) && isSlotLoad(J, RegB, SlotB) &&
+          RegA == RegB && SlotA == SlotB) {
+        IL.remove(J);
+        ++Removed;
+        Changed = true;
+        break;
+      }
+      // load r,[M1] ; mov r,<src not using r>  ->  the first load is dead.
+      if (isSlotLoad(I, RegA, SlotA) && !J->isLabel() && !J->isBundle() &&
+          J->getOpcode() == OP_mov && J->getDst(0).isReg() &&
+          J->getDst(0).getReg() == RegA && !J->getSrc(0).usesRegister(RegA)) {
+        IL.remove(I);
+        ++Removed;
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Removed;
 }
 
 bool rio::registerLiveAt(Instr *From, Register Reg) {

@@ -20,11 +20,48 @@
 
 namespace rio {
 
+/// Arithmetic flags instruction \p I reads, as an EFLAGS_READ_* mask
+/// (bits 0-5: CF OF SF ZF AF PF).
+uint32_t eflagsReadBy(Instr *I);
+
+/// Arithmetic flags instruction \p I writes, expressed in the *read*-mask
+/// space (shifted down from EFLAGS_WRITE_*) so read and write sets compose
+/// directly. Partial writers stay partial: inc/dec report all flags except
+/// CF, shifts report all except AF.
+uint32_t eflagsWrittenBy(Instr *I);
+
+/// The set of arithmetic flags (EFLAGS_READ_* mask) that may be read
+/// before being rewritten, scanning forward from \p From (inclusive) to
+/// the end of its list. Conservative at bundles and control-transfer
+/// instructions: any flag still unwritten when control can leave the
+/// fragment is reported live. This is the per-bit refinement of
+/// flagsLiveAt() — an `inc` kills everything but CF, so a following
+/// `jb`/`adc` keeps exactly CF live across it.
+uint32_t liveEflagsAt(Instr *From);
+
 /// Returns true if any arithmetic flag may be read before being rewritten,
 /// scanning forward from \p From (inclusive) to the end of its list.
 /// Conservative at control-transfer instructions: if control can leave the
 /// fragment while some flag is still unwritten, the flags count as live.
 bool flagsLiveAt(Instr *From);
+
+/// Removes client savef/restf pairs whose restored flags are provably dead:
+/// a `savef [slot]` with a matching `restf [slot]` later in the same
+/// straight-line run (no label, CTI, bundle, or other touch of [slot]
+/// between them) is deleted together with its restf when liveEflagsAt()
+/// after the restf is empty. Returns the number of pairs removed. Used by
+/// the adaptive indirect-branch rewriter, where re-emission makes the
+/// instrumentation's conservative flag preservation re-analyzable.
+unsigned elideDeadFlagSavePairs(InstrList &IL);
+
+/// Collapses redundant register spill/restore traffic left by naively
+/// composed mangling sequences: adjacent `mov r,[M]; mov [M],r` /
+/// `mov [M],r; mov r,[M]` pairs and back-to-back loads into the same
+/// register. Iterates to a fixpoint so a chain of inline-check segments
+/// that each bracket themselves with an ecx spill/restore ends up paying
+/// one spill for the whole chain. Returns the number of instructions
+/// removed.
+unsigned collapseRedundantSpills(InstrList &IL);
 
 /// Returns true if register \p Reg may be read before being fully
 /// rewritten, scanning forward from \p From. Conservative at CTIs, partial

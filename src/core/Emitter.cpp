@@ -184,6 +184,8 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     AppPc TargetTag;    // 0 for indirect
     InstrList *Custom;  // client custom stub
     bool AlwaysThrough;
+    bool IsIbArm;       // inline-chain match arm (direct)
+    bool IbMiss;        // inline-chain fall-through (indirect)
   };
   std::vector<PendingExit> Pending;
   for (Instr &I : IL) {
@@ -192,14 +194,15 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     if (!I.isCti())
       continue;
     if (I.isIndirectCti()) {
-      Pending.push_back({&I, 0, nullptr, false});
+      Pending.push_back({&I, 0, nullptr, false, false, I.isIbMissCti()});
       continue;
     }
     assert(I.numSrcs() >= 1 && "direct CTI without target operand");
     if (I.getSrc(0).isInstr())
       continue; // internal branch to a label
     assert(!I.isCall() && "calls must be mangled before emission");
-    Pending.push_back({&I, I.getSrc(0).getPc(), nullptr, false});
+    Pending.push_back(
+        {&I, I.getSrc(0).getPc(), nullptr, false, I.isIbArmCti(), false});
   }
 
   // Attach client custom stubs registered during the hook.
@@ -240,7 +243,9 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
       Custom = unsigned(Len);
     }
     CustomSize[Idx] = Custom;
-    StubBytes += Custom + 15;
+    // Chain-arm stubs re-route via IbTargetSlot -> IBL (10 + 6 bytes);
+    // ordinary stubs record their exit id and context-switch (10 + 5).
+    StubBytes += Custom + (Pending[Idx].IsIbArm ? 16 : 15);
   }
 
   uint32_t Base = allocCache(BodySize + StubBytes, Kind);
@@ -264,10 +269,12 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     Exit.SourceAppPc = PE.Cti->appAddr();
     if (PE.TargetTag == 0) {
       Exit.ExitKind = FragmentExit::Kind::Indirect;
+      Exit.IbMiss = PE.IbMiss;
       Frag->Exits.push_back(Exit);
       continue;
     }
     Exit.ExitKind = FragmentExit::Kind::Direct;
+    Exit.IsIbArm = PE.IsIbArm;
     Exit.TargetTag = PE.TargetTag;
     Exit.StubAddr = Base + StubOffset[Idx];
     Exit.ExitId = uint32_t(ExitRecords.size());
@@ -287,16 +294,18 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
   }
   assert(Placement.TotalSize == BodySize && "body size changed at placement");
 
-  // Record exit CTI addresses for link patching.
+  // Record exit CTI addresses: direct exits for link patching, indirect
+  // exits so an IBL arrival (whose site pc is the transferring CTI) can be
+  // matched back to its exit record for per-site target profiling.
   for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
     FragmentExit &Exit = Frag->Exits[Idx];
-    if (Exit.ExitKind != FragmentExit::Kind::Direct)
-      continue;
     unsigned Off = Placement.offsetOf(Pending[Idx].Cti);
     assert(Off != ~0u && "exit CTI missing from placement");
     Exit.CtiAddr = Base + Off;
     Exit.CtiLen =
         unsigned(Pending[Idx].Cti->encodedLength(Exit.CtiAddr, false));
+    if (Exit.IsIbArm)
+      IbArmPcs[Exit.CtiAddr] = Exit.ExitId;
   }
 
   // Emit stubs.
@@ -315,8 +324,33 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
       }
       StubPc += StubRes.TotalSize;
     }
-    // mov [ExitIdSlot], $exit_id  (10 bytes)
-    {
+    if (Exit.IsIbArm) {
+      // Chain-arm stub: when the arm's target fragment is gone, the arm
+      // falls back through the IBL rather than the dispatcher. The stub
+      // re-materializes the (known, constant) target into IbTargetSlot and
+      // re-issues the indirect transfer, so an unlinked arm costs one IBL
+      // lookup and the chain owner never needs unlinking.
+      Arena Tmp(256);
+      Instr *Mov = Instr::createSynth(
+          Tmp, OP_mov, {Operand::memAbs(Slots.IbTargetSlot, 4),
+                        Operand::imm(int64_t(Exit.TargetTag), 4)});
+      uint8_t Buf[MaxInstrLength];
+      int Len = Mov->encode(StubPc, Buf, false);
+      assert(Len == 10 && "unexpected arm stub mov length");
+      M.mem().writeBlock(StubPc, Buf, unsigned(Len));
+      StubPc += unsigned(Len);
+      // jmp_ind [IbTargetSlot] (6 bytes)
+      Instr *Jmp = Instr::createSynth(
+          Tmp, OP_jmp_ind, {Operand::memAbs(Slots.IbTargetSlot, 4)});
+      Len = Jmp->encode(StubPc, Buf, false);
+      assert(Len == 6 && "unexpected arm stub jmp_ind length");
+      M.mem().writeBlock(StubPc, Buf, unsigned(Len));
+      Exit.StubJmpAddr = StubPc;
+      Exit.StubJmpLen = unsigned(Len);
+      StubPc += unsigned(Len);
+      IbArmStubSites[Exit.StubJmpAddr] = Exit.ExitId;
+    } else {
+      // mov [ExitIdSlot], $exit_id  (10 bytes)
       Arena Tmp(256);
       Instr *Mov = Instr::createSynth(
           Tmp, OP_mov, {Operand::memAbs(Slots.ExitIdSlot, 4),
@@ -483,6 +517,14 @@ void Runtime::unlinkExit(FragmentExit &Exit) {
     return;
   obsEvent(TraceEventKind::FragmentUnlinked,
            Exit.LinkedTo ? Exit.LinkedTo->Tag : 0, Exit.StubAddr);
+  if (Exit.IsIbArm) {
+    // An inline-chain arm lost its target: the arm now routes through its
+    // stub back to the IBL, but the chain itself stays in place.
+    ++S.IbInlineChainEvictions;
+    obsEvent(TraceEventKind::IbInlineArmUnlink,
+             Exit.LinkedTo ? Exit.LinkedTo->Tag : Exit.TargetTag,
+             Exit.StubAddr);
+  }
   if (Exit.AlwaysThroughStub)
     patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, Slots.DispatcherEntry);
   else
@@ -577,6 +619,7 @@ void Runtime::deleteFragment(Fragment *Frag) {
     return;
   unlinkIncoming(Frag);
   unlinkOutgoing(Frag);
+  dropIbSites(Frag);
   Table.eraseFragment(Frag->Tag, Frag);
   auto SIt = ShadowBbs.find(Frag->Tag);
   if (SIt != ShadowBbs.end() && SIt->second == Frag)
@@ -636,6 +679,8 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
           Exit.CtiAddr == R.Addr) {
         R.I->setBranchTarget(Exit.TargetTag);
         R.I->setExitCti(true);
+        if (Exit.IsIbArm)
+          R.I->setIbArmCti(true);
         IsExit = true;
         break;
       }
@@ -649,6 +694,18 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
       continue;
     }
     return nullptr; // direct CTI that is neither exit nor internal: corrupt
+  }
+
+  // Indirect CTIs carry the chain fall-through marker through a decode
+  // round trip, so re-rewriting a fragment never mistakes an existing
+  // chain's miss path for a fresh profiling site.
+  for (Row &R : Rows) {
+    if (!R.I->isCti() || !R.I->isIndirectCti())
+      continue;
+    for (const FragmentExit &Exit : Frag->Exits)
+      if (Exit.ExitKind == FragmentExit::Kind::Indirect &&
+          Exit.CtiAddr == R.Addr && Exit.IbMiss)
+        R.I->setIbMissCti(true);
   }
 
   for (Row &R : Rows) {
@@ -704,6 +761,7 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   // Emission above may already have evicted Old to make room; only retire
   // and notify once.
   if (!Old->Doomed) {
+    dropIbSites(Old);
     CM.retireFragment(Old);
     Old->Doomed = true;
     DoomedFragments.push_back(Old);

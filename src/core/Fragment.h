@@ -62,6 +62,18 @@ struct FragmentExit {
   /// App address of the *source* CTI this exit descends from (0 when
   /// synthesized); used for the backward-branch trace-head heuristic.
   AppPc SourceAppPc = 0;
+
+  /// Match arm of an adaptive indirect-branch inline chain. Its stub does
+  /// not go to the dispatcher: it stores TargetTag into IbTargetSlot and
+  /// jumps through it, re-entering the IBL, so unlinking the arm (target
+  /// evicted/flushed/invalidated) degrades only that arm to a lookup
+  /// without touching the chain owner.
+  bool IsIbArm = false;
+
+  /// The chain's fall-through indirect exit (taken when no arm matched).
+  /// Arrivals here count as ib_inline_misses; the site is never rewritten
+  /// again through this exit.
+  bool IbMiss = false;
 };
 
 /// One contiguous application byte range [Lo, Hi) whose code backs part of

@@ -52,7 +52,14 @@ Runtime::FlowStats::FlowStats(StatisticSet &S)
       TraceJmpsElided(S.stat("trace_jmps_elided")),
       TraceCallsInlined(S.stat("trace_calls_inlined")),
       IndirectBranchesInlined(S.stat("indirect_branches_inlined")),
-      ThreadContextSwaps(S.stat("thread_context_swaps")) {}
+      ThreadContextSwaps(S.stat("thread_context_swaps")),
+      IbInlineHits(S.stat("ib_inline_hits")),
+      IbInlineMisses(S.stat("ib_inline_misses")),
+      IbInlineRewrites(S.stat("ib_inline_rewrites")),
+      IbInlineChainEvictions(S.stat("ib_inline_chain_evictions")),
+      IbInlineArmRelinks(S.stat("ib_inline_arm_relinks")),
+      IbInlineFlagPairsElided(S.stat("ib_inline_flag_pairs_elided")),
+      IbInlineSpillsCollapsed(S.stat("ib_inline_spills_collapsed")) {}
 
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
@@ -102,6 +109,13 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
   ObsTrace = this->Config.Trace;
   Prof = this->Config.Profiler;
   CM.attachTrace(ObsTrace, &ObsTid);
+
+  // Adaptive indirect-branch inlining needs the cache, the IBL (misses are
+  // resolved by lookup, and unlinked arms re-route through it) and direct
+  // linking (chain arms *are* direct links). Everything the feature does is
+  // gated on this flag so leaving it off changes nothing, host or guest.
+  IbOn = this->Config.IbInline && this->Config.Mode == ExecMode::Cache &&
+         this->Config.LinkIndirectBranches && this->Config.LinkDirectBranches;
 
   if (TheClient && Hooks == HookMode::All) {
     TheClient->onInit(*this);
@@ -422,6 +436,12 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       return 0;
     }
 
+    // Linked inline-chain arm about to execute: count the hit (host-side
+    // bookkeeping; the simulated cost is just the chain code itself). The
+    // map is only ever populated with the feature on.
+    if (RIO_UNLIKELY(!IbArmPcs.empty()))
+      ibNoteArmExec(Pc);
+
     if (Pc == Slots.DispatcherEntry) {
       // An exit stub recorded its id and transferred to us.
       uint32_t ExitId = 0;
@@ -573,6 +593,15 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
     return Target;
   }
 
+  // Adaptive inline caches: profile the site (host-side, free) and maybe
+  // rewrite the owning fragment with an inline check chain. Must run
+  // before the table probe — a rewrite can evict or replace fragments.
+  if (RIO_UNLIKELY(IbOn)) {
+    ibNoteArrival(Target, uint32_t(SiteCachePc));
+    if (M.status() != RunStatus::Running)
+      return Target; // rewrite faulted the machine; let the loop see it
+  }
+
   // In-cache hashtable lookup (IBL): one probe of the flat table yields the
   // fragment, the head counter and the marked bit in a single cache line.
   ++S.IblLookups;
@@ -600,6 +629,10 @@ AppPc Runtime::handleIndirectArrival(AppPc Target, AppPc SiteCachePc,
   }
   ++S.IblHits;
   obsEvent(TraceEventKind::IblHit, Target, To->CacheAddr);
+  // If this lookup came from an unlinked chain arm's stub, the arm's
+  // target is resolvable again: patch the arm direct for next time.
+  if (RIO_UNLIKELY(!IbArmStubSites.empty()))
+    ibMaybeRelinkArm(uint32_t(SiteCachePc), Target, To);
   // The translated indirect branch is an indirect jump through the BTB
   // (not the return-address stack) — the paper's Pentium penalty.
   if (!M.predictors().predictIndirect(SiteCachePc, To->CacheAddr))

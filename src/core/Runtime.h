@@ -365,6 +365,35 @@ private:
   }
   void takeSample(uint32_t Pc); // cold path of obsMaybeSample
 
+  //===--- adaptive indirect-branch inline caches (IbInline.cpp) ------------===
+  /// Host-side target histogram of one indirect exit site, keyed by the
+  /// app pc of the source CTI so it survives eviction and rebuild of the
+  /// owning fragment. Bumped for free at the IBL boundary; never charged.
+  struct IbSiteProfile {
+    static constexpr unsigned MaxTargets = 8;
+    AppPc Targets[MaxTargets] = {};
+    uint64_t Counts[MaxTargets] = {};
+    uint64_t Other = 0; ///< arrivals beyond the tracked target set
+    uint64_t Total = 0;
+  };
+  /// Profiles the arrival and, once the site is hot and skewed, rewrites
+  /// the owning fragment with an inline chain. Called before the IBL
+  /// lookup (the rewrite may move the target fragment).
+  void ibNoteArrival(AppPc Target, uint32_t SiteCachePc);
+  /// SiteCachePc was an unlinked arm's stub: if the chain arm's recorded
+  /// target was just resolved by the IBL, patch the arm direct again.
+  void ibMaybeRelinkArm(uint32_t SiteCachePc, AppPc Target, Fragment *To);
+  /// Counts an execution of a linked chain arm (host-side, from the
+  /// executeFrom hot loop; gated on the arm map being non-empty).
+  void ibNoteArmExec(uint32_t Pc);
+  /// Rebuilds \p Owner with a check chain for \p NumTargets targets in
+  /// front of indirect exit \p ExitIdx. Returns false (and poisons the
+  /// exit) if the fragment cannot be decoded or re-emitted.
+  bool ibRewriteSite(Fragment *Owner, unsigned ExitIdx, const AppPc *Targets,
+                     unsigned NumTargets);
+  /// Forgets arm bookkeeping for a fragment leaving the cache.
+  void dropIbSites(Fragment *Frag);
+
   //===--- traces (TraceBuilder.cpp) ----------------------------------------===
   void noteDispatch(Fragment *Frag);
   bool inTraceGen() const { return TC->TraceGenActive; }
@@ -394,7 +423,9 @@ private:
         FragmentsDeleted, FragmentsReplaced, TraceGenerationsStarted,
         TracesBuilt, TraceBlocksTotal, TraceBranchesInverted,
         TraceJmpsElided, TraceCallsInlined, IndirectBranchesInlined,
-        ThreadContextSwaps;
+        ThreadContextSwaps, IbInlineHits, IbInlineMisses, IbInlineRewrites,
+        IbInlineChainEvictions, IbInlineArmRelinks, IbInlineFlagPairsElided,
+        IbInlineSpillsCollapsed;
 
     explicit FlowStats(StatisticSet &S);
   };
@@ -461,6 +492,19 @@ private:
   ThreadContext *TC = nullptr;
   /// Reused buffer for collectGuardPcs().
   std::vector<uint32_t> GuardBuf;
+
+  /// Adaptive indirect-branch inlining is live for this run (config knob
+  /// plus the modes it needs). All hot-path hooks gate on this so the
+  /// feature off means zero behavior difference, host or simulated.
+  bool IbOn = false;
+  /// Site histograms, keyed by source-CTI app pc (see IbSiteProfile).
+  std::unordered_map<AppPc, IbSiteProfile> IbProfiles;
+  /// Arm stub jmp pc -> exit record id: how an IBL arrival is recognized
+  /// as coming from an unlinked chain arm (relink probe).
+  std::unordered_map<uint32_t, uint32_t> IbArmStubSites;
+  /// Arm CTI pc -> exit record id: linked-arm hit counting from the
+  /// execution loop. Empty whenever the feature is off.
+  std::unordered_map<uint32_t, uint32_t> IbArmPcs;
 };
 
 } // namespace rio

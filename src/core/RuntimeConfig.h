@@ -90,6 +90,21 @@ struct RuntimeConfig {
   /// ends the trace.
   bool InlineIndirectInTraces = true;
 
+  /// Adaptive indirect-branch inline caches (Section 4.3 made adaptive):
+  /// profile each indirect exit site host-side at the IBL boundary and,
+  /// once a site is hot and skewed, rewrite the owning fragment in place
+  /// with a chain of flags-free inline target checks whose arms jump
+  /// straight to each target fragment. Off by default so the Table 1
+  /// ladder and every recorded golden stay bit-identical.
+  bool IbInline = false;
+
+  /// Arrivals at one indirect site before a rewrite is considered.
+  unsigned IbInlineThreshold = 64;
+
+  /// Most targets inlined into one chain (clamped to 8 so the jecxz
+  /// short-branch reach over the chain tail can never overflow).
+  unsigned MaxIbInlineTargets = 4;
+
   /// How a full cache makes room (core/CacheManager.h).
   EvictionPolicy Eviction = EvictionPolicy::Fifo;
 

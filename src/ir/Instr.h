@@ -210,6 +210,19 @@ public:
   void setExitCti(bool IsExit) { ExitCti = IsExit; }
   bool isExitCti() const { return ExitCti; }
 
+  /// Marks a direct CTI as the match arm of an adaptive indirect-branch
+  /// inline chain: the emitter gives its exit a pass-through stub that
+  /// re-routes via IbTargetSlot -> IBL instead of the dispatcher, so the
+  /// arm can be unlinked without touching the chain owner.
+  void setIbArmCti(bool IsArm) { IbArmCti = IsArm; }
+  bool isIbArmCti() const { return IbArmCti; }
+
+  /// Marks the indirect CTI that terminates an inline chain (the
+  /// fall-through to the IBL when no arm matched); the runtime counts its
+  /// arrivals as chain misses and never rewrites it again.
+  void setIbMissCti(bool IsMiss) { IbMissCti = IsMiss; }
+  bool isIbMissCti() const { return IbMissCti; }
+
   /// Client annotation slot (paper Section 3.2: "a field in the Instr data
   /// structure that can be used by the client for annotations").
   void setNote(void *N) { Note = N; }
@@ -258,6 +271,8 @@ private:
   Operand *Dsts = nullptr;
 
   bool ExitCti = false;
+  bool IbArmCti = false;
+  bool IbMissCti = false;
   void *Note = nullptr;
 
   Arena *TheArena = nullptr; ///< arena that owns this Instr's operand arrays

@@ -55,6 +55,12 @@ const char *rio::traceEventKindName(TraceEventKind Kind) {
     return "sample";
   case TraceEventKind::ClientMarker:
     return "client_marker";
+  case TraceEventKind::IbInlineRewrite:
+    return "ib_inline_rewrite";
+  case TraceEventKind::IbInlineHit:
+    return "ib_inline_hit";
+  case TraceEventKind::IbInlineArmUnlink:
+    return "ib_inline_arm_unlink";
   case TraceEventKind::NumKinds:
     break;
   }

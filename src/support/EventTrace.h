@@ -60,6 +60,9 @@ enum class TraceEventKind : uint8_t {
   SidelineOptimized, ///< Tag = optimized trace tag
   Sample,            ///< Tag = executing tag (0 = runtime), Aux = cache pc
   ClientMarker,      ///< Tag = interned label id, Aux = client value
+  IbInlineRewrite,   ///< Tag = chain owner tag, Aux = targets inlined
+  IbInlineHit,       ///< Tag = matched target tag, Aux = arm cache pc
+  IbInlineArmUnlink, ///< Tag = former target tag, Aux = arm stub addr
   NumKinds,
 };
 

@@ -283,6 +283,31 @@ TEST(IsaEflags, IncDoesNotTouchCarry) {
   EXPECT_EQ(opcodeInfo(OP_mov).EflagsEffect, 0u);
 }
 
+TEST(IsaEflags, InlineChainIngredients) {
+  // The adaptive IB inline chains (core/IbInline.cpp) are built from
+  // mov/lea/jecxz and bracketed by savef/restf only when flags are live.
+  // Pin the effect masks those decisions rest on.
+  EXPECT_EQ(opcodeInfo(OP_inc).EflagsEffect, uint32_t(EFLAGS_WRITE_NO_CF));
+  EXPECT_EQ(opcodeInfo(OP_dec).EflagsEffect, uint32_t(EFLAGS_WRITE_NO_CF));
+  EXPECT_EQ(uint32_t(EFLAGS_WRITE_NO_CF),
+            uint32_t(EFLAGS_WRITE_ALL) & ~uint32_t(EFLAGS_WRITE_CF));
+
+  // The chain building blocks must be flag-neutral: jecxz tests ecx, not
+  // ZF, which is the whole reason the chain compares via lea + jecxz.
+  EXPECT_EQ(opcodeInfo(OP_mov).EflagsEffect, 0u);
+  EXPECT_EQ(opcodeInfo(OP_lea).EflagsEffect, 0u);
+  EXPECT_EQ(opcodeInfo(OP_jecxz).EflagsEffect, 0u);
+
+  // savef reads every arithmetic flag, restf writes every one; the dead
+  // flag elision pass matches the pair through these masks.
+  EXPECT_EQ(opcodeInfo(OP_savef).EflagsEffect, uint32_t(EFLAGS_READ_ALL));
+  EXPECT_EQ(opcodeInfo(OP_restf).EflagsEffect, uint32_t(EFLAGS_WRITE_ALL));
+  EXPECT_EQ(eflagsWriteToRead(opcodeInfo(OP_restf).EflagsEffect),
+            uint32_t(EFLAGS_READ_ALL));
+  EXPECT_EQ(eflagsReadToWrite(opcodeInfo(OP_savef).EflagsEffect),
+            uint32_t(EFLAGS_WRITE_ALL));
+}
+
 TEST(IsaEflags, ShiftRefinement) {
   // shl eax, 3 (immediate nonzero count): pure write after full decode.
   Operand Ex[2] = {R(REG_EAX), Operand::imm(3, 1)};

@@ -219,6 +219,112 @@ TEST(Observability, SampleEventsCarryExecutingTags) {
 }
 
 //===----------------------------------------------------------------------===//
+// IB inline-cache events
+//===----------------------------------------------------------------------===//
+
+/// Skewed indirect dispatch (12/16 slots hit h0) whose hot site crosses the
+/// inline threshold, plus a one-shot same-value write into h0's code at the
+/// halfway mark — one run exercises chain rewrite, chain hits, and the
+/// arm-unlink path when SMC invalidation kills the arm's target.
+Program ibDispatchProgram(int Iters) {
+  std::string Table = "table: .word";
+  for (int I = 0; I != 12; ++I)
+    Table += " h0";
+  Table += " h1 h1 h2 h3\n";
+  std::string Source = R"(
+    .entry main
+  )" + Table + R"(
+    main:
+      mov esi, 0
+      mov eax, 12345
+      mov edi, )" + std::to_string(Iters) + R"(
+    loop:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov ecx, eax
+      shr ecx, 16
+      and ecx, 15
+      shl ecx, 2
+      jmp [table+ecx]
+    h0:
+      add esi, 1
+      jmp next
+    h1:
+      add esi, 17
+      jmp next
+    h2:
+      add esi, 257
+      jmp next
+    h3:
+      add esi, 4097
+      jmp next
+    next:
+      and esi, 0xFFFFFF
+      dec edi
+      jz exit
+      cmp edi, )" + std::to_string(Iters / 2) + R"(
+      jnz loop
+      mov ebx, [h0]
+      mov [h0], ebx
+      jmp loop
+    exit:
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )";
+  Program Prog;
+  std::string Error;
+  EXPECT_TRUE(assemble(Source, Prog, Error)) << Error;
+  return Prog;
+}
+
+TEST(Observability, IbInlineEventsAreTracedAndFree) {
+  Program P = ibDispatchProgram(2500);
+  RuntimeConfig Config = RuntimeConfig::linkIndirect();
+  Config.IbInline = true;
+  Outcome Plain = runUnderRuntime(P, Config, ClientKind::None);
+
+  EventTrace Trace(1u << 18);
+  RuntimeConfig TracedConfig = Config;
+  TracedConfig.Trace = &Trace;
+  Outcome Traced = runUnderRuntime(P, TracedConfig, ClientKind::None);
+
+  ASSERT_EQ(Plain.Status, RunStatus::Exited);
+  ASSERT_EQ(Traced.Status, RunStatus::Exited);
+  EXPECT_EQ(Traced.Cycles, Plain.Cycles)
+      << "tracing the inline-cache events must not perturb the machine";
+  EXPECT_EQ(Traced.Instructions, Plain.Instructions);
+  EXPECT_EQ(Traced.Output, Plain.Output);
+
+  uint64_t Rewrites = 0, Hits = 0, Unlinks = 0;
+  Trace.forEach([&](const TraceEvent &E) {
+    switch (E.kind()) {
+    case TraceEventKind::IbInlineRewrite:
+      ++Rewrites;
+      break;
+    case TraceEventKind::IbInlineHit:
+      ++Hits;
+      break;
+    case TraceEventKind::IbInlineArmUnlink:
+      ++Unlinks;
+      break;
+    default:
+      break;
+    }
+  });
+  ASSERT_EQ(Trace.droppedEvents(), 0u) << "ring sized too small for this run";
+  EXPECT_EQ(Rewrites, Traced.Stats.get("ib_inline_rewrites"));
+  EXPECT_EQ(Hits, Traced.Stats.get("ib_inline_hits"));
+  EXPECT_EQ(Unlinks, Traced.Stats.get("ib_inline_chain_evictions"));
+  EXPECT_GT(Rewrites, 0u);
+  EXPECT_GT(Hits, 0u);
+  EXPECT_GT(Unlinks, 0u) << "the SMC write should have unlinked an arm";
+}
+
+//===----------------------------------------------------------------------===//
 // Per-thread attribution under both cache-sharing modes
 //===----------------------------------------------------------------------===//
 
