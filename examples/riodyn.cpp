@@ -25,9 +25,13 @@
 ///     -sample-interval <n>   simulated cycles between samples (default 1000)
 ///     -disas <symbol>        disassemble the fragment at a program symbol
 ///     -scale <n>             workload scale override
+///     -cache-load <file>     warm-start from a .riocache image (falls back
+///                            to cold start if the image doesn't validate)
+///     -cache-save <file>     serialize the warmed caches after the run
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/dr_api.h"
 #include "asm/Disasm.h"
 #include "core/Sideline.h"
 #include "core/ThreadedRunner.h"
@@ -68,6 +72,8 @@ int usage() {
             "-disas <sym> | -dump-asm\n"
             "  -trace <file> | -profile | -sample-interval <n>\n"
             "  -ib-inline             adaptive indirect-branch inline caches\n"
+            "  -cache-load <file> | -cache-save <file>   persistent code "
+            "caches\n"
             "workloads:");
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
@@ -83,7 +89,7 @@ int main(int argc, char **argv) {
        Stats = false;
   bool DumpAsm = false, Profile = false, IbInline = false;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
-              TraceFile;
+              TraceFile, CacheLoadFile, CacheSaveFile;
   uint64_t SampleInterval = 1000;
   int Scale = 0;
 
@@ -121,6 +127,14 @@ int main(int argc, char **argv) {
       SampleInterval = std::strtoull(argv[++I], nullptr, 0);
     else if (Arg.rfind("-sample-interval=", 0) == 0)
       SampleInterval = std::strtoull(Arg.c_str() + 17, nullptr, 0);
+    else if (Arg == "-cache-load" && I + 1 < argc)
+      CacheLoadFile = argv[++I];
+    else if (Arg.rfind("-cache-load=", 0) == 0)
+      CacheLoadFile = Arg.substr(12);
+    else if (Arg == "-cache-save" && I + 1 < argc)
+      CacheSaveFile = argv[++I];
+    else if (Arg.rfind("-cache-save=", 0) == 0)
+      CacheSaveFile = Arg.substr(12);
     else if (Arg[0] != '-')
       Target = Arg;
     else
@@ -210,6 +224,20 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // Persistent caches: restore before the first guest instruction; a
+  // rejected image is a normal cold start, not an error.
+  auto WarmStart = [&](Runtime &Target) {
+    if (CacheLoadFile.empty())
+      return;
+    if (dr_cache_load(&Target, CacheLoadFile.c_str()))
+      OS.printf("cache: warm start from '%s' (%llu fragments)\n",
+                CacheLoadFile.c_str(),
+                (unsigned long long)Target.numFragments());
+    else
+      OS.printf("cache: image '%s' rejected; cold start\n",
+                CacheLoadFile.c_str());
+  };
+
   RunResult R;
   std::unique_ptr<Runtime> RT;
   if (Native) {
@@ -221,11 +249,16 @@ int main(int argc, char **argv) {
     NullClient Fallback;
     SidelineOptimizer Sideline(ClientPtr ? *ClientPtr : Fallback);
     RT = std::make_unique<Runtime>(M, Config, &Sideline);
+    WarmStart(*RT);
     R = runWithSideline(*RT, Sideline);
   } else {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);
+    WarmStart(*RT);
     R = RT->run();
   }
+  if (!RT && (!CacheLoadFile.empty() || !CacheSaveFile.empty()))
+    OS.printf("cache: -cache-load/-cache-save need a single-runtime mode; "
+              "ignored\n");
 
   OS << M.output();
   OS.printf("--- %s, exit code %d, %llu instructions, %llu cycles ---\n",
@@ -235,6 +268,15 @@ int main(int argc, char **argv) {
                 : "running",
             R.ExitCode, (unsigned long long)R.Instructions,
             (unsigned long long)R.Cycles);
+
+  if (!CacheSaveFile.empty() && RT) {
+    if (dr_cache_save(RT.get(), CacheSaveFile.c_str()))
+      OS.printf("cache: saved %llu fragments -> '%s'\n",
+                (unsigned long long)RT->numFragments(),
+                CacheSaveFile.c_str());
+    else
+      OS.printf("cache: save to '%s' failed\n", CacheSaveFile.c_str());
+  }
 
   if (ClientName == "shepherd")
     OS.printf("shepherding: %llu transfers checked, %llu violations\n",

@@ -45,6 +45,9 @@ def load(path):
     elif "events" in data[0]:
         schema = "observability"
         required = ("config", "cycles", "events", "samples")
+    elif "image_bytes" in data[0]:
+        schema = "persist"
+        required = ("config", "cycles", "cycles_cold", "image_bytes")
     else:
         schema = "simulated"
         required = ("config", "cycles")
@@ -124,6 +127,15 @@ def main():
         regressions = compare(base, cur, "cycles", higher_is_better=False,
                               threshold=0.0, extra="events")
         regressions += compare_exact(base, cur, "cycles")
+    elif base_schema == "persist":
+        # Simulated cycles (warm and cold) are exact and deterministic:
+        # gate them hard. Image size is reported alongside; save_ns/load_ns
+        # are host wall clock and deliberately not compared.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=args.threshold, extra="image_bytes")
+        regressions += compare(base, cur, "cycles_cold",
+                               higher_is_better=False,
+                               threshold=args.threshold)
     else:
         regressions = compare(base, cur, "cycles", higher_is_better=False,
                               threshold=args.threshold, extra="cache_bytes")

@@ -7,8 +7,11 @@
 
 #include "api/dr_api.h"
 
+#include "persist/CacheImage.h"
 #include "support/Compiler.h"
 #include "support/OutStream.h"
+
+#include <cstdio>
 
 using namespace rio;
 
@@ -401,6 +404,57 @@ void rio::dr_flush_region(void *Context, app_pc Start, uint32_t Size) {
 
 void rio::dr_mark_trace_head(void *Context, app_pc Tag) {
   runtimeOf(Context).markTraceHead(Tag);
+}
+
+namespace {
+
+/// Whole-file read for cache images. An unreadable file yields an empty
+/// buffer and false; the caller still runs the codec on the empty buffer so
+/// the reject is observable (cache_warm_rejects / persist_reject) exactly
+/// like a truncated image.
+bool readFile(const char *Path, std::vector<uint8_t> &Out) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  uint8_t Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Ok = !std::ferror(F);
+  std::fclose(F);
+  if (!Ok)
+    Out.clear();
+  return Ok;
+}
+
+} // namespace
+
+bool rio::dr_cache_save(void *Context, const char *Path) {
+  std::vector<uint8_t> Image;
+  if (!persist::CacheCodec::save(runtimeOf(Context), Image))
+    return false;
+  std::FILE *F = std::fopen(Path, "wb");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Image.data(), 1, Image.size(), F) == Image.size();
+  Ok = (std::fclose(F) == 0) && Ok;
+  return Ok;
+}
+
+bool rio::dr_cache_load(void *Context, const char *Path) {
+  std::vector<uint8_t> Image;
+  readFile(Path, Image);
+  return persist::CacheCodec::load(runtimeOf(Context), Image.data(),
+                                   Image.size()) == persist::LoadStatus::Ok;
+}
+
+bool rio::dr_cache_image_valid(void *Context, const char *Path) {
+  std::vector<uint8_t> Image;
+  if (!readFile(Path, Image))
+    return false;
+  return persist::CacheCodec::validate(runtimeOf(Context), Image.data(),
+                                       Image.size()) == persist::LoadStatus::Ok;
 }
 
 int rio::proc_get_family(void *Context) {

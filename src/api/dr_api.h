@@ -349,6 +349,31 @@ void dr_flush_region(void *context, app_pc start, uint32_t size);
 void dr_mark_trace_head(void *context, app_pc tag);
 
 //===----------------------------------------------------------------------===//
+// Persistent code caches (src/persist; ROADMAP "persistent code caches")
+//===----------------------------------------------------------------------===//
+
+/// Serializes the warmed code caches — fragments, links, trace-head
+/// counters, indirect-branch profiles — into a versioned `.riocache` image
+/// at \p path. Returns false (writing nothing) if the runtime cannot be
+/// snapshotted right now (client attached, execution suspended inside the
+/// cache, mid-trace-recording, pending code-write events) or the file
+/// cannot be written. Charges no simulated cycles.
+bool dr_cache_save(void *context, const char *path);
+
+/// Restores a `.riocache` image into a *cold* runtime (no fragments built
+/// yet), so execution warm-starts with the previous run's caches. Any
+/// validation failure — wrong version, corrupted payload, changed
+/// configuration or application code, a runtime that already ran — leaves
+/// the runtime untouched and returns false; the run proceeds as a normal
+/// cold start (observable via the cache_warm_rejects statistic and the
+/// persist_reject trace event). Charges no simulated cycles.
+bool dr_cache_load(void *context, const char *path);
+
+/// True if \p path holds an image that dr_cache_load would accept into
+/// this runtime. Pure query: no stats, no events, no state changes.
+bool dr_cache_image_valid(void *context, const char *path);
+
+//===----------------------------------------------------------------------===//
 // Processor identification (paper Section 3.2 / Figure 3)
 //===----------------------------------------------------------------------===//
 

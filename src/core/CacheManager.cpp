@@ -59,6 +59,29 @@ uint32_t CacheManager::allocate(Fragment::Kind Kind, uint32_t Size,
   return 0;
 }
 
+bool CacheManager::carveRange(Fragment::Kind Kind, uint32_t Addr,
+                              uint32_t Size) {
+  Cache &C = cacheFor(Kind);
+  assert(C.End > C.Start && "cache not configured");
+  Size = (Size + 3u) & ~3u;
+  if (Size == 0)
+    return false;
+  // The containing gap starts at or before Addr.
+  auto It = C.FreeGaps.upper_bound(Addr);
+  if (It == C.FreeGaps.begin())
+    return false;
+  --It;
+  uint32_t GapAddr = It->first, GapSize = It->second;
+  if (Addr < GapAddr || Addr + Size > GapAddr + GapSize)
+    return false;
+  C.FreeGaps.erase(It);
+  if (Addr > GapAddr)
+    C.FreeGaps.emplace(GapAddr, Addr - GapAddr);
+  if (GapAddr + GapSize > Addr + Size)
+    C.FreeGaps.emplace(Addr + Size, GapAddr + GapSize - (Addr + Size));
+  return true;
+}
+
 uint32_t CacheManager::allocateEvicting(
     Fragment::Kind Kind, uint32_t Size, const std::vector<uint32_t> &GuardPcs,
     const std::function<void(Fragment *)> &Evict) {

@@ -100,6 +100,12 @@ public:
     return allocateEvicting(Kind, Size, guardSetOf(GuardPc), Evict);
   }
 
+  /// Removes exactly [Addr, Addr+Size) from \p Kind's free list so a
+  /// fragment restored from a persistent image (src/persist) can occupy a
+  /// caller-chosen address. Returns false — carving nothing — unless the
+  /// range lies wholly inside one free gap. Follow with registerFragment().
+  bool carveRange(Fragment::Kind Kind, uint32_t Addr, uint32_t Size);
+
   //===--------------------------------------------------------------------===
   // Fragment lifecycle
   //===--------------------------------------------------------------------===
@@ -141,6 +147,10 @@ public:
   // Accounting
   //===--------------------------------------------------------------------===
 
+  uint32_t cacheStart(Fragment::Kind Kind) const {
+    return cacheFor(Kind).Start;
+  }
+  uint32_t cacheEnd(Fragment::Kind Kind) const { return cacheFor(Kind).End; }
   uint32_t capacity(Fragment::Kind Kind) const;
   /// Bytes held by live fragments (pending-reclaim bytes excluded).
   uint32_t usedBytes(Fragment::Kind Kind) const;

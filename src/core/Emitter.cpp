@@ -276,11 +276,11 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     Exit.ExitKind = FragmentExit::Kind::Direct;
     Exit.IsIbArm = PE.IsIbArm;
     Exit.TargetTag = PE.TargetTag;
-    Exit.StubAddr = Base + StubOffset[Idx];
+    Exit.StubOff = StubOffset[Idx];
     Exit.ExitId = uint32_t(ExitRecords.size());
     ExitRecords.emplace_back(Frag, unsigned(Frag->Exits.size()));
     Exit.AlwaysThroughStub = PE.AlwaysThrough;
-    PE.Cti->setBranchTarget(Exit.StubAddr);
+    PE.Cti->setBranchTarget(Base + Exit.StubOff);
     Frag->Exits.push_back(Exit);
   }
 
@@ -301,11 +301,11 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     FragmentExit &Exit = Frag->Exits[Idx];
     unsigned Off = Placement.offsetOf(Pending[Idx].Cti);
     assert(Off != ~0u && "exit CTI missing from placement");
-    Exit.CtiAddr = Base + Off;
+    Exit.CtiOff = Off;
     Exit.CtiLen =
-        unsigned(Pending[Idx].Cti->encodedLength(Exit.CtiAddr, false));
+        unsigned(Pending[Idx].Cti->encodedLength(Base + Off, false));
     if (Exit.IsIbArm)
-      IbArmPcs[Exit.CtiAddr] = Exit.ExitId;
+      IbArmPcs[Exit.ctiAddr(*Frag)] = Exit.ExitId;
   }
 
   // Emit stubs.
@@ -313,7 +313,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     if (Pending[Idx].TargetTag == 0)
       continue;
     FragmentExit &Exit = Frag->Exits[Idx];
-    uint32_t StubPc = Exit.StubAddr;
+    uint32_t StubPc = Exit.stubAddr(*Frag);
     if (Pending[Idx].Custom) {
       EmitResult StubRes;
       if (!emitInstrList(*Pending[Idx].Custom, StubPc,
@@ -345,10 +345,10 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
       Len = Jmp->encode(StubPc, Buf, false);
       assert(Len == 6 && "unexpected arm stub jmp_ind length");
       M.mem().writeBlock(StubPc, Buf, unsigned(Len));
-      Exit.StubJmpAddr = StubPc;
+      Exit.StubJmpOff = StubPc - Base;
       Exit.StubJmpLen = unsigned(Len);
       StubPc += unsigned(Len);
-      IbArmStubSites[Exit.StubJmpAddr] = Exit.ExitId;
+      IbArmStubSites[Exit.stubJmpAddr(*Frag)] = Exit.ExitId;
     } else {
       // mov [ExitIdSlot], $exit_id  (10 bytes)
       Arena Tmp(256);
@@ -366,7 +366,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
       Len = Jmp->encode(StubPc, Buf, false);
       assert(Len == 5 && "unexpected stub jmp length");
       M.mem().writeBlock(StubPc, Buf, unsigned(Len));
-      Exit.StubJmpAddr = StubPc;
+      Exit.StubJmpOff = StubPc - Base;
       Exit.StubJmpLen = unsigned(Len);
       StubPc += unsigned(Len);
     }
@@ -503,32 +503,33 @@ void Runtime::linkExit(Fragment *From, FragmentExit &Exit, Fragment *To) {
   assert(Exit.TargetTag == To->Tag && "linking exit to wrong fragment");
   obsEvent(TraceEventKind::FragmentLinked, From->Tag, To->Tag);
   if (Exit.AlwaysThroughStub)
-    patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, To->CacheAddr);
+    patchRel32(Exit.stubJmpAddr(*From), Exit.StubJmpLen, To->CacheAddr);
   else
-    patchRel32(Exit.CtiAddr, Exit.CtiLen, To->CacheAddr);
+    patchRel32(Exit.ctiAddr(*From), Exit.CtiLen, To->CacheAddr);
   Exit.Linked = true;
   Exit.LinkedTo = To;
   To->IncomingLinks.push_back(Exit.ExitId);
   ++S.LinksMade;
 }
 
-void Runtime::unlinkExit(FragmentExit &Exit) {
+void Runtime::unlinkExit(Fragment *Owner, FragmentExit &Exit) {
   if (!Exit.Linked)
     return;
   obsEvent(TraceEventKind::FragmentUnlinked,
-           Exit.LinkedTo ? Exit.LinkedTo->Tag : 0, Exit.StubAddr);
+           Exit.LinkedTo ? Exit.LinkedTo->Tag : 0, Exit.stubAddr(*Owner));
   if (Exit.IsIbArm) {
     // An inline-chain arm lost its target: the arm now routes through its
     // stub back to the IBL, but the chain itself stays in place.
     ++S.IbInlineChainEvictions;
     obsEvent(TraceEventKind::IbInlineArmUnlink,
              Exit.LinkedTo ? Exit.LinkedTo->Tag : Exit.TargetTag,
-             Exit.StubAddr);
+             Exit.stubAddr(*Owner));
   }
   if (Exit.AlwaysThroughStub)
-    patchRel32(Exit.StubJmpAddr, Exit.StubJmpLen, Slots.DispatcherEntry);
+    patchRel32(Exit.stubJmpAddr(*Owner), Exit.StubJmpLen,
+               Slots.DispatcherEntry);
   else
-    patchRel32(Exit.CtiAddr, Exit.CtiLen, Exit.StubAddr);
+    patchRel32(Exit.ctiAddr(*Owner), Exit.CtiLen, Exit.stubAddr(*Owner));
   if (Exit.LinkedTo) {
     auto &Incoming = Exit.LinkedTo->IncomingLinks;
     for (size_t Idx = 0; Idx != Incoming.size(); ++Idx)
@@ -545,14 +546,14 @@ void Runtime::unlinkExit(FragmentExit &Exit) {
 
 void Runtime::unlinkOutgoing(Fragment *Frag) {
   for (FragmentExit &Exit : Frag->Exits)
-    unlinkExit(Exit);
+    unlinkExit(Frag, Exit);
 }
 
 void Runtime::unlinkIncoming(Fragment *Frag) {
   std::vector<uint32_t> Incoming = Frag->IncomingLinks;
   for (uint32_t ExitId : Incoming) {
     auto [Owner, ExitIdx] = ExitRecords[ExitId];
-    unlinkExit(Owner->Exits[ExitIdx]);
+    unlinkExit(Owner, Owner->Exits[ExitIdx]);
   }
   Frag->IncomingLinks.clear();
 }
@@ -676,7 +677,7 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
     bool IsExit = false;
     for (const FragmentExit &Exit : Frag->Exits) {
       if (Exit.ExitKind == FragmentExit::Kind::Direct &&
-          Exit.CtiAddr == R.Addr) {
+          Exit.ctiAddr(*Frag) == R.Addr) {
         R.I->setBranchTarget(Exit.TargetTag);
         R.I->setExitCti(true);
         if (Exit.IsIbArm)
@@ -704,7 +705,7 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
       continue;
     for (const FragmentExit &Exit : Frag->Exits)
       if (Exit.ExitKind == FragmentExit::Kind::Indirect &&
-          Exit.CtiAddr == R.Addr && Exit.IbMiss)
+          Exit.ctiAddr(*Frag) == R.Addr && Exit.IbMiss)
         R.I->setIbMissCti(true);
   }
 
@@ -750,7 +751,7 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   for (uint32_t ExitId : Incoming) {
     auto [Owner, ExitIdx] = ExitRecords[ExitId];
     FragmentExit &Exit = Owner->Exits[ExitIdx];
-    unlinkExit(Exit);
+    unlinkExit(Owner, Exit);
     if (Config.LinkDirectBranches)
       linkExit(Owner, Exit, New);
   }

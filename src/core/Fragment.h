@@ -36,17 +36,26 @@ struct FragmentExit {
   /// Target application address (Direct exits only).
   AppPc TargetTag = 0;
 
-  /// Cache address of the exit CTI (the instruction to patch when linking).
-  uint32_t CtiAddr = 0;
+  /// Exit positions are stored relative to the owning fragment's CacheAddr
+  /// so that link records stay valid when a serialized fragment is restored
+  /// at a different cache base (src/persist). Use ctiAddr()/stubAddr()/
+  /// stubJmpAddr() with the owning fragment to get absolute cache pcs.
+
+  /// Body offset of the exit CTI (the instruction to patch when linking).
+  uint32_t CtiOff = 0;
   /// Length in bytes of the exit CTI (rel32 sits in the last 4 bytes).
   unsigned CtiLen = 0;
 
-  /// Cache address of this exit's stub.
-  uint32_t StubAddr = 0;
-  /// Cache address of the stub's final jmp (patched when linking *through*
+  /// Slot offset of this exit's stub.
+  uint32_t StubOff = 0;
+  /// Slot offset of the stub's final jmp (patched when linking *through*
   /// the stub) and its length.
-  uint32_t StubJmpAddr = 0;
+  uint32_t StubJmpOff = 0;
   unsigned StubJmpLen = 0;
+
+  uint32_t ctiAddr(const Fragment &Owner) const;
+  uint32_t stubAddr(const Fragment &Owner) const;
+  uint32_t stubJmpAddr(const Fragment &Owner) const;
 
   /// Client custom stub: control must flow through the stub even when the
   /// exit is linked (paper Section 3.2).
@@ -159,6 +168,16 @@ struct Fragment {
 
   bool isTrace() const { return FragKind == Kind::Trace; }
 };
+
+inline uint32_t FragmentExit::ctiAddr(const Fragment &Owner) const {
+  return Owner.CacheAddr + CtiOff;
+}
+inline uint32_t FragmentExit::stubAddr(const Fragment &Owner) const {
+  return Owner.CacheAddr + StubOff;
+}
+inline uint32_t FragmentExit::stubJmpAddr(const Fragment &Owner) const {
+  return Owner.CacheAddr + StubJmpOff;
+}
 
 } // namespace rio
 

@@ -65,7 +65,7 @@ void Runtime::ibNoteArrival(AppPc Target, uint32_t SiteCachePc) {
   for (unsigned Idx = 0; Idx != Owner->Exits.size(); ++Idx) {
     const FragmentExit &Exit = Owner->Exits[Idx];
     if (Exit.ExitKind == FragmentExit::Kind::Indirect &&
-        Exit.CtiAddr == SiteCachePc) {
+        Exit.ctiAddr(*Owner) == SiteCachePc) {
       ExitIdx = Idx;
       break;
     }
@@ -318,7 +318,7 @@ void Runtime::dropIbSites(Fragment *Frag) {
   for (const FragmentExit &Exit : Frag->Exits) {
     if (!Exit.IsIbArm)
       continue;
-    IbArmPcs.erase(Exit.CtiAddr);
-    IbArmStubSites.erase(Exit.StubJmpAddr);
+    IbArmPcs.erase(Exit.ctiAddr(*Frag));
+    IbArmStubSites.erase(Exit.stubJmpAddr(*Frag));
   }
 }

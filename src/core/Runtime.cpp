@@ -59,7 +59,10 @@ Runtime::FlowStats::FlowStats(StatisticSet &S)
       IbInlineChainEvictions(S.stat("ib_inline_chain_evictions")),
       IbInlineArmRelinks(S.stat("ib_inline_arm_relinks")),
       IbInlineFlagPairsElided(S.stat("ib_inline_flag_pairs_elided")),
-      IbInlineSpillsCollapsed(S.stat("ib_inline_spills_collapsed")) {}
+      IbInlineSpillsCollapsed(S.stat("ib_inline_spills_collapsed")),
+      CacheWarmHits(S.stat("cache_warm_hits")),
+      CacheWarmRejects(S.stat("cache_warm_rejects")),
+      PersistBytesWritten(S.stat("persist_bytes_written")) {}
 
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
@@ -429,7 +432,12 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
     // branch when no profiler is attached.
     obsMaybeSample(Pc);
 
-    if (M.instructionsExecuted() >= Deadline) {
+    // A quantum expiring exactly at a fragment-exit boundary must not
+    // suspend on the dispatcher-entry pc itself: resolving the arrival
+    // first (the handler below executes no guest instructions) lets the
+    // dispatch loop suspend AtDispatcher with an application-level resume
+    // tag — the quiescent point persistent cache saves require.
+    if (Pc != Slots.DispatcherEntry && M.instructionsExecuted() >= Deadline) {
       // Quantum expired mid-cache: suspend right here.
       TC->ResumePoint = ThreadContext::Resume::InCache;
       TC->ResumeCachePc = Pc;

@@ -50,6 +50,10 @@
 
 namespace rio {
 
+namespace persist {
+class CacheCodec;
+}
+
 /// Offsets of runtime-reserved slots within the runtime region. The slots
 /// are addressed absolutely by runtime-inserted code; they stand in for
 /// DynamoRIO's thread-local spill slots (paper Section 3.2).
@@ -302,6 +306,9 @@ public:
 
 private:
   friend struct CleanCallContext;
+  /// The persistent-cache serializer (src/persist/CacheImage.cpp) walks and
+  /// rebuilds the private fragment/link/table state directly.
+  friend class persist::CacheCodec;
 
   //===--- dispatch (Runtime.cpp) ------------------------------------------===
   RunResult runCached(uint64_t Deadline);
@@ -323,7 +330,7 @@ private:
                          unsigned NumInstrs);
   void mangleForCache(InstrList &IL);
   void linkExit(Fragment *From, FragmentExit &Exit, Fragment *To);
-  void unlinkExit(FragmentExit &Exit);
+  void unlinkExit(Fragment *Owner, FragmentExit &Exit);
   void unlinkOutgoing(Fragment *Frag);
   void unlinkIncoming(Fragment *Frag);
   void linkNewFragment(Fragment *Frag);
@@ -425,7 +432,8 @@ private:
         TraceJmpsElided, TraceCallsInlined, IndirectBranchesInlined,
         ThreadContextSwaps, IbInlineHits, IbInlineMisses, IbInlineRewrites,
         IbInlineChainEvictions, IbInlineArmRelinks, IbInlineFlagPairsElided,
-        IbInlineSpillsCollapsed;
+        IbInlineSpillsCollapsed, CacheWarmHits, CacheWarmRejects,
+        PersistBytesWritten;
 
     explicit FlowStats(StatisticSet &S);
   };

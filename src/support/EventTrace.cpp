@@ -61,6 +61,12 @@ const char *rio::traceEventKindName(TraceEventKind Kind) {
     return "ib_inline_hit";
   case TraceEventKind::IbInlineArmUnlink:
     return "ib_inline_arm_unlink";
+  case TraceEventKind::PersistSaved:
+    return "persist_save";
+  case TraceEventKind::PersistLoaded:
+    return "persist_load";
+  case TraceEventKind::PersistRejected:
+    return "persist_reject";
   case TraceEventKind::NumKinds:
     break;
   }

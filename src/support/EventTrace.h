@@ -63,6 +63,9 @@ enum class TraceEventKind : uint8_t {
   IbInlineRewrite,   ///< Tag = chain owner tag, Aux = targets inlined
   IbInlineHit,       ///< Tag = matched target tag, Aux = arm cache pc
   IbInlineArmUnlink, ///< Tag = former target tag, Aux = arm stub addr
+  PersistSaved,      ///< Tag = fragments saved, Aux = image bytes
+  PersistLoaded,     ///< Tag = fragments restored, Aux = image bytes
+  PersistRejected,   ///< Tag = reject reason (persist::LoadStatus)
   NumKinds,
 };
 

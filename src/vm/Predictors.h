@@ -76,18 +76,31 @@ public:
 
   BranchPredictors() { reset(); }
 
-private:
   static constexpr unsigned TableBits = 12;
+  static constexpr unsigned CondEntries = 1u << TableBits;
+  static constexpr unsigned BtbEntries = 1u << TableBits;
   static constexpr unsigned RasDepth = 64;
 
+  /// Raw predictor state, exposed for the persistent cache image
+  /// (src/persist). The image snapshots the simulated front end along with
+  /// the code caches: a freshly reset two-bit counter can settle into a
+  /// different — costlier — limit cycle on a periodic branch pattern, so
+  /// restoring the tables is what makes a warm start reproduce the saved
+  /// run's steady-state cycle accounting exactly.
+  uint8_t *condTable() { return CondTable; }
+  uint32_t *btb() { return Btb; }
+  uint32_t *ras() { return Ras; }
+  uint32_t &rasTop() { return RasTop; }
+
+private:
   static uint32_t hash(AppPc Pc) {
     return (Pc ^ (Pc >> TableBits)) & ((1u << TableBits) - 1);
   }
 
-  uint8_t CondTable[1u << TableBits];
-  uint32_t Btb[1u << TableBits];
+  uint8_t CondTable[CondEntries];
+  uint32_t Btb[BtbEntries];
   uint32_t Ras[RasDepth];
-  unsigned RasTop = 0;
+  uint32_t RasTop = 0;
 };
 
 } // namespace rio

@@ -657,8 +657,9 @@ TEST(CoreLinking, PatchBytesAreExactRel32) {
   ASSERT_NE(Linked, nullptr) << "loop fragment should self-link";
 
   uint32_t Rel = 0;
-  ASSERT_TRUE(M.mem().read32(Linked->CtiAddr + Linked->CtiLen - 4, Rel));
-  EXPECT_EQ(Linked->CtiAddr + Linked->CtiLen + Rel, Loop->CacheAddr)
+  ASSERT_TRUE(
+      M.mem().read32(Linked->ctiAddr(*Loop) + Linked->CtiLen - 4, Rel));
+  EXPECT_EQ(Linked->ctiAddr(*Loop) + Linked->CtiLen + Rel, Loop->CacheAddr)
       << "linked rel32 must land on the target fragment entry";
 
   // Incoming-links bookkeeping matches.

@@ -23,6 +23,7 @@
 #include "harness/Experiment.h"
 #include "support/EventTrace.h"
 #include "support/Histogram.h"
+#include "persist/CacheImage.h"
 #include "support/Profile.h"
 #include "support/OutStream.h"
 
@@ -554,6 +555,89 @@ TEST(Observability, ChromeExportShapeAndDeterminism) {
   StringOutStream OS2;
   writeChromeTrace(OS2, Trace);
   EXPECT_EQ(J, OS2.str());
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent-cache events
+//===----------------------------------------------------------------------===//
+
+TEST(Observability, PersistEventsAreTracedAndFree) {
+  const Workload *W = findWorkload("crafty");
+  ASSERT_NE(W, nullptr);
+  Program Prog = buildWorkload(*W, 0);
+
+  // Untraced reference: cold run + save, then warm run from the image.
+  auto coldAndSave = [&](EventTrace *Trace, std::vector<uint8_t> &Image) {
+    Machine M;
+    EXPECT_TRUE(loadProgram(M, Prog));
+    RuntimeConfig Config = RuntimeConfig::full();
+    Config.Trace = Trace;
+    Runtime RT(M, Config);
+    RunResult R = RT.run();
+    EXPECT_EQ(R.Status, RunStatus::Exited);
+    EXPECT_TRUE(persist::CacheCodec::save(RT, Image));
+    EXPECT_EQ(RT.stats().get("persist_bytes_written"), Image.size());
+    return R.Cycles;
+  };
+  auto warmRun = [&](EventTrace *Trace, const std::vector<uint8_t> &Image,
+                     bool ExpectOk) {
+    Machine M;
+    EXPECT_TRUE(loadProgram(M, Prog));
+    RuntimeConfig Config = RuntimeConfig::full();
+    Config.Trace = Trace;
+    Runtime RT(M, Config);
+    persist::LoadStatus St =
+        persist::CacheCodec::load(RT, Image.data(), Image.size());
+    EXPECT_EQ(St == persist::LoadStatus::Ok, ExpectOk);
+    RunResult R = RT.run();
+    EXPECT_EQ(R.Status, RunStatus::Exited);
+    return R.Cycles;
+  };
+
+  std::vector<uint8_t> Plain, Traced;
+  EventTrace ColdTrace(1u << 18), WarmTrace(1u << 18), RejectTrace;
+
+  uint64_t ColdPlain = coldAndSave(nullptr, Plain);
+  uint64_t ColdTraced = coldAndSave(&ColdTrace, Traced);
+  ASSERT_EQ(Plain, Traced) << "tracing must not perturb the saved image";
+  EXPECT_EQ(ColdTraced, ColdPlain)
+      << "save is host-side: zero simulated cycles, traced or not";
+
+  uint64_t WarmPlain = warmRun(nullptr, Plain, /*ExpectOk=*/true);
+  uint64_t WarmTraced = warmRun(&WarmTrace, Plain, /*ExpectOk=*/true);
+  EXPECT_EQ(WarmTraced, WarmPlain);
+  EXPECT_LT(WarmPlain, ColdPlain);
+
+  std::vector<uint8_t> Bad = Plain;
+  Bad[8] ^= 1; // checksum byte
+  uint64_t RejectCycles = warmRun(&RejectTrace, Bad, /*ExpectOk=*/false);
+  EXPECT_EQ(RejectCycles, ColdPlain) << "a rejected image is a cold start";
+
+  // The events themselves, with their documented payloads.
+  uint64_t Saves = 0, Loads = 0, Rejects = 0;
+  ColdTrace.forEach([&](const TraceEvent &E) {
+    if (E.kind() == TraceEventKind::PersistSaved) {
+      ++Saves;
+      EXPECT_GT(E.Tag, 0u) << "Tag carries the fragment count";
+      EXPECT_EQ(E.Aux, Plain.size()) << "Aux carries the image bytes";
+    }
+  });
+  WarmTrace.forEach([&](const TraceEvent &E) {
+    if (E.kind() == TraceEventKind::PersistLoaded) {
+      ++Loads;
+      EXPECT_GT(E.Tag, 0u);
+      EXPECT_EQ(E.Aux, Plain.size());
+    }
+  });
+  RejectTrace.forEach([&](const TraceEvent &E) {
+    if (E.kind() == TraceEventKind::PersistRejected) {
+      ++Rejects;
+      EXPECT_EQ(E.Tag, uint64_t(persist::LoadStatus::BadChecksum));
+    }
+  });
+  EXPECT_EQ(Saves, 1u);
+  EXPECT_EQ(Loads, 1u);
+  EXPECT_EQ(Rejects, 1u);
 }
 
 TEST(Observability, ProfileReportIsDeterministicAndRanked) {

@@ -1,0 +1,587 @@
+//===- tests/persist_test.cpp - Persistent code caches -----------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the persistent code caches (src/persist): warm-start
+/// equivalence against a cold run, round-trip bit-determinism (save
+/// mid-run, restore into a fresh runtime, continue — cycles and statistics
+/// must match an uninterrupted run exactly) in both cache-sharing modes,
+/// relocation to a different runtime-region base, save/load gating, and
+/// loader hardening — truncated, corrupted, mismatched and bit-flipped
+/// images must all reject cleanly into a cold start, never crash.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "api/dr_api.h"
+#include "core/Runtime.h"
+#include "persist/CacheImage.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+
+using namespace rio;
+using namespace rio::persist;
+using namespace rio::test;
+
+namespace {
+
+/// A cache+traces workload: a hot loop (promoted to a trace) dispatching
+/// through a skewed jump table (exercises the IBL and, when enabled, the
+/// indirect-branch inline chains), plus a cold side path so the image
+/// holds a mix of linked and unlinked exits. Prints a checksum, so any
+/// divergence in restored execution changes the output.
+Program dispatchProgram(int Iters) {
+  std::string Table = "table: .word h0 h0 h0 h0 h0 h0 h0 h0 h0 h0 h0 h0"
+                      " h1 h2 h3 h4\n";
+  return assembleOrDie(R"(
+    .entry main
+  )" + Table + R"(
+    main:
+      mov esi, 0
+      mov eax, 12345
+      mov edi, )" + std::to_string(Iters) + R"(
+    loop:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov ecx, eax
+      shr ecx, 16
+      and ecx, 15
+      shl ecx, 2
+      jmp [table+ecx]
+    h0:
+      add esi, 1
+      jmp next
+    h1:
+      add esi, 17
+      jmp next
+    h2:
+      add esi, 257
+      jmp next
+    h3:
+      add esi, 4097
+      jmp next
+    h4:
+      add esi, 65537
+      jmp next
+    next:
+      and esi, 0xFFFFFF
+      dec edi
+      jnz loop
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )");
+}
+
+struct ColdRun {
+  std::string Output;
+  uint64_t Cycles = 0;
+  uint64_t Instructions = 0;
+  std::map<std::string, uint64_t> Stats;
+  std::vector<uint8_t> Image;
+};
+
+/// Runs \p Prog under \p Config to completion on a fresh machine and saves
+/// the warmed state.
+ColdRun coldRunAndSave(const Program &Prog, const RuntimeConfig &Config) {
+  ColdRun R;
+  Machine M;
+  EXPECT_TRUE(loadProgram(M, Prog));
+  Runtime RT(M, Config);
+  RunResult Res = RT.run();
+  EXPECT_EQ(Res.Status, RunStatus::Exited);
+  R.Output = M.output();
+  R.Cycles = Res.Cycles;
+  R.Instructions = Res.Instructions;
+  R.Stats = RT.stats().all();
+  EXPECT_TRUE(CacheCodec::save(RT, R.Image));
+  return R;
+}
+
+/// Occupancy gauges republished on every register/retire, plus the persist
+/// counters themselves: excluded from the summed round-trip comparison
+/// (gauges are point-in-time, persist counters only exist on one side).
+bool isGaugeOrPersistStat(const std::string &Name) {
+  return Name.rfind("cache_bb_", 0) == 0 || Name.rfind("cache_trace_", 0) == 0 ||
+         Name.rfind("cache_warm_", 0) == 0 || Name == "persist_bytes_written";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Warm start
+//===----------------------------------------------------------------------===//
+
+TEST(Persist, WarmStartSkipsWarmupAndMatchesOutput) {
+  Program Prog = dispatchProgram(4000);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+  ASSERT_FALSE(Cold.Image.empty());
+  EXPECT_GT(Cold.Stats["basic_blocks_built"], 0u);
+  EXPECT_GT(Cold.Stats["traces_built"], 0u);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Runtime RT(M, Config);
+  ASSERT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+            LoadStatus::Ok);
+  EXPECT_GT(RT.stats().get("cache_warm_hits"), 0u);
+
+  RunResult R = RT.run();
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(M.output(), Cold.Output);
+  // The whole point: no block building, no trace promotion, strictly
+  // fewer cycles to the same place.
+  EXPECT_EQ(RT.stats().get("basic_blocks_built"), 0u);
+  EXPECT_EQ(RT.stats().get("traces_built"), 0u);
+  EXPECT_LT(R.Cycles, Cold.Cycles);
+}
+
+TEST(Persist, WarmStartCarriesIbInlineState) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.IbInline = true;
+  Config.IbInlineThreshold = 64;
+
+  Program Prog = dispatchProgram(4000);
+  ColdRun Cold = coldRunAndSave(Prog, Config);
+  ASSERT_FALSE(Cold.Image.empty());
+  ASSERT_GT(Cold.Stats["ib_inline_rewrites"], 0u);
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  Runtime RT(M, Config);
+  ASSERT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+            LoadStatus::Ok);
+  RunResult R = RT.run();
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(M.output(), Cold.Output);
+  EXPECT_EQ(RT.stats().get("basic_blocks_built"), 0u);
+  // The restored chains keep taking hits without being re-installed from
+  // scratch (re-profiling may still extend them later in the run).
+  EXPECT_GT(RT.stats().get("ib_inline_hits"), 0u);
+  EXPECT_LT(R.Cycles, Cold.Cycles);
+}
+
+TEST(Persist, WarmStartAtDifferentRegionBase) {
+  Program Prog = dispatchProgram(3000);
+  RuntimeConfig Config = RuntimeConfig::full();
+
+  // Save from a runtime carved out of a sub-region...
+  Machine M1;
+  ASSERT_TRUE(loadProgram(M1, Prog));
+  RuntimeRegion R1{M1.runtimeBase(), 4u << 20};
+  Runtime RT1(M1, Config, nullptr, R1);
+  EXPECT_EQ(RT1.run().Status, RunStatus::Exited);
+  std::string ColdOut = M1.output();
+  std::vector<uint8_t> Image;
+  ASSERT_TRUE(CacheCodec::save(RT1, Image));
+
+  // ...and restore it into an equally sized region one megabyte up: every
+  // fragment relocates (rel32 links are invariant under the uniform shift;
+  // absolute spill-slot operands are rewritten).
+  Machine M2;
+  ASSERT_TRUE(loadProgram(M2, Prog));
+  RuntimeRegion R2{M2.runtimeBase() + (1u << 20), 4u << 20};
+  Runtime RT2(M2, Config, nullptr, R2);
+  ASSERT_EQ(CacheCodec::load(RT2, Image.data(), Image.size()), LoadStatus::Ok);
+  RunResult R = RT2.run();
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(M2.output(), ColdOut);
+  EXPECT_EQ(RT2.stats().get("basic_blocks_built"), 0u);
+  EXPECT_EQ(RT2.stats().get("traces_built"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Round-trip determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs \p Prog to a mid-run quiescent point (not finished, not suspended
+/// inside the cache, no trace recording), saves, then restores into a
+/// brand-new runtime on the same machine and finishes there. The composite
+/// run must be bit-identical — cycles, instructions, output, and every
+/// summed flow counter — to an uninterrupted run.
+void roundTrip(const Program &Prog, RuntimeConfig Config) {
+  ColdRun Ref = [&] {
+    ColdRun R;
+    Machine M;
+    EXPECT_TRUE(loadProgram(M, Prog));
+    Runtime RT(M, Config);
+    RunResult Res = RT.run();
+    EXPECT_EQ(Res.Status, RunStatus::Exited);
+    R.Output = M.output();
+    R.Cycles = Res.Cycles;
+    R.Instructions = Res.Instructions;
+    R.Stats = RT.stats().all();
+    return R;
+  }();
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  auto First = std::make_unique<Runtime>(M, Config);
+  std::vector<uint8_t> Image;
+  std::map<std::string, uint64_t> FirstStats;
+  AppPc ResumeTag = 0;
+  bool Saved = false;
+  // Single-step so that every fragment-exit boundary becomes a suspension;
+  // once the runtime holds a trace, the first AtDispatcher suspension
+  // outside trace recording is a quiescent point save accepts.
+  for (int Tries = 0; Tries != 400000; ++Tries) {
+    RunResult Step = First->runFor(1);
+    ASSERT_TRUE(Step.QuantumExpired) << "program finished before a save";
+    if (First->stats().get("traces_built") == 0)
+      continue;
+    if (First->activeContext().ResumePoint !=
+        ThreadContext::Resume::AtDispatcher)
+      continue;
+    if (CacheCodec::save(*First, Image)) {
+      FirstStats = First->stats().all();
+      ResumeTag = First->activeContext().ResumeTag;
+      Saved = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(Saved);
+  ASSERT_NE(ResumeTag, 0u);
+  First.reset();
+
+  Runtime Second(M, Config);
+  ASSERT_EQ(CacheCodec::load(Second, Image.data(), Image.size()),
+            LoadStatus::Ok);
+  M.cpu().Pc = ResumeTag; // resume where the first runtime suspended
+  RunResult R = Second.run();
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+
+  // Save and load are host-side (like mmap'ing a cache file): the machine
+  // totals must be exactly what one uninterrupted run produces.
+  EXPECT_EQ(M.output(), Ref.Output);
+  EXPECT_EQ(R.Cycles, Ref.Cycles);
+  EXPECT_EQ(R.Instructions, Ref.Instructions);
+
+  // Flow counters: first-half + second-half == uninterrupted. Occupancy
+  // gauges are point-in-time, so only the final values must agree.
+  std::map<std::string, uint64_t> SecondStats = Second.stats().all();
+  for (const auto &[Name, RefVal] : Ref.Stats) {
+    uint64_t A = FirstStats.count(Name) ? FirstStats[Name] : 0;
+    uint64_t B = SecondStats.count(Name) ? SecondStats[Name] : 0;
+    if (isGaugeOrPersistStat(Name)) {
+      bool PersistOnly =
+          Name.rfind("cache_warm_", 0) == 0 || Name == "persist_bytes_written";
+      if (!PersistOnly) {
+        EXPECT_EQ(B, RefVal) << "gauge " << Name;
+      }
+    } else {
+      EXPECT_EQ(A + B, RefVal) << "counter " << Name;
+    }
+  }
+}
+
+} // namespace
+
+TEST(Persist, RoundTripIsBitIdenticalThreadPrivate) {
+  roundTrip(dispatchProgram(4000), RuntimeConfig::full());
+}
+
+TEST(Persist, RoundTripIsBitIdenticalShared) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.Sharing = CacheSharing::Shared;
+  roundTrip(dispatchProgram(4000), Config);
+}
+
+TEST(Persist, RoundTripIsBitIdenticalWithIbInline) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.IbInline = true;
+  Config.IbInlineThreshold = 64;
+  roundTrip(dispatchProgram(4000), Config);
+}
+
+//===----------------------------------------------------------------------===//
+// Gating
+//===----------------------------------------------------------------------===//
+
+TEST(Persist, SaveRefusesMidCacheSuspension) {
+  Program Prog = dispatchProgram(4000);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Runtime RT(M, Config);
+  // A tiny quantum reliably suspends inside cache code once the hot loop
+  // is warm; such a context pins cache bytes save cannot snapshot.
+  bool SawRefusal = false;
+  for (int I = 0; I != 50 && !SawRefusal; ++I) {
+    RunResult Step = RT.runFor(997);
+    ASSERT_TRUE(Step.QuantumExpired);
+    std::vector<uint8_t> Image;
+    if (RT.activeContext().ResumePoint == ThreadContext::Resume::InCache) {
+      EXPECT_FALSE(CacheCodec::save(RT, Image));
+      SawRefusal = true;
+    }
+  }
+  EXPECT_TRUE(SawRefusal);
+}
+
+TEST(Persist, SaveRefusesEmulationMode) {
+  Program Prog = dispatchProgram(100);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  RuntimeConfig Config = RuntimeConfig::emulate();
+  Runtime RT(M, Config);
+  EXPECT_EQ(RT.run().Status, RunStatus::Exited);
+  std::vector<uint8_t> Image;
+  EXPECT_FALSE(CacheCodec::save(RT, Image));
+}
+
+TEST(Persist, LoadRequiresColdRuntime) {
+  Program Prog = dispatchProgram(2000);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Runtime RT(M, Config);
+  EXPECT_EQ(RT.run().Status, RunStatus::Exited); // now warmed the hard way
+  EXPECT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+            LoadStatus::NotCold);
+  EXPECT_EQ(RT.stats().get("cache_warm_rejects"), 1u);
+}
+
+TEST(Persist, LoadRejectsConfigMismatch) {
+  Program Prog = dispatchProgram(2000);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.TraceThreshold += 1; // the warmed state depends on this knob
+  Runtime RT(M, Config);
+  EXPECT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+            LoadStatus::ConfigMismatch);
+  // The reject is observable and the runtime stays usable cold.
+  EXPECT_EQ(RT.stats().get("cache_warm_rejects"), 1u);
+  EXPECT_EQ(RT.stats().get("cache_warm_hits"), 0u);
+  EXPECT_EQ(RT.run().Status, RunStatus::Exited);
+  EXPECT_EQ(M.output(), Cold.Output);
+}
+
+TEST(Persist, LoadRejectsChangedApplication) {
+  ColdRun Cold = coldRunAndSave(dispatchProgram(2000), RuntimeConfig::full());
+
+  // Same config, different application code: the per-fragment app-range
+  // hash is recomputed over the *current* machine's bytes.
+  Program Other = dispatchProgram(2001);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Other));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Runtime RT(M, Config);
+  EXPECT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+            LoadStatus::AppImageMismatch);
+  EXPECT_EQ(RT.run().Status, RunStatus::Exited);
+}
+
+//===----------------------------------------------------------------------===//
+// Loader hardening
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fresh machine + cold runtime for one hostile-load attempt.
+struct LoadTarget {
+  Machine M;
+  RuntimeConfig Config = RuntimeConfig::full();
+  std::unique_ptr<Runtime> RT;
+  explicit LoadTarget(const Program &Prog) {
+    EXPECT_TRUE(loadProgram(M, Prog));
+    RT = std::make_unique<Runtime>(M, Config);
+  }
+  LoadStatus load(const std::vector<uint8_t> &Bytes) {
+    return CacheCodec::load(*RT, Bytes.data(), Bytes.size());
+  }
+};
+
+} // namespace
+
+TEST(Persist, EveryTruncationRejectsCleanly) {
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+  ASSERT_FALSE(Cold.Image.empty());
+
+  // Checking every prefix length would re-walk the whole image O(n) times;
+  // cover all short prefixes plus a spread of interior cuts.
+  std::set<size_t> Cuts;
+  for (size_t I = 0; I != std::min<size_t>(64, Cold.Image.size()); ++I)
+    Cuts.insert(I);
+  for (size_t I = 0; I < Cold.Image.size(); I += 37)
+    Cuts.insert(I);
+  Cuts.insert(Cold.Image.size() - 1);
+
+  Program Target = dispatchProgram(1500);
+  for (size_t Cut : Cuts) {
+    LoadTarget T(Target);
+    std::vector<uint8_t> Trunc(Cold.Image.begin(), Cold.Image.begin() + Cut);
+    EXPECT_NE(T.load(Trunc), LoadStatus::Ok) << "cut at " << Cut;
+    EXPECT_EQ(T.RT->numFragments(), 0u) << "cut at " << Cut;
+  }
+  // And the degenerate no-file case (riodyn -cache-load with a bad path).
+  LoadTarget T(Target);
+  EXPECT_EQ(CacheCodec::load(*T.RT, nullptr, 0), LoadStatus::Truncated);
+}
+
+TEST(Persist, HeaderCorruptionIsRejected) {
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  auto Mutated = [&](size_t Off, uint8_t Xor) {
+    std::vector<uint8_t> B = Cold.Image;
+    B[Off] ^= Xor;
+    return B;
+  };
+  EXPECT_EQ(LoadTarget(Prog).load(Mutated(0, 0xFF)), LoadStatus::BadMagic);
+  EXPECT_EQ(LoadTarget(Prog).load(Mutated(4, 0x01)), LoadStatus::BadVersion);
+  EXPECT_EQ(LoadTarget(Prog).load(Mutated(8, 0x01)), LoadStatus::BadChecksum);
+  // Payload corruption trips the checksum before any record is parsed.
+  EXPECT_EQ(LoadTarget(Prog).load(Mutated(Cold.Image.size() / 2, 0x10)),
+            LoadStatus::BadChecksum);
+}
+
+TEST(Persist, BitFlipFuzzNeverCrashesAndNeverCorrupts) {
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+  ASSERT_FALSE(Cold.Image.empty());
+
+  Rng R(0x9e3779b97f4a7c15ull);
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    std::vector<uint8_t> B = Cold.Image;
+    unsigned Flips = 1 + unsigned(R.nextBelow(8));
+    for (unsigned F = 0; F != Flips; ++F)
+      B[size_t(R.nextBelow(B.size()))] ^= uint8_t(1u << R.nextBelow(8));
+
+    LoadTarget T(Prog);
+    LoadStatus St = T.load(B);
+    if (St == LoadStatus::Ok) {
+      // A flip that survives every validation layer must still execute
+      // exactly like the saved run (in practice the checksum stops all of
+      // these; this branch is the safety net, not the expectation).
+      EXPECT_EQ(T.RT->run().Status, RunStatus::Exited);
+      EXPECT_EQ(T.M.output(), Cold.Output);
+    } else {
+      // Rejected: the runtime must be untouched and fully usable cold.
+      EXPECT_EQ(T.RT->numFragments(), 0u);
+      EXPECT_EQ(T.RT->stats().get("cache_warm_rejects"), 1u);
+    }
+  }
+}
+
+TEST(Persist, TamperedPayloadPastChecksumIsRejected) {
+  // Re-seal a tampered payload with a correct checksum so the structural
+  // validators (not the checksum) have to catch it. Flipping a byte of a
+  // fragment's kind/geometry or link index must never reach apply().
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  auto Reseal = [](std::vector<uint8_t> B) {
+    uint64_t H = 14695981039346656037ull;
+    for (size_t I = 16; I != B.size(); ++I) {
+      H ^= B[I];
+      H *= 1099511628211ull;
+    }
+    for (int I = 0; I != 8; ++I)
+      B[8 + I] = uint8_t(H >> (8 * I));
+    return B;
+  };
+
+  Rng R(0xdeadbeefcafef00dull);
+  int Rejected = 0, Accepted = 0;
+  for (int Iter = 0; Iter != 200; ++Iter) {
+    std::vector<uint8_t> B = Cold.Image;
+    size_t Off = 16 + size_t(R.nextBelow(B.size() - 16));
+    B[Off] ^= uint8_t(1u << R.nextBelow(8));
+    B = Reseal(std::move(B));
+
+    LoadTarget T(Prog);
+    LoadStatus St = T.load(B);
+    ASSERT_NE(St, LoadStatus::BadChecksum); // the reseal worked
+    if (St == LoadStatus::Ok) {
+      // The checksum is the integrity layer and we defeated it on purpose;
+      // structural validation only guarantees the *host* stays safe. The
+      // guest may compute garbage or fault cleanly — it just must not hang
+      // the loader or corrupt the runtime (ASan/UBSan police the rest).
+      ++Accepted;
+      (void)T.RT->runFor(2000000);
+    } else {
+      ++Rejected;
+      EXPECT_EQ(T.RT->numFragments(), 0u);
+    }
+  }
+  // The structural validators must be doing real work.
+  EXPECT_GT(Rejected, 0);
+  (void)Accepted;
+}
+
+//===----------------------------------------------------------------------===//
+// File-level API
+//===----------------------------------------------------------------------===//
+
+TEST(Persist, DrCacheFileApiRoundTrips) {
+  Program Prog = dispatchProgram(2000);
+  std::string Path = testing::TempDir() + "persist_api_test.riocache";
+
+  Machine M1;
+  ASSERT_TRUE(loadProgram(M1, Prog));
+  RuntimeConfig Config = RuntimeConfig::full();
+  Runtime RT1(M1, Config);
+  EXPECT_EQ(RT1.run().Status, RunStatus::Exited);
+  ASSERT_TRUE(dr_cache_save(&RT1, Path.c_str()));
+
+  Machine M2;
+  ASSERT_TRUE(loadProgram(M2, Prog));
+  Runtime RT2(M2, Config);
+  EXPECT_TRUE(dr_cache_image_valid(&RT2, Path.c_str()));
+  ASSERT_TRUE(dr_cache_load(&RT2, Path.c_str()));
+  EXPECT_EQ(RT2.run().Status, RunStatus::Exited);
+  EXPECT_EQ(M2.output(), M1.output());
+
+  Machine M3;
+  ASSERT_TRUE(loadProgram(M3, Prog));
+  Runtime RT3(M3, Config);
+  EXPECT_FALSE(dr_cache_load(&RT3, (Path + ".missing").c_str()));
+  EXPECT_FALSE(dr_cache_image_valid(&RT3, (Path + ".missing").c_str()));
+  EXPECT_EQ(RT3.stats().get("cache_warm_rejects"), 1u);
+  std::remove(Path.c_str());
+}
+
+TEST(Persist, WorkloadWarmStartsAreCheaperAndIdentical) {
+  for (const char *Name : {"crafty", "vpr", "gap"}) {
+    const Workload *W = findWorkload(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    Program Prog = buildWorkload(*W, 0);
+    ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, Prog));
+    RuntimeConfig Config = RuntimeConfig::full();
+    Runtime RT(M, Config);
+    ASSERT_EQ(CacheCodec::load(RT, Cold.Image.data(), Cold.Image.size()),
+              LoadStatus::Ok)
+        << Name;
+    RunResult R = RT.run();
+    EXPECT_EQ(R.Status, RunStatus::Exited) << Name;
+    EXPECT_EQ(M.output(), Cold.Output) << Name;
+    EXPECT_EQ(RT.stats().get("basic_blocks_built"), 0u) << Name;
+    EXPECT_EQ(RT.stats().get("traces_built"), 0u) << Name;
+    EXPECT_LT(R.Cycles, Cold.Cycles) << Name;
+  }
+}
