@@ -28,6 +28,8 @@
 ///     -cache-load <file>     warm-start from a .riocache image (falls back
 ///                            to cold start if the image doesn't validate)
 ///     -cache-save <file>     serialize the warmed caches after the run
+///                            (both need the single-runtime cache mode:
+///                            not -native, -threads, or -sideline)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -249,7 +251,15 @@ int main(int argc, char **argv) {
     NullClient Fallback;
     SidelineOptimizer Sideline(ClientPtr ? *ClientPtr : Fallback);
     RT = std::make_unique<Runtime>(M, Config, &Sideline);
-    WarmStart(*RT);
+    // The sideline optimizer rides the runtime as a client, and the cache
+    // codec refuses any runtime with a client attached — say so up front
+    // instead of printing the generic cold-start fallback every run.
+    if (!CacheLoadFile.empty() || !CacheSaveFile.empty()) {
+      OS.printf("cache: -cache-load/-cache-save not supported with "
+                "-sideline; ignored\n");
+      CacheLoadFile.clear();
+      CacheSaveFile.clear();
+    }
     R = runWithSideline(*RT, Sideline);
   } else {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);

@@ -29,7 +29,8 @@
 //              cycle on a periodic branch pattern
 //
 // The loader is strictly parse-then-apply: parse() bounds-checks every
-// record, resolves link indices, verifies all four validation hashes,
+// record, enforces the canonical sorted key order of the three tables
+// above, resolves link indices, verifies all four validation hashes,
 // relocates instruction bytes for a base shift, and renumbers exit ids —
 // all into host memory. Only a fully valid image reaches apply(), which
 // performs the (infallible) machine and runtime mutation.
@@ -166,6 +167,7 @@ public:
   }
   bool ok() const { return Ok; }
   bool atEnd() const { return Ok && Pos == Size; }
+  size_t remaining() const { return Ok ? Size - Pos : 0; }
 
 private:
   bool ensure(size_t N) {
@@ -180,6 +182,15 @@ private:
   size_t Pos = 0;
   bool Ok = true;
 };
+
+/// Reserve ceiling for a vector sized from an image-claimed \p Count: the
+/// remaining payload can hold at most remaining()/MinRecordBytes records,
+/// so a short file never commands a large up-front allocation. The vector
+/// still grows normally if the clamp underestimates.
+size_t clampedReserve(const ByteReader &R, uint32_t Count,
+                      size_t MinRecordBytes) {
+  return std::min<size_t>(Count, R.remaining() / MinRecordBytes);
+}
 
 void write32At(std::vector<uint8_t> &Buf, size_t Off, uint32_t V) {
   Buf[Off] = uint8_t(V);
@@ -627,7 +638,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
 
   uint64_t LiveAppHash = fnv1aInit();
   Out.Frags.clear();
-  Out.Frags.reserve(NumFrags);
+  Out.Frags.reserve(clampedReserve(R, NumFrags, 30)); // fixed frag fields
   Out.NumExitRecords = 0;
 
   for (uint32_t FI = 0; FI != NumFrags; ++FI) {
@@ -659,7 +670,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
       return LoadStatus::Truncated;
     if (NumExits > MaxExitsPerFragment)
       return LoadStatus::Malformed;
-    F.Exits.reserve(NumExits);
+    F.Exits.reserve(clampedReserve(R, NumExits, 34));
     for (uint32_t EI = 0; EI != NumExits; ++EI) {
       Image::Exit E;
       E.ExitKind = R.u8();
@@ -686,7 +697,11 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
         // target) mov whose imm32 ends exactly where the jmp begins.
         if (E.CtiLen < 5)
           return LoadStatus::Malformed;
-        if (E.StubOff < F.CodeSize || E.StubJmpOff < E.StubOff + 4 ||
+        // All in 64-bit: StubOff near UINT32_MAX must not wrap the +4 into
+        // a comparison that accepts StubJmpOff < 4 (and then underflows the
+        // exit-id patch offset below).
+        if (E.StubOff < F.CodeSize || uint64_t(E.StubOff) >= SlotLen ||
+            uint64_t(E.StubJmpOff) < uint64_t(E.StubOff) + 4 ||
             uint64_t(E.StubJmpOff) + E.StubJmpLen > SlotLen ||
             E.StubJmpLen < 5 || E.StubJmpLen > MaxInstrLength)
           return LoadStatus::Malformed;
@@ -705,7 +720,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
     uint32_t NumRanges = R.u32();
     if (!R.ok() || NumRanges > MaxRecordsPerFragment)
       return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
-    F.Ranges.reserve(NumRanges);
+    F.Ranges.reserve(clampedReserve(R, NumRanges, 8));
     for (uint32_t RI = 0; RI != NumRanges; ++RI) {
       AppRange Range;
       Range.Lo = R.u32();
@@ -724,7 +739,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
     uint32_t NumPoints = R.u32();
     if (!R.ok() || NumPoints > MaxRecordsPerFragment)
       return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
-    F.Points.reserve(NumPoints);
+    F.Points.reserve(clampedReserve(R, NumPoints, 9));
     for (uint32_t PI = 0; PI != NumPoints; ++PI) {
       CodePoint Pt;
       Pt.Off = R.u32();
@@ -770,7 +785,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
   if (!R.ok() || NumEntries > MaxTableEntries)
     return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
   Out.Entries.clear();
-  Out.Entries.reserve(NumEntries);
+  Out.Entries.reserve(clampedReserve(R, NumEntries, 13));
   for (uint32_t I = 0; I != NumEntries; ++I) {
     Image::TableEntry E;
     E.Tag = R.u32();
@@ -782,6 +797,11 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
     if (E.FragIdx != ~0u &&
         (E.FragIdx >= NumFrags || Out.Frags[E.FragIdx].Tag != E.Tag))
       return LoadStatus::Malformed;
+    // save() writes entries sorted by tag; demanding strictly increasing
+    // keys both rejects duplicates (which apply() would resolve last-wins,
+    // silently) and pins the canonical serialization.
+    if (!Out.Entries.empty() && E.Tag <= Out.Entries.back().Tag)
+      return LoadStatus::Malformed;
     Out.Entries.push_back(E);
   }
 
@@ -789,7 +809,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
   if (!R.ok() || NumSites > MaxIbSites)
     return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
   Out.IbSites.clear();
-  Out.IbSites.reserve(NumSites);
+  Out.IbSites.reserve(clampedReserve(R, NumSites, 116));
   for (uint32_t I = 0; I != NumSites; ++I) {
     Image::IbSite S;
     S.SiteAppPc = R.u32();
@@ -801,6 +821,8 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
     }
     if (!R.ok())
       return LoadStatus::Truncated;
+    if (!Out.IbSites.empty() && S.SiteAppPc <= Out.IbSites.back().SiteAppPc)
+      return LoadStatus::Malformed; // must be sorted by site pc, unique
     Out.IbSites.push_back(S);
   }
 
@@ -808,7 +830,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
   if (!R.ok() || NumShadows > MaxFragments)
     return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
   Out.Shadows.clear();
-  Out.Shadows.reserve(NumShadows);
+  Out.Shadows.reserve(clampedReserve(R, NumShadows, 8));
   for (uint32_t I = 0; I != NumShadows; ++I) {
     Image::Shadow S;
     S.Tag = R.u32();
@@ -818,6 +840,8 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
     if (S.FragIdx >= NumFrags || Out.Frags[S.FragIdx].Tag != S.Tag ||
         Out.Frags[S.FragIdx].Kind != 0)
       return LoadStatus::Malformed; // shadows are always basic blocks
+    if (!Out.Shadows.empty() && S.Tag <= Out.Shadows.back().Tag)
+      return LoadStatus::Malformed; // must be sorted by tag, unique
     Out.Shadows.push_back(S);
   }
 

@@ -401,9 +401,11 @@ namespace {
 /// Fresh machine + cold runtime for one hostile-load attempt.
 struct LoadTarget {
   Machine M;
-  RuntimeConfig Config = RuntimeConfig::full();
+  RuntimeConfig Config;
   std::unique_ptr<Runtime> RT;
-  explicit LoadTarget(const Program &Prog) {
+  explicit LoadTarget(const Program &Prog,
+                      RuntimeConfig C = RuntimeConfig::full())
+      : Config(C) {
     EXPECT_TRUE(loadProgram(M, Prog));
     RT = std::make_unique<Runtime>(M, Config);
   }
@@ -411,6 +413,73 @@ struct LoadTarget {
     return CacheCodec::load(*RT, Bytes.data(), Bytes.size());
   }
 };
+
+//===--------------------------------------------------------------------===//
+// Surgical image corruption: a mini-walker over the serialized layout so
+// tests can mutate one specific record, then re-seal the checksum so the
+// structural validators (not the integrity layer) must catch it.
+//===--------------------------------------------------------------------===//
+
+uint32_t rd32(const std::vector<uint8_t> &B, size_t Off) {
+  return uint32_t(B[Off]) | uint32_t(B[Off + 1]) << 8 |
+         uint32_t(B[Off + 2]) << 16 | uint32_t(B[Off + 3]) << 24;
+}
+void wr32(std::vector<uint8_t> &B, size_t Off, uint32_t V) {
+  B[Off] = uint8_t(V);
+  B[Off + 1] = uint8_t(V >> 8);
+  B[Off + 2] = uint8_t(V >> 16);
+  B[Off + 3] = uint8_t(V >> 24);
+}
+
+/// Recomputes the header checksum over the (possibly tampered) payload.
+std::vector<uint8_t> reseal(std::vector<uint8_t> B) {
+  uint64_t H = 14695981039346656037ull;
+  for (size_t I = 16; I != B.size(); ++I) {
+    H ^= B[I];
+    H *= 1099511628211ull;
+  }
+  for (int I = 0; I != 8; ++I)
+    B[8 + I] = uint8_t(H >> (8 * I));
+  return B;
+}
+
+// Layout constants (file offsets): 16-byte header, 44-byte payload
+// preamble, fragment count at 60. Per fragment: 30 fixed bytes (CodeSize
+// at +10, StubsSize at +14), then exit records of 34 bytes each (StubOff
+// at +14, StubJmpOff at +18, StubJmpLen at +22), app ranges (8), code
+// points (9), and the raw slot bytes. Table entries are 13 bytes, IB
+// sites 116, shadows 8.
+constexpr size_t FragCountOff = 60;
+constexpr size_t FragFixedBytes = 30;
+constexpr size_t ExitBytes = 34;
+constexpr size_t EntryBytes = 13;
+constexpr size_t SiteBytes = 116;
+
+/// Walks every fragment record; returns the offset of the table-entry
+/// count that follows them. If \p FirstDirectExit is non-null, also
+/// reports the offset of the first direct-exit record (0 if none).
+size_t skipFragments(const std::vector<uint8_t> &B,
+                     size_t *FirstDirectExit = nullptr) {
+  if (FirstDirectExit)
+    *FirstDirectExit = 0;
+  size_t Pos = FragCountOff;
+  uint32_t NumFrags = rd32(B, Pos);
+  Pos += 4;
+  for (uint32_t F = 0; F != NumFrags; ++F) {
+    uint32_t CodeSize = rd32(B, Pos + 10);
+    uint32_t StubsSize = rd32(B, Pos + 14);
+    Pos += FragFixedBytes;
+    uint32_t NumExits = rd32(B, Pos);
+    Pos += 4;
+    for (uint32_t E = 0; E != NumExits; ++E, Pos += ExitBytes)
+      if (B[Pos] == 0 && FirstDirectExit && !*FirstDirectExit)
+        *FirstDirectExit = Pos;
+    Pos += 4 + size_t(rd32(B, Pos)) * 8; // app ranges
+    Pos += 4 + size_t(rd32(B, Pos)) * 9; // code points
+    Pos += size_t(CodeSize) + StubsSize; // slot bytes
+  }
+  return Pos;
+}
 
 } // namespace
 
@@ -492,24 +561,13 @@ TEST(Persist, TamperedPayloadPastChecksumIsRejected) {
   Program Prog = dispatchProgram(1500);
   ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
 
-  auto Reseal = [](std::vector<uint8_t> B) {
-    uint64_t H = 14695981039346656037ull;
-    for (size_t I = 16; I != B.size(); ++I) {
-      H ^= B[I];
-      H *= 1099511628211ull;
-    }
-    for (int I = 0; I != 8; ++I)
-      B[8 + I] = uint8_t(H >> (8 * I));
-    return B;
-  };
-
   Rng R(0xdeadbeefcafef00dull);
   int Rejected = 0, Accepted = 0;
   for (int Iter = 0; Iter != 200; ++Iter) {
     std::vector<uint8_t> B = Cold.Image;
     size_t Off = 16 + size_t(R.nextBelow(B.size() - 16));
     B[Off] ^= uint8_t(1u << R.nextBelow(8));
-    B = Reseal(std::move(B));
+    B = reseal(std::move(B));
 
     LoadTarget T(Prog);
     LoadStatus St = T.load(B);
@@ -529,6 +587,92 @@ TEST(Persist, TamperedPayloadPastChecksumIsRejected) {
   // The structural validators must be doing real work.
   EXPECT_GT(Rejected, 0);
   (void)Accepted;
+}
+
+TEST(Persist, StubOffsetWrapIsRejected) {
+  // Regression: StubOff just below 2^32 passes `StubOff >= CodeSize`, and a
+  // 32-bit `StubJmpOff < StubOff + 4` wrapped to `< 0`, accepting
+  // StubJmpOff 0..3 — whose exit-id patch at StubJmpOff - 4 then underflowed
+  // to a ~4GB index into the slot-byte vector. Must reject as malformed.
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  size_t Exit = 0;
+  skipFragments(Cold.Image, &Exit);
+  ASSERT_NE(Exit, 0u) << "workload must produce a direct exit";
+  std::vector<uint8_t> B = Cold.Image;
+  wr32(B, Exit + 14, 0xFFFFFFFCu); // StubOff
+  wr32(B, Exit + 18, 0);           // StubJmpOff
+  wr32(B, Exit + 22, 5);           // StubJmpLen
+  B = reseal(std::move(B));
+
+  LoadTarget T(Prog);
+  EXPECT_EQ(T.load(B), LoadStatus::Malformed);
+  EXPECT_EQ(T.RT->numFragments(), 0u);
+}
+
+TEST(Persist, DuplicateTableEntriesAreRejected) {
+  // apply() would resolve duplicate tags last-wins through Table.slot();
+  // parse() must instead reject the non-canonical image outright.
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  size_t EntriesOff = skipFragments(Cold.Image);
+  ASSERT_GE(rd32(Cold.Image, EntriesOff), 2u);
+  std::vector<uint8_t> B = Cold.Image;
+  // Copy record 0 over record 1: every per-record invariant still holds;
+  // only the strictly-increasing tag order is violated.
+  std::copy(B.begin() + EntriesOff + 4, B.begin() + EntriesOff + 4 + EntryBytes,
+            B.begin() + EntriesOff + 4 + EntryBytes);
+  B = reseal(std::move(B));
+
+  LoadTarget T(Prog);
+  EXPECT_EQ(T.load(B), LoadStatus::Malformed);
+  EXPECT_EQ(T.RT->numFragments(), 0u);
+}
+
+TEST(Persist, DuplicateIbSitesAreRejected) {
+  // Same canonical-order rule for the IB site histograms, where duplicates
+  // would restore first-wins (IbProfiles.emplace) — silently ambiguous.
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.IbInline = true;
+  Config.IbInlineThreshold = 64;
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, Config);
+
+  size_t EntriesOff = skipFragments(Cold.Image);
+  size_t SitesOff =
+      EntriesOff + 4 + size_t(rd32(Cold.Image, EntriesOff)) * EntryBytes;
+  uint32_t NumSites = rd32(Cold.Image, SitesOff);
+  ASSERT_GE(NumSites, 1u) << "IB profiling must have recorded the dispatch";
+  std::vector<uint8_t> B = Cold.Image;
+  // Insert a byte-for-byte copy of the first site record and bump the count.
+  std::vector<uint8_t> Rec(B.begin() + SitesOff + 4,
+                           B.begin() + SitesOff + 4 + SiteBytes);
+  B.insert(B.begin() + SitesOff + 4, Rec.begin(), Rec.end());
+  wr32(B, SitesOff, NumSites + 1);
+  B = reseal(std::move(B));
+
+  LoadTarget T(Prog, Config);
+  EXPECT_EQ(T.load(B), LoadStatus::Malformed);
+  EXPECT_EQ(T.RT->numFragments(), 0u);
+}
+
+TEST(Persist, OversizedClaimedCountsRejectPromptly) {
+  // A sub-100-byte file claiming the maximum fragment count must reject as
+  // truncated without the claimed count ever sizing an allocation (the
+  // reserve is clamped to what the remaining payload could possibly hold).
+  Program Prog = dispatchProgram(1500);
+  ColdRun Cold = coldRunAndSave(Prog, RuntimeConfig::full());
+
+  std::vector<uint8_t> B(Cold.Image.begin(),
+                         Cold.Image.begin() + FragCountOff + 4);
+  wr32(B, FragCountOff, 1u << 20); // MaxFragments: passes the count ceiling
+  B = reseal(std::move(B));
+
+  LoadTarget T(Prog);
+  EXPECT_EQ(T.load(B), LoadStatus::Truncated);
+  EXPECT_EQ(T.RT->numFragments(), 0u);
 }
 
 //===----------------------------------------------------------------------===//
