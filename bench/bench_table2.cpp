@@ -88,7 +88,7 @@ size_t decodeEncodeAll(LiftLevel Level, Arena &A) {
   for (const BlockRef &B : corpus().Blocks) {
     A.reset();
     InstrList IL(A);
-    bool Ok = liftBlock(IL, B.M->mem().data(), B.M->runtimeBase(), 0, B.Tag,
+    bool Ok = liftBlock(IL, B.M->mem(), B.M->runtimeBase(), B.Tag,
                         B.MaxInstrs, Level);
     if (!Ok)
       continue;

@@ -20,9 +20,21 @@
 #include "harness/Experiment.h"
 #include "support/OutStream.h"
 
+#include <vector>
+
 using namespace rio;
 
 namespace {
+
+/// Disassembles cache bytes [Lo, Hi) via a bounds-checked copy (image
+/// pages are copy-on-write; raw pointers into them are not available).
+std::string disasmCache(const Machine &M, uint32_t Lo, uint32_t Hi) {
+  if (Lo >= Hi || !M.mem().inBounds(Lo, Hi - Lo))
+    return std::string();
+  std::vector<uint8_t> Buf(Hi - Lo);
+  M.mem().readBlock(Lo, Buf.data(), uint32_t(Buf.size()));
+  return disassembleRange(Buf.data(), Buf.size(), Lo, Lo, Hi);
+}
 
 /// Wraps IBDispatchClient to snapshot the trace around its rewrite.
 class SnapshottingClient : public Client {
@@ -41,9 +53,8 @@ public:
       if (Fragment *Old = RT.lookupFragment(Tag)) {
         if (Old->isTrace()) {
           WatchedTag = Tag;
-          Before = disassembleRange(M->mem().data(), M->mem().size(), 0,
-                                    Old->CacheAddr,
-                                    Old->CacheAddr + Old->CodeSize);
+          Before = disasmCache(*M, Old->CacheAddr,
+                               Old->CacheAddr + Old->CodeSize);
         }
       }
     }
@@ -77,8 +88,7 @@ int main() {
               Client.WatchedTag, Client.Before.c_str());
     if (Fragment *New = RT.lookupFragment(Client.WatchedTag)) {
       std::string After =
-          disassembleRange(M.mem().data(), M.mem().size(), 0, New->CacheAddr,
-                           New->CacheAddr + New->CodeSize);
+          disasmCache(M, New->CacheAddr, New->CacheAddr + New->CodeSize);
       OS.printf("=== the SAME trace AFTER the rewrite — note the inserted\n"
                 "    lea/jecxz dispatch chain before the clientcall "
                 "(Figure 4)\n%s\n",

@@ -30,6 +30,12 @@
 ///     -cache-save <file>     serialize the warmed caches after the run
 ///                            (both need the single-runtime cache mode:
 ///                            not -native, -threads, or -sideline)
+///     -tenants <n>           after the run warms the caches, freeze the
+///                            runtime as a template and serve n forked
+///                            tenants from it, each on a copy-on-write
+///                            machine fork (composes with -cache-load;
+///                            refuses -cache-save, -sideline, -native,
+///                            -threads, and clients)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 using namespace rio;
 
@@ -63,6 +70,10 @@ bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
+/// A -tenants count above this is a typo, not a serving plan: each tenant
+/// is a full (CoW) machine and runtime, and the driver runs them in turn.
+constexpr int MaxTenants = 1024;
+
 int usage() {
   OutStream &OS = outs();
   OS.printf("usage: riodyn [options] <workload-name | file.s>\n"
@@ -76,7 +87,13 @@ int usage() {
             "  -ib-inline             adaptive indirect-branch inline caches\n"
             "  -cache-load <file> | -cache-save <file>   persistent code "
             "caches\n"
-            "workloads:");
+            "  -tenants <n>           serve 1..%d copy-on-write forked "
+            "tenants from one\n"
+            "                         warmed template (not with -cache-save, "
+            "-sideline,\n"
+            "                         -native, -threads, or -client)\n"
+            "workloads:",
+            MaxTenants);
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
   OS.printf("\n");
@@ -94,6 +111,8 @@ int main(int argc, char **argv) {
               TraceFile, CacheLoadFile, CacheSaveFile;
   uint64_t SampleInterval = 1000;
   int Scale = 0;
+  int Tenants = 0;
+  bool TenantsGiven = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -137,6 +156,13 @@ int main(int argc, char **argv) {
       CacheSaveFile = argv[++I];
     else if (Arg.rfind("-cache-save=", 0) == 0)
       CacheSaveFile = Arg.substr(12);
+    else if (Arg == "-tenants" && I + 1 < argc) {
+      Tenants = std::atoi(argv[++I]);
+      TenantsGiven = true;
+    } else if (Arg.rfind("-tenants=", 0) == 0) {
+      Tenants = std::atoi(Arg.c_str() + 9);
+      TenantsGiven = true;
+    }
     else if (Arg[0] != '-')
       Target = Arg;
     else
@@ -144,6 +170,32 @@ int main(int argc, char **argv) {
   }
   if (Target.empty())
     return usage();
+
+  // -tenants wants the single-runtime cache mode with nothing that would
+  // make the template unfreezable (a client, the sideline) or ambiguous
+  // about which runtime to snapshot (-cache-save after N tenants ran).
+  if (TenantsGiven) {
+    if (Tenants < 1 || Tenants > MaxTenants) {
+      OS.printf("error: -tenants wants a count between 1 and %d\n",
+                MaxTenants);
+      return usage();
+    }
+    if (!CacheSaveFile.empty() || UseSideline) {
+      OS.printf("error: -tenants cannot be combined with -cache-save or "
+                "-sideline\n");
+      return usage();
+    }
+    if (Native || Threads) {
+      OS.printf("error: -tenants needs the single-runtime cache mode "
+                "(not -native or -threads)\n");
+      return usage();
+    }
+    if (ClientName != "none") {
+      OS.printf("error: -tenants cannot serve clients (a template with a "
+                "client attached cannot be frozen)\n");
+      return usage();
+    }
+  }
 
   // Build the program.
   Program Prog;
@@ -265,6 +317,45 @@ int main(int argc, char **argv) {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);
     WarmStart(*RT);
     R = RT->run();
+    if (TenantsGiven && R.Status == RunStatus::Exited) {
+      // Serve N tenants from the warmed template: rewind the machine to
+      // the program entry (memory, caches, and predictors stay warm),
+      // freeze the runtime, then fork each tenant onto a copy-on-write
+      // machine fork and run it.
+      M.resetForRun();
+      RT->resetThreadForRun();
+      std::string Err;
+      if (!RT->freezeTemplate(&Err)) {
+        OS.printf("tenants: cannot freeze the template: %s\n", Err.c_str());
+        return 1;
+      }
+      OS.printf("tenants: template frozen (%llu fragments); serving %d\n",
+                (unsigned long long)RT->numFragments(), Tenants);
+      for (int T = 0; T != Tenants; ++T) {
+        Machine TenantM(M);
+        std::unique_ptr<Runtime> Tenant =
+            Runtime::forkFrom(*RT, TenantM, &Err);
+        if (!Tenant) {
+          OS.printf("tenants: fork failed: %s\n", Err.c_str());
+          return 1;
+        }
+        RunResult TR = Tenant->run();
+        OS.printf("tenant %d: %s, %llu cycles, %llu page(s) copied, "
+                  "cache %s\n",
+                  T,
+                  TR.Status == RunStatus::Exited
+                      ? "exited"
+                      : ("FAULTED: " + TR.FaultReason).c_str(),
+                  (unsigned long long)TR.Cycles,
+                  (unsigned long long)TenantM.mem().cowPageCopies(),
+                  Tenant->stats().get("fork_cache_unshares") ? "unshared"
+                                                             : "shared");
+        if (TR.Status != RunStatus::Exited)
+          return 125;
+      }
+    } else if (TenantsGiven) {
+      OS.printf("tenants: template run did not exit cleanly; not forking\n");
+    }
   }
   if (!RT && (!CacheLoadFile.empty() || !CacheSaveFile.empty()))
     OS.printf("cache: -cache-load/-cache-save need a single-runtime mode; "
@@ -319,7 +410,11 @@ int main(int argc, char **argv) {
     if (Fragment *Frag = RT->lookupFragment(Tag)) {
       OS.printf("\nfragment for %s (tag 0x%x, %s):\n", DisasSym.c_str(), Tag,
                 Frag->isTrace() ? "trace" : "basic block");
-      OS << disassembleRange(M.mem().data(), M.mem().size(), 0,
+      // Image pages are copy-on-write — no raw pointer to hand the
+      // disassembler; copy the fragment bytes out first.
+      std::vector<uint8_t> Body(Frag->CodeSize);
+      M.mem().readBlock(Frag->CacheAddr, Body.data(), Frag->CodeSize);
+      OS << disassembleRange(Body.data(), Body.size(), Frag->CacheAddr,
                              Frag->CacheAddr, Frag->CacheAddr + Frag->CodeSize);
     } else {
       OS.printf("\nno fragment for symbol '%s'\n", DisasSym.c_str());

@@ -14,6 +14,13 @@ Three schemas are recognized by their fields:
     observability layer is host-side only), so these are compared with a
     zero threshold — any drift at all is a regression.
 
+  * fork (bench_fork): entries carry {"config", "cycles", "cycles_warmup",
+    "cow_pages", "unshares", ...}. Every forked tenant must replay the cold
+    steady-state run bit-identically, so cycles (and the warm-up cycles,
+    privatized page counts and unshare counts) are compared with a zero
+    threshold; spawn time and RSS are host wall clock / allocator dependent
+    and only displayed.
+
   * simulated (bench_threads): entries carry {"config", "cycles", ...} plus
     deterministic byte/fragment counts. Lower cycles is better, and the
     numbers are exact (simulated clock), so any drift is a real behavior
@@ -45,6 +52,10 @@ def load(path):
     elif "events" in data[0]:
         schema = "observability"
         required = ("config", "cycles", "events", "samples")
+    elif "cow_pages" in data[0]:
+        schema = "fork"
+        required = ("config", "cycles", "cycles_warmup", "cow_pages",
+                    "unshares")
     elif "image_bytes" in data[0]:
         schema = "persist"
         required = ("config", "cycles", "cycles_cold", "image_bytes")
@@ -127,6 +138,21 @@ def main():
         regressions = compare(base, cur, "cycles", higher_is_better=False,
                               threshold=0.0, extra="events")
         regressions += compare_exact(base, cur, "cycles")
+    elif base_schema == "fork":
+        # Per-tenant simulated cycles are exact: every tenant must replay
+        # the cold steady-state run bit-identically, so any drift at all —
+        # either direction — is a behavior change. The same goes for the
+        # pages a tenant privatizes and for cache unshares (0 from a
+        # steady-state template). Spawn/cold wall clock and RSS are
+        # host-side; shown in the table, never gated.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=0.0, extra="cow_pages")
+        regressions += compare_exact(base, cur, "cycles")
+        regressions += compare_exact(base, cur, "cycles_warmup")
+        regressions += compare_exact(base, cur, "unshares")
+        print()
+        compare(base, cur, "rss_per_tenant_kb", higher_is_better=False,
+                threshold=float("inf"), extra="spawn_ns")
     elif base_schema == "persist":
         # Simulated cycles (warm and cold) are exact and deterministic:
         # gate them hard. Image size is reported alongside; save_ns/load_ns
@@ -141,7 +167,7 @@ def main():
                               threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
-        if base_schema == "observability":
+        if base_schema in ("observability", "fork"):
             print("\nWARNING: simulated cycles drifted (must be "
                   "bit-identical):")
         else:

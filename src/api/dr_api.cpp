@@ -457,6 +457,56 @@ bool rio::dr_cache_image_valid(void *Context, const char *Path) {
                                        Image.size()) == persist::LoadStatus::Ok;
 }
 
+//===----------------------------------------------------------------------===//
+// Copy-on-write machine forking
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A tenant the API owns: the machine must outlive the runtime, so the
+/// member order is load-bearing (members destroy in reverse order).
+struct ForkedTenant {
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<Runtime> RT;
+};
+
+/// Tenants created through dr_fork_machine, keyed by the context handed
+/// back to the caller (the tenant Runtime*). File-scope, like the
+/// dr_printf sink: the paper's API has no process object to hang it on.
+std::unordered_map<void *, ForkedTenant> ForkRegistry;
+
+} // namespace
+
+bool rio::dr_freeze_template(void *TemplateContext) {
+  Runtime &RT = runtimeOf(TemplateContext);
+  return RT.isFrozenTemplate() || RT.freezeTemplate();
+}
+
+void *rio::dr_fork_machine(void *TemplateContext) {
+  Runtime &Template = runtimeOf(TemplateContext);
+  if (!dr_freeze_template(TemplateContext))
+    return nullptr;
+  ForkedTenant T;
+  T.M = std::make_unique<Machine>(Template.machine());
+  T.RT = Runtime::forkFrom(Template, *T.M);
+  if (!T.RT)
+    return nullptr;
+  void *Context = T.RT.get();
+  ForkRegistry.emplace(Context, std::move(T));
+  return Context;
+}
+
+bool rio::dr_is_forked(void *Context) {
+  return runtimeOf(Context).isForked();
+}
+
+Machine *rio::dr_fork_machine_of(void *Context) {
+  auto It = ForkRegistry.find(Context);
+  return It == ForkRegistry.end() ? nullptr : It->second.M.get();
+}
+
+void rio::dr_fork_delete(void *Context) { ForkRegistry.erase(Context); }
+
 int rio::proc_get_family(void *Context) {
   return runtimeOf(Context).machine().cost().Family == CpuFamily::PentiumIV
              ? FAMILY_PENTIUM_IV

@@ -374,6 +374,42 @@ bool dr_cache_load(void *context, const char *path);
 bool dr_cache_image_valid(void *context, const char *path);
 
 //===----------------------------------------------------------------------===//
+// Copy-on-write machine forking (src/persist/Fork.cpp)
+//===----------------------------------------------------------------------===//
+
+/// Freezes \p template_context's runtime as a fork template: its warmed
+/// state is serialized once and retained, after which dr_fork_machine can
+/// spawn tenants from it. Requires quiescence (no client, cache mode, no
+/// execution suspended in the cache, no pending code writes). Idempotent
+/// once frozen. Returns false when the runtime cannot be frozen.
+bool dr_freeze_template(void *template_context);
+
+/// Spawns a warmed tenant off \p template_context (freezing it first if
+/// needed): a copy-on-write fork of the template's machine plus a runtime
+/// sharing the template's frozen code cache, fragment table, link graph,
+/// and IB chains. The tenant pays only for pages it writes; the first
+/// mutation of shared cache state deep-copies the cache (observable via
+/// its fork_cache_unshares statistic). Returns the tenant's context —
+/// usable with every other dr_ call, and castable to rio::Runtime* to run
+/// it — or null on failure. The tenant and its machine stay alive (owned
+/// by the API) until dr_fork_delete; the template must outlive them.
+void *dr_fork_machine(void *template_context);
+
+/// True while \p context is a forked tenant still sharing its template's
+/// cache (false once it unshares — or was never forked at all).
+bool dr_is_forked(void *context);
+
+/// The forked tenant's machine (null if \p context did not come from
+/// dr_fork_machine): where its output, cycle counts, and CoW page
+/// statistics live.
+Machine *dr_fork_machine_of(void *context);
+
+/// Destroys a tenant created by dr_fork_machine, releasing its runtime and
+/// machine (copy-on-write pages return to the template). No-op on contexts
+/// that did not come from dr_fork_machine.
+void dr_fork_delete(void *context);
+
+//===----------------------------------------------------------------------===//
 // Processor identification (paper Section 3.2 / Figure 3)
 //===----------------------------------------------------------------------===//
 

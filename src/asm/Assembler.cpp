@@ -664,5 +664,6 @@ bool rio::loadProgram(Machine &M, const Program &Prog) {
   // little headroom.
   uint32_t StackTop = (M.runtimeBase() - 64) & ~15u;
   M.cpu().writeGpr32(REG_ESP, StackTop);
+  M.recordResetState(); // lets Machine::resetForRun() return here
   return true;
 }

@@ -265,6 +265,11 @@ uint32_t CacheManager::usedBytes(Fragment::Kind Kind) const {
   return cacheFor(Kind).Used;
 }
 
+uint32_t CacheManager::totalUsedBytes() const {
+  return usedBytes(Fragment::Kind::BasicBlock) +
+         usedBytes(Fragment::Kind::Trace);
+}
+
 uint32_t CacheManager::peakBytes(Fragment::Kind Kind) const {
   return cacheFor(Kind).Peak;
 }

@@ -154,6 +154,9 @@ public:
   uint32_t capacity(Fragment::Kind Kind) const;
   /// Bytes held by live fragments (pending-reclaim bytes excluded).
   uint32_t usedBytes(Fragment::Kind Kind) const;
+  /// usedBytes summed over both caches — the warmed-cache footprint a
+  /// forked tenant shares until it unshares.
+  uint32_t totalUsedBytes() const;
   /// Peak of usedBytes over the cache's lifetime.
   uint32_t peakBytes(Fragment::Kind Kind) const;
   /// Largest single free gap — what the next allocation can actually get.

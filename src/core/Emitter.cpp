@@ -177,6 +177,7 @@ void Runtime::mangleForCache(InstrList &IL) {
 
 Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
                                 unsigned NumInstrs) {
+  assert(!Tpl && "forked tenant must unshare before emitting fragments");
   // Identify exits: direct CTIs whose target is an application pc operand
   // (intra-fragment branches are label-bound), plus indirect CTIs.
   struct PendingExit {
@@ -284,15 +285,18 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     Frag->Exits.push_back(Exit);
   }
 
-  // Final body emission.
+  // Final body emission into a staging buffer, then one block store into
+  // the paged image. No raw image pointer is held across the store, so the
+  // copy-on-write fault (for a forked machine) happens inside writeBlock.
   EmitResult Placement;
-  if (!emitInstrList(IL, Base, M.mem().data() + Base,
-                     M.mem().size() - Base, /*AllowShortBranches=*/false,
-                     Placement)) {
+  std::vector<uint8_t> Body(BodySize);
+  if (!emitInstrList(IL, Base, Body.data(), Body.size(),
+                     /*AllowShortBranches=*/false, Placement)) {
     M.fault("fragment body failed to encode at placement");
     return nullptr;
   }
   assert(Placement.TotalSize == BodySize && "body size changed at placement");
+  M.mem().writeBlock(Base, Body.data(), BodySize);
 
   // Record exit CTI addresses: direct exits for link patching, indirect
   // exits so an IBL arrival (whose site pc is the transferring CTI) can be
@@ -316,12 +320,13 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     uint32_t StubPc = Exit.stubAddr(*Frag);
     if (Pending[Idx].Custom) {
       EmitResult StubRes;
-      if (!emitInstrList(*Pending[Idx].Custom, StubPc,
-                         M.mem().data() + StubPc, CustomSize[Idx] + 16,
-                         false, StubRes)) {
+      std::vector<uint8_t> StubBuf(CustomSize[Idx] + 16);
+      if (!emitInstrList(*Pending[Idx].Custom, StubPc, StubBuf.data(),
+                         StubBuf.size(), false, StubRes)) {
         M.fault("custom exit stub failed to encode at placement");
         return nullptr;
       }
+      M.mem().writeBlock(StubPc, StubBuf.data(), StubRes.TotalSize);
       StubPc += StubRes.TotalSize;
     }
     if (Exit.IsIbArm) {
@@ -423,11 +428,11 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
 //===----------------------------------------------------------------------===//
 
 Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
+  ensureUnshared(); // block building emits into the cache
   maybeFlushForSpace(Fragment::Kind::BasicBlock);
   BlockScan Scan;
-  const uint8_t *Image = M.mem().data();
   uint32_t AppSize = M.runtimeBase();
-  if (!scanBlock(Image, AppSize, 0, Tag, Config.MaxBlockInstrs, Scan)) {
+  if (!scanBlock(M.mem(), AppSize, Tag, Config.MaxBlockInstrs, Scan)) {
     M.fault("cannot decode basic block at tag " + std::to_string(Tag));
     return nullptr;
   }
@@ -436,7 +441,7 @@ Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
   InstrList IL(BuildArena);
   // The paper's default representation: one Level 0 bundle for the body
   // plus a fully decoded terminating CTI.
-  if (!liftBlock(IL, Image, AppSize, 0, Tag, Config.MaxBlockInstrs,
+  if (!liftBlock(IL, M.mem(), AppSize, Tag, Config.MaxBlockInstrs,
                  Config.BbLift)) {
     M.fault("cannot lift basic block at tag " + std::to_string(Tag));
     return nullptr;
@@ -492,6 +497,9 @@ Fragment *Runtime::buildBasicBlock(AppPc Tag, bool Shadow) {
 
 void Runtime::patchRel32(uint32_t CtiAddr, unsigned CtiLen,
                          uint32_t NewTarget) {
+  // Link metadata lives in Fragment objects; while a forked tenant still
+  // shares the template's fragments, patching would corrupt the template.
+  assert(!Tpl && "forked tenant must unshare before patching cache code");
   uint32_t Rel = NewTarget - (CtiAddr + CtiLen);
   M.mem().write32(CtiAddr + CtiLen - 4, Rel);
   M.invalidateDecodeRange(CtiAddr, CtiAddr + CtiLen);
@@ -576,6 +584,7 @@ void Runtime::linkNewFragment(Fragment *Frag) {
 }
 
 void Runtime::flushCaches() {
+  ensureUnshared();
   flushCache(Fragment::Kind::BasicBlock);
   flushCache(Fragment::Kind::Trace);
   ++S.CacheFlushes;
@@ -616,6 +625,7 @@ void Runtime::maybeFlushForSpace(Fragment::Kind Kind) {
 }
 
 void Runtime::deleteFragment(Fragment *Frag) {
+  assert(!Tpl && "forked tenant must unshare before deleting fragments");
   if (Frag->Doomed)
     return;
   unlinkIncoming(Frag);
@@ -651,13 +661,16 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
   std::vector<Row> Rows;
   uint32_t Pc = Frag->CacheAddr;
   uint32_t End = Frag->CacheAddr + Frag->CodeSize;
-  const uint8_t *Mem = M.mem().data();
+  uint8_t Scratch[MaxInstrLength];
   while (Pc < End) {
+    uint32_t Win = std::min<uint32_t>(End - Pc, MaxInstrLength);
+    const uint8_t *P = M.mem().readWindow(Pc, Win, Scratch);
     DecodedInstr DI;
-    if (!decodeInstr(Mem + Pc, End - Pc, Pc, DI))
+    if (!P || !decodeInstr(P, Win, Pc, DI))
       return nullptr;
-    // Skip emitter nop padding.
-    Instr *I = Instr::createDecoded(A, DI, Mem + Pc, Pc);
+    // Arena-copy the raw bits: P may point at scratch or a CoW page.
+    const uint8_t *Bytes = A.copyBytes(P, DI.Length);
+    Instr *I = Instr::createDecoded(A, DI, Bytes, Pc);
     Rows.push_back({Pc, I});
     Pc += DI.Length;
   }
@@ -727,6 +740,7 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
 }
 
 bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
+  ensureUnshared(); // rebuilds the table; look up only afterwards
   Fragment *Old = lookupFragment(Tag);
   if (!Old)
     return false;

@@ -58,7 +58,7 @@ void Runtime::ibNoteArrival(AppPc Target, uint32_t SiteCachePc) {
   // traffic: the relink probe on the IBL hit path handles them.
   if (IbArmStubSites.count(SiteCachePc))
     return;
-  Fragment *Owner = CM.fragmentAt(SiteCachePc);
+  Fragment *Owner = queryCM().fragmentAt(SiteCachePc);
   if (!Owner || Owner->Doomed)
     return;
   unsigned ExitIdx = ~0u;
@@ -133,6 +133,15 @@ void Runtime::ibNoteArrival(AppPc Target, uint32_t SiteCachePc) {
   }
   if (NumPicks == 0 || Covered * 3 < P.Total)
     return;
+  if (RIO_UNLIKELY(Tpl != nullptr)) {
+    // The rewrite replaces the owning fragment: privatize the shared cache
+    // first, then refetch the owner — cache addresses survive unsharing,
+    // and so does the exit order within a fragment.
+    ensureUnshared();
+    Owner = CM.fragmentAt(SiteCachePc);
+    if (!Owner || Owner->Doomed || ExitIdx >= Owner->Exits.size())
+      return;
+  }
   ibRewriteSite(Owner, ExitIdx, Picks, NumPicks);
 }
 
@@ -288,13 +297,29 @@ void Runtime::ibMaybeRelinkArm(uint32_t SiteCachePc, AppPc Target,
   auto It = IbArmStubSites.find(SiteCachePc);
   if (It == IbArmStubSites.end())
     return;
-  auto [Owner, ExitIdx] = ExitRecords[It->second];
+  const uint32_t ExitId = It->second;
+  {
+    auto [Owner, ExitIdx] = ExitRecords[ExitId];
+    const FragmentExit &Exit = Owner->Exits[ExitIdx];
+    if (Exit.Linked || Owner->Doomed || Exit.TargetTag != Target)
+      return;
+    // Same gate as lazy linking: unpromoted trace heads keep arriving at
+    // the IBL so their execution counters keep counting.
+    if (To->IsTraceHead && Config.EnableTraces && !To->isTrace())
+      return;
+  }
+  if (RIO_UNLIKELY(Tpl != nullptr)) {
+    // Linking patches cache code and link metadata: privatize first. Exit
+    // ids survive unsharing, so refetch through the rebuilt records (the
+    // iterator and fragment pointers above are stale now).
+    ensureUnshared();
+    To = lookupFragment(Target);
+    if (!To)
+      return;
+  }
+  auto [Owner, ExitIdx] = ExitRecords[ExitId];
   FragmentExit &Exit = Owner->Exits[ExitIdx];
-  if (Exit.Linked || Owner->Doomed || Exit.TargetTag != Target)
-    return;
-  // Same gate as lazy linking: unpromoted trace heads keep arriving at the
-  // IBL so their execution counters keep counting.
-  if (To->IsTraceHead && Config.EnableTraces && !To->isTrace())
+  if (Exit.Linked || Owner->Doomed)
     return;
   linkExit(Owner, Exit, To);
   ++S.IbInlineArmRelinks;

@@ -62,7 +62,8 @@ Runtime::FlowStats::FlowStats(StatisticSet &S)
       IbInlineSpillsCollapsed(S.stat("ib_inline_spills_collapsed")),
       CacheWarmHits(S.stat("cache_warm_hits")),
       CacheWarmRejects(S.stat("cache_warm_rejects")),
-      PersistBytesWritten(S.stat("persist_bytes_written")) {}
+      PersistBytesWritten(S.stat("persist_bytes_written")),
+      ForkCacheUnshares(S.stat("fork_cache_unshares")) {}
 
 Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                  const RuntimeRegion &Region, HookMode Hooks)
@@ -75,6 +76,7 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
                       : (M.runtimeBase() + M.config().RuntimeRegionSize - Base);
   assert(Base >= M.runtimeBase() && Size > 0x2000 &&
          "runtime region must lie inside the machine's runtime region");
+  ResolvedRegion = {Base, Size}; // replayed verbatim by forkFrom
   Slots.DispatcherEntry = Base + 0x00;
   Slots.ExitIdSlot = Base + 0x10;
   Slots.IbTargetSlot = Base + 0x14;
@@ -144,9 +146,10 @@ ThreadContext &Runtime::activateThread(unsigned Tid) {
   // Emitted code addresses the slots absolutely, so this swap is what makes
   // one shared cache correct for every thread (the simulated analogue of
   // re-pointing a TLS segment base on an OS context switch).
-  uint8_t *Window = M.mem().data() + Slots.ExitIdSlot;
-  std::memcpy(TC->SlotImage.data(), Window, ThreadContext::WindowBytes);
-  std::memcpy(Window, Next->SlotImage.data(), ThreadContext::WindowBytes);
+  M.mem().readBlock(Slots.ExitIdSlot, TC->SlotImage.data(),
+                    ThreadContext::WindowBytes);
+  M.mem().writeBlock(Slots.ExitIdSlot, Next->SlotImage.data(),
+                     ThreadContext::WindowBytes);
   chargeRuntime(M.cost().ThreadContextSwapCost);
   ++S.ThreadContextSwaps;
   unsigned PrevTid = TC->Tid;
@@ -154,6 +157,19 @@ ThreadContext &Runtime::activateThread(unsigned Tid) {
   ObsTid = Next->Tid;
   obsEvent(TraceEventKind::ContextSwapped, PrevTid, Next->Tid);
   return *Next;
+}
+
+void Runtime::resetThreadForRun() {
+  TC->ResumePoint = ThreadContext::Resume::Fresh;
+  TC->ResumeTag = 0;
+  TC->ResumeCachePc = 0;
+  TC->ThreadFinished = false;
+  TC->LastTransitionBackwardBranch = false;
+  TC->CurrentFragmentTag = 0;
+  TC->TraceGenActive = false;
+  TC->TraceGenHead = 0;
+  TC->TraceGenBlocks.clear();
+  TC->TraceGenInstrs = 0;
 }
 
 const std::vector<uint32_t> &Runtime::collectGuardPcs() {
@@ -167,6 +183,15 @@ const std::vector<uint32_t> &Runtime::collectGuardPcs() {
 }
 
 void Runtime::markTraceHead(AppPc Tag) {
+  // A first marking of a live non-trace fragment mutates the fragment and
+  // unlinks its incoming exits — shared state for a forked tenant. (Marked
+  // bits and head counters live in the tenant's private table, so plain
+  // re-marks and counter bumps never unshare.)
+  if (Tpl) {
+    Fragment *Frag = Table.lookup(Tag);
+    if (Frag && !Frag->isTrace() && !Frag->IsTraceHead)
+      ensureUnshared(); // rebuilds Table; re-probe below
+  }
   FragmentEntry &Entry = Table.slot(Tag);
   bool WasMarked = Entry.Marked;
   Entry.Marked = true;
@@ -240,7 +265,14 @@ void Runtime::flushRegion(AppPc Start, uint32_t Size) {
   if (Size == 0)
     return;
   std::vector<Fragment *> Victims;
-  CM.fragmentsOverlappingApp(Start, Start + Size, Victims);
+  queryCM().fragmentsOverlappingApp(Start, Start + Size, Victims);
+  if (Tpl && !Victims.empty()) {
+    // Deleting fragments mutates the shared cache: take a private copy,
+    // then re-collect the victims from it (same tags, private records).
+    ensureUnshared();
+    Victims.clear();
+    CM.fragmentsOverlappingApp(Start, Start + Size, Victims);
+  }
   for (Fragment *Victim : Victims) {
     ++S.RegionFlushedFragments;
     chargeRuntime(M.cost().FragmentEvictCost);
@@ -250,6 +282,17 @@ void Runtime::flushRegion(AppPc Start, uint32_t Size) {
 
 AppPc Runtime::drainCodeWrites(uint32_t CurCachePc) {
   const auto &Log = M.codeWriteLog();
+  if (Tpl) {
+    // Peek — without advancing the cursor or counting events — for a write
+    // that invalidates a shared fragment; unshare first so the normal loop
+    // below runs exactly as it would cold (the unshare restores the cursor
+    // so no event is skipped or double-counted).
+    for (size_t I = CodeWriteCursor; I < Log.size(); ++I)
+      if (queryCM().anyFragmentTouchesApp(Log[I].Lo, Log[I].Hi)) {
+        ensureUnshared();
+        break;
+      }
+  }
   std::vector<Fragment *> Victims;
   while (CodeWriteCursor < Log.size()) {
     const Machine::CodeWriteEvent &Ev = Log[CodeWriteCursor++];
@@ -388,6 +431,7 @@ RunResult Runtime::runCached(uint64_t Deadline) {
       if (!Frag)
         break;
     }
+    const bool WasShared = Tpl != nullptr;
     noteDispatch(Frag);
     // Trace finalization may have replaced the fragment under this tag;
     // trace generation may also have just ended (making the shadowed trace
@@ -400,6 +444,13 @@ RunResult Runtime::runCached(uint64_t Deadline) {
         Frag = buildBasicBlock(Target);
       if (!Frag)
         break; // faulted
+    } else if (WasShared && Tpl == nullptr) {
+      // noteDispatch just entered trace generation and unshared the
+      // template cache: the table was rebuilt with private fragments, so
+      // the pointer fetched above is stale.
+      Frag = lookupFragment(Target);
+      if (!Frag)
+        break;
     }
     ++S.Dispatches;
     chargeRuntime(M.cost().DispatchCost);
@@ -504,10 +555,18 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
       chargeRuntime(M.cost().ContextSwitchCost);
 
       // Lazy linking: if the target fragment exists now, wire the exit up
-      // so future executions bypass this context switch.
+      // so future executions bypass this context switch. Making a link
+      // patches cache bytes, so a forked tenant first takes its private
+      // copy — and since that (or the markTraceHead above) rebuilds
+      // ExitRecords and the table, re-resolve the records before linking.
       if (Config.LinkDirectBranches && !Owner->Doomed && To &&
-          !(To->IsTraceHead && Config.EnableTraces && !To->isTrace()))
-        linkExit(Owner, Exit, To);
+          !(To->IsTraceHead && Config.EnableTraces && !To->isTrace())) {
+        ensureUnshared();
+        auto [LinkOwner, LinkIdx] = ExitRecords[ExitId];
+        Fragment *LinkTo = Table.slot(Target).Frag;
+        if (!LinkOwner->Doomed && LinkTo)
+          linkExit(LinkOwner, LinkOwner->Exits[LinkIdx], LinkTo);
+      }
       return Target;
     }
 
@@ -565,8 +624,9 @@ AppPc Runtime::executeFrom(uint32_t CachePc, uint64_t Deadline) {
 
 void Runtime::annotateCacheFault(uint32_t CachePc) {
   // The cache manager's slot map resolves the pc in O(log slots) — the
-  // seed scanned every fragment ever built.
-  Fragment *Frag = CM.fragmentAt(CachePc);
+  // seed scanned every fragment ever built. A forked tenant resolves
+  // against its template's manager until it unshares.
+  Fragment *Frag = queryCM().fragmentAt(CachePc);
   if (!Frag || Frag->Doomed)
     return;
   if (CachePc < Frag->CacheAddr + Frag->CodeSize)
@@ -658,7 +718,7 @@ void Runtime::takeSample(uint32_t Pc) {
   // a live fragment's slot charges that fragment's tag; anything else
   // (dispatcher entry, runtime slots, retired bytes) is runtime time,
   // reported under tag 0.
-  Fragment *Frag = CM.fragmentAt(Pc);
+  Fragment *Frag = queryCM().fragmentAt(Pc);
   if (Frag && Frag->Doomed)
     Frag = nullptr;
   AppPc Tag = Frag ? Frag->Tag : 0;

@@ -285,6 +285,46 @@ public:
   CacheManager &cacheManager() { return CM; }
 
   //===--------------------------------------------------------------------===
+  // Copy-on-write forking (defined in persist/Fork.cpp)
+  //===--------------------------------------------------------------------===
+
+  /// Freezes this runtime as a fork template: its warmed state (fragments,
+  /// links, trace-head counters, IB chains, predictors) is serialized once
+  /// and retained; forkFrom() clones tenants from it. Requires quiescence —
+  /// no client, Cache mode, the code-write log drained, and no context
+  /// suspended inside the cache. The template itself remains runnable, but
+  /// the frozen image is a snapshot: freeze after warm-up, then stop
+  /// mutating (tenants clone the snapshot, not live state).
+  /// Returns false (with \p Error set) if the runtime cannot be frozen.
+  bool freezeTemplate(std::string *Error = nullptr);
+  bool isFrozenTemplate() const { return !Frozen.empty(); }
+
+  /// Creates a tenant runtime on \p TenantMachine (which must be a
+  /// Machine-copy-constructor fork of \p Template's machine). The tenant
+  /// gets private registers, stack, thread context, and statistics while
+  /// *sharing* the template's read-only frozen code cache, fragment table,
+  /// link graph, and IB chains: its machine pages alias the template's
+  /// until first write, and its fragment metadata points at the template's
+  /// records. The first operation that must mutate shared cache state —
+  /// SMC invalidation, eviction, a new block build, trace promotion —
+  /// first deep-copies the cache region (counted in fork_cache_unshares).
+  /// \p Template must be frozen (freezeTemplate). Returns null with
+  /// \p Error set on failure.
+  static std::unique_ptr<Runtime> forkFrom(const Runtime &Template,
+                                           Machine &TenantMachine,
+                                           std::string *Error = nullptr);
+
+  /// True while this runtime still shares its template's cache (it was
+  /// created by forkFrom and has not unshared).
+  bool isForked() const { return Tpl != nullptr; }
+
+  /// Re-arms the active thread context for another run() after
+  /// Machine::resetForRun(): suspension and trace-recording state return
+  /// to fresh, while the warmed caches, statistics, and counters are kept.
+  /// The measurement primitive for steady-state (second-run) costs.
+  void resetThreadForRun();
+
+  //===--------------------------------------------------------------------===
   // Clean calls and client services
   //===--------------------------------------------------------------------===
 
@@ -433,13 +473,16 @@ private:
         ThreadContextSwaps, IbInlineHits, IbInlineMisses, IbInlineRewrites,
         IbInlineChainEvictions, IbInlineArmRelinks, IbInlineFlagPairsElided,
         IbInlineSpillsCollapsed, CacheWarmHits, CacheWarmRejects,
-        PersistBytesWritten;
+        PersistBytesWritten, ForkCacheUnshares;
 
     explicit FlowStats(StatisticSet &S);
   };
   FlowStats S;
 
   RuntimeSlots Slots{};
+  /// The region this runtime was given, with defaults resolved — what a
+  /// forked tenant replays to get an identical cache layout.
+  RuntimeRegion ResolvedRegion{};
 
   Arena FragArena{1u << 16};   ///< fragment metadata + build-time lists
   Arena ClientArena{1u << 16}; ///< dr_global_alloc backing store
@@ -513,6 +556,41 @@ private:
   /// Arm CTI pc -> exit record id: linked-arm hit counting from the
   /// execution loop. Empty whenever the feature is off.
   std::unordered_map<uint32_t, uint32_t> IbArmPcs;
+
+  //===--- copy-on-write forking (persist/Fork.cpp) --------------------------===
+
+  /// Non-null while this runtime is a forked tenant sharing its template's
+  /// frozen cache: the tenant's Fragment pointers and cache bytes belong to
+  /// the template, and its own CM/Fragments/ExitRecords are empty. Cleared
+  /// by the unshare (after which everything is tenant-private).
+  const Runtime *Tpl = nullptr;
+
+  /// Deep-copies the shared cache state into this runtime. Installed by
+  /// forkFrom; implemented in rio_persist (it replays the template's
+  /// frozen image through the cache codec), reached through a function
+  /// pointer because rio_core cannot link against rio_persist.
+  void (*UnshareHook)(Runtime &) = nullptr;
+
+  /// The unshare engine behind UnshareHook (persist/Fork.cpp). A static
+  /// member rather than a free function so it can reach private state while
+  /// being compiled into rio_persist.
+  static void unshareImpl(Runtime &RT);
+
+  /// The serialized warmed state (set on the template by freezeTemplate);
+  /// the unshare clones from here.
+  std::vector<uint8_t> Frozen;
+
+  /// The cache manager to answer *const* queries from: a forked tenant
+  /// reads the template's (its own is empty until it unshares).
+  const CacheManager &queryCM() const { return Tpl ? Tpl->CM : CM; }
+
+  /// Guards every path that mutates cache bytes, fragment records, or the
+  /// link graph: a forked tenant must own private copies first. No-op
+  /// (one predicted branch) for non-forked runtimes.
+  RIO_ALWAYS_INLINE void ensureUnshared() {
+    if (RIO_UNLIKELY(Tpl != nullptr))
+      UnshareHook(*this);
+  }
 };
 
 } // namespace rio

@@ -96,6 +96,59 @@ private:
 /// establish the native baseline the threaded runtime must match.
 RunResult runThreadedNative(Machine &M, uint64_t Quantum = 5000);
 
+/// A fleet of forked tenants served from one frozen template — the
+/// "N warmed tenants from one image" pattern behind `riodyn -tenants` and
+/// bench_fork. Each tenant pairs a copy-on-write Machine fork of the
+/// template's machine with a Runtime forked from the template runtime
+/// (Runtime::forkFrom); all tenants stay alive together, their unwritten
+/// pages shared with the template and each other.
+///
+/// Header-inline on purpose: forkFrom/unshare live in rio_persist, which
+/// rio_core cannot link against, so the fleet must be instantiated from
+/// translation units (examples, benches, tests) that link rio_persist.
+class TenantFleet {
+public:
+  struct Tenant {
+    std::unique_ptr<Machine> M;
+    std::unique_ptr<Runtime> RT;
+  };
+
+  /// Forks \p Count tenants from \p Template, whose machine is
+  /// \p TemplateMachine (passed separately: the template runtime is const
+  /// here, and the machine fork needs the object, not an accessor).
+  /// \p Template must be frozen (Runtime::freezeTemplate). On any failure
+  /// returns false with \p Error set and leaves the fleet empty.
+  bool spawn(const Runtime &Template, const Machine &TemplateMachine,
+             unsigned Count, std::string *Error = nullptr) {
+    std::vector<Tenant> Spawned;
+    Spawned.reserve(Count);
+    for (unsigned I = 0; I != Count; ++I) {
+      Tenant T;
+      T.M = std::make_unique<Machine>(TemplateMachine);
+      T.RT = Runtime::forkFrom(Template, *T.M, Error);
+      if (!T.RT) {
+        clear();
+        return false;
+      }
+      Spawned.push_back(std::move(T));
+    }
+    Fleet = std::move(Spawned);
+    return true;
+  }
+
+  size_t size() const { return Fleet.size(); }
+  Tenant &operator[](size_t I) { return Fleet[I]; }
+  std::vector<Tenant>::iterator begin() { return Fleet.begin(); }
+  std::vector<Tenant>::iterator end() { return Fleet.end(); }
+
+  /// Destroys every tenant (runtimes before machines, per member order),
+  /// returning their copy-on-write pages to the template.
+  void clear() { Fleet.clear(); }
+
+private:
+  std::vector<Tenant> Fleet;
+};
+
 } // namespace rio
 
 #endif // RIO_CORE_THREADEDRUNNER_H

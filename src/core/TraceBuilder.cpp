@@ -37,6 +37,11 @@ void Runtime::noteDispatch(Fragment *Frag) {
     return;
   if (++Table.slot(Frag->Tag).HeadCounter < Config.TraceThreshold)
     return;
+  // Recording unlinks fragments and ends in trace emission: a forked
+  // tenant takes ownership of the shared cache before the first mutation.
+  // (The head-counter bump above survives — unsharing overlays the
+  // tenant's counters onto the rebuilt table.)
+  ensureUnshared();
   // Hot: enter trace generation mode starting at this head. Recording is
   // per-thread state: in shared-cache mode another thread may be recording
   // its own trace concurrently (each observes only its own dispatches).
@@ -162,7 +167,6 @@ InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
   auto *MissCode =
       new (A.allocate(sizeof(InstrList), alignof(InstrList))) InstrList(A);
 
-  const uint8_t *Image = M.mem().data();
   uint32_t AppSize = M.runtimeBase();
   NumInstrs = 0;
 
@@ -181,13 +185,13 @@ InstrList *Runtime::buildTraceList(const std::vector<AppPc> &Blocks,
     AppPc NextTag = IsLast ? 0 : Blocks[BlockIdx + 1];
 
     BlockScan Scan;
-    if (!scanBlock(Image, AppSize, 0, Tag, Config.MaxBlockInstrs, Scan))
+    if (!scanBlock(M.mem(), AppSize, Tag, Config.MaxBlockInstrs, Scan))
       return nullptr;
     InstrList BlockIL(A);
     // "When performing optimizations, DynamoRIO fully decodes all
     // instructions in a trace's InstrList, but keeps their raw bit
     // pointers valid (Level 3)."
-    if (!liftBlock(BlockIL, Image, AppSize, 0, Tag, Config.MaxBlockInstrs,
+    if (!liftBlock(BlockIL, M.mem(), AppSize, Tag, Config.MaxBlockInstrs,
                    LiftLevel::Decoded3))
       return nullptr;
     NumInstrs += Scan.NumInstrs;

@@ -9,6 +9,9 @@
 
 #include "support/Compiler.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace rio;
 
 bool rio::scanBlock(const uint8_t *Bytes, size_t Size, AppPc Base, AppPc Pc,
@@ -102,5 +105,125 @@ bool rio::liftBlock(InstrList &IL, const uint8_t *Bytes, size_t Size,
   // Hit the instruction cap without a CTI; flush what we have. The caller
   // decides how to terminate the block (the runtime appends a jump).
   flushBundle();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Paged-image overloads
+//===----------------------------------------------------------------------===//
+
+bool rio::scanBlock(const MemoryImage &Mem, uint32_t Limit, AppPc Pc,
+                    unsigned MaxInstrs, BlockScan &Scan) {
+  Scan = BlockScan();
+  Limit = std::min(Limit, Mem.size());
+  AppPc Cur = Pc;
+  uint8_t Scratch[MaxInstrLength];
+#ifndef NDEBUG
+  const uint64_t Epoch = Mem.mutEpoch();
+#endif
+  for (unsigned N = 0; N != MaxInstrs; ++N) {
+    if (Cur >= Limit)
+      return false;
+    uint32_t Win = std::min<uint32_t>(Limit - Cur, MaxInstrLength);
+    const uint8_t *P = Mem.readWindow(Cur, Win, Scratch);
+    Opcode Op;
+    uint32_t Eflags;
+    int Len;
+    if (!P || !decodeOpcodeAndEflags(P, Win, Op, Eflags, Len))
+      return false;
+    ++Scan.NumInstrs;
+    Scan.ByteLength += unsigned(Len);
+    Cur += AppPc(Len);
+    if (opcodeIsCti(Op)) {
+      Scan.EndsInCti = true;
+      break;
+    }
+    if (opcodeInfo(Op).Flags & OPF_SYSCALL) {
+      Scan.EndsInSyscall = true;
+      break;
+    }
+  }
+  assert(Epoch == Mem.mutEpoch() &&
+         "image mutated under scan: window pointers would dangle");
+  Scan.FallThrough = Cur;
+  return true;
+}
+
+bool rio::liftBlock(InstrList &IL, const MemoryImage &Mem, uint32_t Limit,
+                    AppPc Pc, unsigned MaxInstrs, LiftLevel Level) {
+  Arena &A = IL.arena();
+  Limit = std::min(Limit, Mem.size());
+  AppPc Cur = Pc;
+  AppPc BundleStart = Pc;
+  unsigned BundleLen = 0;
+  uint8_t Scratch[MaxInstrLength];
+#ifndef NDEBUG
+  const uint64_t Epoch = Mem.mutEpoch();
+#endif
+
+  auto flushBundle = [&]() {
+    if (BundleLen == 0)
+      return;
+    // Arena-copy the bundle's bytes: a bundle may straddle page boundaries
+    // (no contiguous image pointer exists) and a CoW fault may retire the
+    // page while the Instr is still alive.
+    auto *Copy = static_cast<uint8_t *>(A.allocate(BundleLen, 1));
+    Mem.readBlock(BundleStart, Copy, BundleLen);
+    IL.append(Instr::createBundle(A, Copy, BundleLen, BundleStart));
+    BundleLen = 0;
+  };
+
+  for (unsigned N = 0; N != MaxInstrs; ++N) {
+    if (Cur >= Limit)
+      return false;
+    uint32_t Win = std::min<uint32_t>(Limit - Cur, MaxInstrLength);
+    const uint8_t *P = Mem.readWindow(Cur, Win, Scratch);
+
+    // Peek at the opcode to know whether this is the terminating CTI.
+    Opcode Op;
+    uint32_t Eflags;
+    int Len;
+    if (!P || !decodeOpcodeAndEflags(P, Win, Op, Eflags, Len))
+      return false;
+    bool IsTerminator =
+        opcodeIsCti(Op) || (opcodeInfo(Op).Flags & OPF_SYSCALL) != 0;
+
+    if (IsTerminator || Level != LiftLevel::Bundle0) {
+      // P may point into Scratch or a movable page; the Instr needs bytes
+      // that live as long as the arena.
+      const uint8_t *Bytes = A.copyBytes(P, size_t(Len));
+      Instr *I = nullptr;
+      if (IsTerminator || Level == LiftLevel::Decoded3 ||
+          Level == LiftLevel::Synth4) {
+        DecodedInstr DI;
+        if (!decodeInstr(Bytes, size_t(Len), Cur, DI))
+          return false;
+        I = Instr::createDecoded(A, DI, Bytes, Cur);
+        if (!IsTerminator && Level == LiftLevel::Synth4)
+          I->invalidateRawBits();
+      } else if (Level == LiftLevel::Opcode2) {
+        I = Instr::createOpcodeKnown(A, Bytes, unsigned(Len), Cur, Op, Eflags);
+      } else {
+        I = Instr::createRaw(A, Bytes, unsigned(Len), Cur);
+      }
+      flushBundle();
+      IL.append(I);
+    } else {
+      // Accumulate into the current Level 0 bundle.
+      if (BundleLen == 0)
+        BundleStart = Cur;
+      BundleLen += unsigned(Len);
+    }
+
+    Cur += AppPc(Len);
+    if (IsTerminator) {
+      assert(Epoch == Mem.mutEpoch() &&
+             "image mutated under lift: window pointers would dangle");
+      return true;
+    }
+  }
+  flushBundle();
+  assert(Epoch == Mem.mutEpoch() &&
+         "image mutated under lift: window pointers would dangle");
   return true;
 }

@@ -19,6 +19,8 @@
 
 #include "ir/InstrList.h"
 
+#include "vm/Memory.h"
+
 namespace rio {
 
 /// How a lifted block should be represented.
@@ -48,10 +50,24 @@ struct BlockScan {
 bool scanBlock(const uint8_t *Bytes, size_t Size, AppPc Base, AppPc Pc,
                unsigned MaxInstrs, BlockScan &Scan);
 
+/// scanBlock over the paged memory image: only addresses below \p Limit
+/// are decodable (callers pass the application-region size). Fetches go
+/// through bounded windows, so page-straddling instructions are handled
+/// and no raw image pointer escapes.
+bool scanBlock(const MemoryImage &Mem, uint32_t Limit, AppPc Pc,
+               unsigned MaxInstrs, BlockScan &Scan);
+
 /// Lifts the basic block at \p Pc into \p IL at the given level of detail.
 /// \p Bytes/\p Size/\p Base describe the application image as in scanBlock.
 /// \returns false on undecodable bytes.
 bool liftBlock(InstrList &IL, const uint8_t *Bytes, size_t Size, AppPc Base,
+               AppPc Pc, unsigned MaxInstrs, LiftLevel Level);
+
+/// liftBlock over the paged memory image (see the scanBlock overload). The
+/// raw bytes behind every created Instr — bundles included — are copied
+/// into the InstrList's arena: image pages are copy-on-write and may move
+/// under a later write, so Instrs must not reference them.
+bool liftBlock(InstrList &IL, const MemoryImage &Mem, uint32_t Limit,
                AppPc Pc, unsigned MaxInstrs, LiftLevel Level);
 
 } // namespace rio

@@ -428,7 +428,10 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
     for (const AppRange &R : F->AppRanges) {
       AppHash = fnvU32(AppHash, R.Lo);
       AppHash = fnvU32(AppHash, R.Hi);
-      AppHash = fnv1a(AppHash, M.mem().data() + R.Lo, R.Hi - R.Lo);
+      M.mem().forEachSpan(R.Lo, R.Hi - R.Lo,
+                          [&](const uint8_t *Run, uint32_t Len) {
+                            AppHash = fnv1a(AppHash, Run, Len);
+                          });
     }
 
   ByteWriter P;
@@ -494,7 +497,9 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
       P.u32(C.App);
       P.u8(C.Linear ? 1 : 0);
     }
-    P.bytes(M.mem().data() + F->CacheAddr, F->CodeSize + F->StubsSize);
+    M.mem().forEachSpan(
+        F->CacheAddr, F->CodeSize + F->StubsSize,
+        [&](const uint8_t *Run, uint32_t Len) { P.bytes(Run, Len); });
   }
 
   // Fragment-table entries, sorted by tag so identical warmed states
@@ -578,7 +583,7 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
 //===----------------------------------------------------------------------===//
 
 LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
-                             Image &Out) {
+                             Image &Out, bool Trusted) {
   // The target must be cold: restoring over built state would corrupt the
   // link graph and exit-record numbering.
   if (RT.TheClient || RT.Config.Mode != ExecMode::Cache ||
@@ -624,7 +629,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
   // machine has an empty log, and the app-code hash below is the actual
   // content check.
   uint64_t CurGen = uint64_t(M.codeWriteLog().size());
-  if (CurGen != 0 && CurGen != WriteGen)
+  if (!Trusted && CurGen != 0 && CurGen != WriteGen)
     return LoadStatus::SmcGeneration;
 
   uint32_t Delta = NewBase - SavedBase; // mod 2^32: wrapping add relocates
@@ -729,10 +734,14 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
         return LoadStatus::Truncated;
       if (Range.Lo >= Range.Hi || Range.Hi > M.runtimeBase())
         return LoadStatus::Malformed;
-      LiveAppHash = fnvU32(LiveAppHash, Range.Lo);
-      LiveAppHash = fnvU32(LiveAppHash, Range.Hi);
-      LiveAppHash =
-          fnv1a(LiveAppHash, M.mem().data() + Range.Lo, Range.Hi - Range.Lo);
+      if (!Trusted) {
+        LiveAppHash = fnvU32(LiveAppHash, Range.Lo);
+        LiveAppHash = fnvU32(LiveAppHash, Range.Hi);
+        M.mem().forEachSpan(Range.Lo, Range.Hi - Range.Lo,
+                            [&](const uint8_t *Run, uint32_t Len) {
+                              LiveAppHash = fnv1a(LiveAppHash, Run, Len);
+                            });
+      }
       F.Ranges.push_back(Range);
     }
 
@@ -778,7 +787,7 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
         return LoadStatus::Malformed;
   }
 
-  if (LiveAppHash != AppHash)
+  if (!Trusted && LiveAppHash != AppHash)
     return LoadStatus::AppImageMismatch;
 
   uint32_t NumEntries = R.u32();
@@ -891,7 +900,8 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
 // Apply (infallible: the image is fully validated)
 //===----------------------------------------------------------------------===//
 
-void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes) {
+void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes,
+                       bool Trusted) {
   Machine &M = RT.M;
   std::vector<Fragment *> Frags;
   Frags.reserve(Img.Frags.size());
@@ -993,6 +1003,10 @@ void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes) {
     RT.IbProfiles.emplace(S.SiteAppPc, P);
   }
 
+  if (Trusted)
+    return; // clone restore: the fork engine owns the cursor (pending SMC
+            // events must still drain) and this is not a persist event
+
   // The write-log cursor starts past everything already in the log: those
   // events predate the image (the app-code hash vouched for the current
   // bytes), and a zero cursor would immediately flush every restored
@@ -1025,4 +1039,14 @@ LoadStatus CacheCodec::validate(Runtime &RT, const uint8_t *Data,
                                 size_t Size) {
   Image Img;
   return parse(RT, Data, Size, Img);
+}
+
+LoadStatus CacheCodec::loadClone(Runtime &RT, const uint8_t *Data,
+                                 size_t Size) {
+  Image Img;
+  LoadStatus Status = parse(RT, Data, Size, Img, /*Trusted=*/true);
+  if (Status != LoadStatus::Ok)
+    return Status;
+  apply(RT, Img, Size, /*Trusted=*/true);
+  return LoadStatus::Ok;
 }

@@ -98,6 +98,14 @@ public:
   /// with no side effects at all (no stats, no events, no state).
   static LoadStatus validate(Runtime &RT, const uint8_t *Data, size_t Size);
 
+  /// Trusted-clone restore for copy-on-write fork unsharing (see
+  /// persist/Fork.cpp): re-applies a template's frozen image into a
+  /// structurally cold forked tenant at the same region base. Skips the
+  /// application-code-hash and SMC-generation gates — the tenant's own
+  /// code writes are typically why it is unsharing — and records no
+  /// persist stats or trace events. All structural validation still runs.
+  static LoadStatus loadClone(Runtime &RT, const uint8_t *Data, size_t Size);
+
 private:
   /// Host-side decoded image (CacheImage.cpp). parse() fully validates and
   /// relocates into this; apply() then cannot fail.
@@ -105,8 +113,9 @@ private:
   static bool quiescent(Runtime &RT);
   static uint64_t configHash(Runtime &RT);
   static LoadStatus parse(Runtime &RT, const uint8_t *Data, size_t Size,
-                          Image &Out);
-  static void apply(Runtime &RT, Image &Img, size_t ImageBytes);
+                          Image &Out, bool Trusted = false);
+  static void apply(Runtime &RT, Image &Img, size_t ImageBytes,
+                    bool Trusted = false);
 };
 
 } // namespace persist

@@ -19,12 +19,36 @@ using namespace rio;
 
 Machine::Machine(const MachineConfig &Config)
     : Config(Config), Mem(Config.AppRegionSize + Config.RuntimeRegionSize) {
-  LineState.resize(Mem.size() / WriteWatchLine + 1, 0);
+  LineState.resize(Mem.size() / WriteWatchLine + 1);
   DecodeCache.resize(DecodeCacheLines);
-  // Lines fill with Gen = LineGen[...] >= 1; the zero-initialized cache
-  // (Gen 0) can therefore never read as valid.
-  LineGen.resize(Mem.size() / WriteWatchLine + 1, 1);
+  // Lines fill with Gen = LineGen[...] + 1 >= 1; the zero-initialized
+  // cache (Gen 0) can therefore never read as valid.
+  LineGen.resize(Mem.size() / WriteWatchLine + 1);
   CurCpu = &Threads[CurThread].Cpu;
+}
+
+Machine::Machine(const Machine &Template)
+    : Config(Template.Config), Mem(Template.Mem), Threads(Template.Threads),
+      CurThread(Template.CurThread), Pred(Template.Pred),
+      Status(Template.Status), ExitCode(Template.ExitCode),
+      FaultReason(Template.FaultReason), Output(Template.Output),
+      Cycles(Template.Cycles), InstrsExecuted(Template.InstrsExecuted),
+      LastPc(Template.LastPc), ResetPc(Template.ResetPc),
+      ResetSp(Template.ResetSp), DecodeCache(Template.DecodeCache),
+      LineGen(Template.LineGen), LineState(Template.LineState),
+      CodeWrites(Template.CodeWrites), PendingInval(Template.PendingInval) {
+  CurCpu = &Threads[CurThread].Cpu;
+}
+
+void Machine::resetForRun() {
+  Threads.assign(1, Thread());
+  CurThread = 0;
+  CurCpu = &Threads[0].Cpu;
+  CurCpu->Pc = ResetPc;
+  CurCpu->writeGpr32(REG_ESP, ResetSp);
+  Status = RunStatus::Running;
+  ExitCode = 0;
+  FaultReason.clear();
 }
 
 void Machine::fault(const std::string &Reason) {
@@ -35,16 +59,26 @@ void Machine::fault(const std::string &Reason) {
 const DecodedInstr *Machine::fetchDecode(AppPc Pc) {
   if (Pc >= Mem.size())
     return nullptr;
-  DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
-  const uint32_t Gen = LineGen[Pc / WriteWatchLine];
-  if (L.Tag == Pc && L.Gen == Gen)
-    return &L.DI;
+  const uint32_t Line = Pc / WriteWatchLine;
+  const uint32_t Gen = LineGen[Line];
+  {
+    const DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
+    if (L.Tag == Pc && L.Gen == Gen + 1)
+      return &L.DI;
+  }
+  // All instructions are at most MaxInstrLength bytes, so a bounded window
+  // is as good as the old whole-image pointer; readWindow stitches a
+  // page-straddling fetch through the scratch buffer.
+  uint8_t Scratch[MaxInstrLength];
+  uint32_t Win = std::min<uint32_t>(Mem.size() - Pc, MaxInstrLength);
+  const uint8_t *Bytes = Mem.readWindow(Pc, Win, Scratch);
   DecodedInstr DI;
-  if (!decodeInstr(Mem.data() + Pc, Mem.size() - Pc, Pc, DI))
+  if (!Bytes || !decodeInstr(Bytes, Win, Pc, DI))
     return nullptr;
-  LineState[Pc / WriteWatchLine] |= 1; // sticky: stores here now invalidate
+  LineState.mut(Line) |= 1; // sticky: stores here now invalidate
+  DecodeLine &L = DecodeCache.mut(Pc & (DecodeCacheLines - 1));
   L.Tag = Pc;
-  L.Gen = Gen;
+  L.Gen = Gen + 1;
   L.Cost = Config.Cost.cyclesFor(DI);
   L.DI = DI;
   return &L.DI;
@@ -58,7 +92,7 @@ void Machine::invalidateDecodeRange(uint32_t Lo, uint32_t Hi) {
   if (Lo >= Hi)
     return;
   for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
-    ++LineGen[L];
+    ++LineGen.mut(L);
 }
 
 //===----------------------------------------------------------------------===//
@@ -70,7 +104,7 @@ void Machine::addWriteWatch(uint32_t Lo, uint32_t Hi) {
     return;
   Hi = std::min<uint64_t>(Hi, Mem.size());
   for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
-    LineState[L] += 2; // watch count lives above the sticky decoded bit
+    LineState.mut(L) += 2; // watch count lives above the sticky decoded bit
 }
 
 void Machine::removeWriteWatch(uint32_t Lo, uint32_t Hi) {
@@ -79,7 +113,7 @@ void Machine::removeWriteWatch(uint32_t Lo, uint32_t Hi) {
   Hi = std::min<uint64_t>(Hi, Mem.size());
   for (uint32_t L = Lo / WriteWatchLine; L <= (Hi - 1) / WriteWatchLine; ++L)
     if (LineState[L] >> 1)
-      LineState[L] -= 2;
+      LineState.mut(L) -= 2;
 }
 
 void Machine::noteWriteSlow(uint32_t Addr, uint32_t Len, uint32_t State) {
@@ -381,7 +415,9 @@ Machine::SyscallResult Machine::doSyscall() {
       fault("write from unmapped buffer");
       return SyscallResult::Fault;
     }
-    Output.append(reinterpret_cast<const char *>(Mem.data() + Arg2), Arg3);
+    Mem.forEachSpan(Arg2, Arg3, [&](const uint8_t *Run, uint32_t Len) {
+      Output.append(reinterpret_cast<const char *>(Run), Len);
+    });
     cpu().writeGpr32(REG_EAX, Arg3);
     return SyscallResult::Ok;
   }
@@ -439,8 +475,8 @@ StepResult Machine::step() {
   const AppPc Pc = CurCpu->Pc;
   const DecodedInstr *DI;
   if (RIO_LIKELY(Pc < Mem.size())) {
-    DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
-    if (RIO_LIKELY(L.Tag == Pc && L.Gen == LineGen[Pc / WriteWatchLine])) {
+    const DecodeLine &L = DecodeCache[Pc & (DecodeCacheLines - 1)];
+    if (RIO_LIKELY(L.Tag == Pc && L.Gen == LineGen[Pc / WriteWatchLine] + 1)) {
       Cycles += L.Cost;
       DI = &L.DI;
     } else {
@@ -450,7 +486,9 @@ StepResult Machine::step() {
         Result.Kind = StepKind::Faulted;
         return Result;
       }
-      Cycles += L.Cost; // fetchDecode refilled this very line
+      // fetchDecode refilled this very line (and may have CoW-faulted the
+      // chunk, moving it — re-probe rather than touch the old reference).
+      Cycles += DecodeCache[Pc & (DecodeCacheLines - 1)].Cost;
     }
   } else {
     fault("undecodable instruction at pc");

@@ -63,8 +63,14 @@ class Machine {
 public:
   explicit Machine(const MachineConfig &Config = MachineConfig());
 
-  // CurCpu points into Threads; copies would dangle.
-  Machine(const Machine &) = delete;
+  /// Forks \p Template: memory pages and the host-side derived tables
+  /// (decode cache, write-monitor state) are loaned copy-on-write — the
+  /// first write to a shared page on either side copies just that page
+  /// (observable via mem().cowPageCopies()) — while the architectural
+  /// state (threads, predictors, cycle clock) is copied privately. The
+  /// fork is an exact replica: resume it, reset it with resetForRun(), or
+  /// hand it to Runtime::forkFrom for a warm tenant.
+  Machine(const Machine &Template);
   Machine &operator=(const Machine &) = delete;
 
   MemoryImage &mem() { return Mem; }
@@ -109,6 +115,22 @@ public:
 
   /// Application pc of the most recently executed instruction.
   AppPc lastPc() const { return LastPc; }
+
+  /// Snapshots the current pc and stack pointer as the program's entry
+  /// state. The loader calls this once after placing the program;
+  /// resetForRun() returns to it.
+  void recordResetState() {
+    ResetPc = CurCpu->Pc;
+    ResetSp = CurCpu->readGpr32(REG_ESP);
+  }
+
+  /// Re-arms the machine to run the loaded program again from its entry
+  /// state: one fresh thread at the recorded pc/stack, status Running.
+  /// Memory, the cycle clock, predictors, and captured output are
+  /// deliberately kept — callers measuring steady-state cost diff the
+  /// clock across runs, and a forked tenant must see exactly the
+  /// template's warmed state.
+  void resetForRun();
 
   //===--------------------------------------------------------------------===
   // Decode caching
@@ -198,7 +220,7 @@ private:
   /// store spans at most two lines.
   RIO_ALWAYS_INLINE void noteWrite(uint32_t Addr, uint32_t Len) {
     uint32_t L0 = Addr / WriteWatchLine;
-    uint32_t State = LineState[L0];
+    uint32_t State = LineState[L0]; // CowArray const read: no chunk fault
     uint32_t L1 = (Addr + Len - 1) / WriteWatchLine;
     if (RIO_UNLIKELY(L1 != L0))
       State |= LineState[L1];
@@ -240,25 +262,34 @@ private:
   uint64_t InstrsExecuted = 0;
   AppPc LastPc = 0;
 
+  AppPc ResetPc = 0;    ///< program entry state; see recordResetState()
+  uint32_t ResetSp = 0;
+
   /// One direct-mapped decode-cache line: valid iff Tag matches the probe
-  /// pc and Gen matches the current generation of the pc's watch line.
-  /// Cost memoizes the (fixed) cost model's cyclesFor at fill time so the
-  /// hit path charges cycles with one load instead of an operand walk.
+  /// pc and Gen is one more than the current generation of the pc's watch
+  /// line (fills store LineGen+1, so the stored Gen is always >= 1 and an
+  /// all-zero line — the CowArray's untouched state — never reads as
+  /// valid). Cost memoizes the (fixed) cost model's cyclesFor at fill time
+  /// so the hit path charges cycles with one load instead of an operand
+  /// walk.
   struct DecodeLine {
     uint32_t Tag = 0;
-    uint32_t Gen = 0; ///< LineGen value at fill time (LineGen starts at 1)
+    uint32_t Gen = 0;
     uint32_t Cost = 0;
     DecodedInstr DI;
   };
-  std::vector<DecodeLine> DecodeCache; ///< DecodeCacheLines entries
-  std::vector<uint32_t> LineGen;       ///< per-WriteWatchLine generation
+  // The derived host-side tables live in CowArrays so a forked machine
+  // shares them: copying ~5MB of decode cache per tenant would dwarf the
+  // tenant's real footprint.
+  CowArray<DecodeLine> DecodeCache; ///< DecodeCacheLines entries
+  CowArray<uint32_t> LineGen;       ///< per-WriteWatchLine generation
 
   /// Write-monitor state, one word per WriteWatchLine-sized line:
   /// bit 0 is sticky "a decode was cached from this line" (stores there
   /// must invalidate); bits 1+ count live write watches (registrations
   /// nest). Zero means stores to the line are unmonitored — the common
   /// case, and noteWrite's single-load fast path.
-  std::vector<uint32_t> LineState;
+  CowArray<uint32_t> LineState;
   std::vector<CodeWriteEvent> CodeWrites;
   std::vector<CodeWriteEvent> PendingInval; ///< drained at next step()
 
