@@ -19,6 +19,11 @@
 ///     -shared                one shared code cache for all threads
 ///                            (default: thread-private caches)
 ///     -sideline              defer trace optimization to the sideline
+///     -sideline-async        run the sideline on a real host worker thread
+///                            (implies -sideline; publication stays
+///                            deterministic via a seeded virtual-completion
+///                            schedule)
+///     -sideline-seed <n>     seed for the async completion schedule
 ///     -stats                 print runtime statistics
 ///     -trace <file>          record runtime events; write Chrome trace JSON
 ///     -profile               cycle-sampled profile, printed after the run
@@ -29,7 +34,9 @@
 ///                            to cold start if the image doesn't validate)
 ///     -cache-save <file>     serialize the warmed caches after the run
 ///                            (both need the single-runtime cache mode:
-///                            not -native, -threads, or -sideline)
+///                            not -native or -threads; composes with
+///                            -sideline when the client is persist-safe —
+///                            only published fragment versions serialize)
 ///     -tenants <n>           after the run warms the caches, freeze the
 ///                            runtime as a template and serve n forked
 ///                            tenants from it, each on a copy-on-write
@@ -81,8 +88,9 @@ int usage() {
             "full>\n"
             "  -client <none|null|inscount|rlr|inc2add|ibdispatch|"
             "customtraces|shepherd|all4>\n"
-            "  -threads [-shared] | -sideline | -stats | -scale <n> | "
-            "-disas <sym> | -dump-asm\n"
+            "  -threads [-shared] | -sideline | -sideline-async "
+            "[-sideline-seed <n>]\n"
+            "  -stats | -scale <n> | -disas <sym> | -dump-asm\n"
             "  -trace <file> | -profile | -sample-interval <n>\n"
             "  -ib-inline             adaptive indirect-branch inline caches\n"
             "  -cache-load <file> | -cache-save <file>   persistent code "
@@ -106,6 +114,8 @@ int main(int argc, char **argv) {
   OutStream &OS = outs();
   bool Native = false, Threads = false, Shared = false, UseSideline = false,
        Stats = false;
+  bool AsyncSideline = false;
+  uint64_t SidelineSeed = 0x5eed51deull;
   bool DumpAsm = false, Profile = false, IbInline = false;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
               TraceFile, CacheLoadFile, CacheSaveFile;
@@ -124,6 +134,12 @@ int main(int argc, char **argv) {
       Threads = Shared = true;
     else if (Arg == "-sideline")
       UseSideline = true;
+    else if (Arg == "-sideline-async")
+      UseSideline = AsyncSideline = true;
+    else if (Arg == "-sideline-seed" && I + 1 < argc)
+      SidelineSeed = std::strtoull(argv[++I], nullptr, 0);
+    else if (Arg.rfind("-sideline-seed=", 0) == 0)
+      SidelineSeed = std::strtoull(Arg.c_str() + 15, nullptr, 0);
     else if (Arg == "-stats")
       Stats = true;
     else if (Arg == "-dump-asm")
@@ -293,6 +309,10 @@ int main(int argc, char **argv) {
   };
 
   RunResult R;
+  // Declared before RT so the runtime (whose config may point at the
+  // sideline pump) is destroyed first.
+  NullClient SidelineFallback;
+  std::unique_ptr<SidelineOptimizer> Sideline;
   std::unique_ptr<Runtime> RT;
   if (Native) {
     R = runThreadedNative(M);
@@ -300,19 +320,27 @@ int main(int argc, char **argv) {
     ThreadedRunner Runner(M, Config, ClientPtr);
     R = Runner.run();
   } else if (UseSideline) {
-    NullClient Fallback;
-    SidelineOptimizer Sideline(ClientPtr ? *ClientPtr : Fallback);
-    RT = std::make_unique<Runtime>(M, Config, &Sideline);
-    // The sideline optimizer rides the runtime as a client, and the cache
-    // codec refuses any runtime with a client attached — say so up front
-    // instead of printing the generic cold-start fallback every run.
-    if (!CacheLoadFile.empty() || !CacheSaveFile.empty()) {
-      OS.printf("cache: -cache-load/-cache-save not supported with "
-                "-sideline; ignored\n");
+    Sideline = std::make_unique<SidelineOptimizer>(
+        ClientPtr ? *ClientPtr : SidelineFallback,
+        AsyncSideline ? SidelineMode::Async : SidelineMode::Sync,
+        SidelineSeed);
+    if (AsyncSideline)
+      Config.SidelinePump = Sideline.get();
+    RT = std::make_unique<Runtime>(M, Config, Sideline.get());
+    // The cache codec serializes a runtime with a client attached only
+    // when that client is persist-safe (pure transformations, no host
+    // state the image cannot carry) — say so up front instead of printing
+    // the generic cold-start fallback every run. Only published fragment
+    // versions are in the table, so only they serialize.
+    if ((!CacheLoadFile.empty() || !CacheSaveFile.empty()) &&
+        !Sideline->persistSafe()) {
+      OS.printf("cache: -cache-load/-cache-save need a persist-safe "
+                "client under -sideline; ignored\n");
       CacheLoadFile.clear();
       CacheSaveFile.clear();
     }
-    R = runWithSideline(*RT, Sideline);
+    WarmStart(*RT);
+    R = runWithSideline(*RT, *Sideline);
   } else {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);
     WarmStart(*RT);

@@ -21,6 +21,12 @@ Three schemas are recognized by their fields:
     threshold; spawn time and RSS are host wall clock / allocator dependent
     and only displayed.
 
+  * sideline (bench_sideline): entries carry {"config", "cycles",
+    "published", ...}. The async schedule is seeded and the clock is
+    simulated, so cycles and publication counts are bit-identical across
+    runs and gated with a zero threshold; host_ns is wall clock and only
+    displayed.
+
   * simulated (bench_threads): entries carry {"config", "cycles", ...} plus
     deterministic byte/fragment counts. Lower cycles is better, and the
     numbers are exact (simulated clock), so any drift is a real behavior
@@ -59,6 +65,9 @@ def load(path):
     elif "image_bytes" in data[0]:
         schema = "persist"
         required = ("config", "cycles", "cycles_cold", "image_bytes")
+    elif "published" in data[0]:
+        schema = "sideline"
+        required = ("config", "cycles", "published")
     else:
         schema = "simulated"
         required = ("config", "cycles")
@@ -153,6 +162,18 @@ def main():
         print()
         compare(base, cur, "rss_per_tenant_kb", higher_is_better=False,
                 threshold=float("inf"), extra="spawn_ns")
+    elif base_schema == "sideline":
+        # Seeded virtual-completion schedule on a simulated clock: cycle
+        # counts and publication counts must be bit-identical across
+        # commits; any drift is a cost-model or scheduling change worth
+        # reading. host_ns is wall clock, displayed but never gated.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=0.0, extra="published")
+        regressions += compare_exact(base, cur, "cycles")
+        regressions += compare_exact(base, cur, "published")
+        print()
+        compare(base, cur, "host_ns", higher_is_better=False,
+                threshold=float("inf"))
     elif base_schema == "persist":
         # Simulated cycles (warm and cold) are exact and deterministic:
         # gate them hard. Image size is reported alongside; save_ns/load_ns
@@ -167,7 +188,7 @@ def main():
                               threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
-        if base_schema in ("observability", "fork"):
+        if base_schema in ("observability", "fork", "sideline"):
             print("\nWARNING: simulated cycles drifted (must be "
                   "bit-identical):")
         else:

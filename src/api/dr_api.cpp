@@ -398,6 +398,27 @@ bool rio::dr_replace_fragment(void *Context, app_pc Tag, InstrList *Il) {
   return runtimeOf(Context).replaceFragment(Tag, *Il);
 }
 
+bool rio::dr_publish_fragment(void *Context, app_pc Tag, InstrList *Il) {
+  return runtimeOf(Context).publishVersion(Tag, *Il);
+}
+
+bool rio::dr_deoptimize_fragment(void *Context, app_pc Tag) {
+  return runtimeOf(Context).deoptimizeFragment(Tag);
+}
+
+int rio::dr_fragment_version(void *Context, app_pc Tag) {
+  Fragment *F = runtimeOf(Context).lookupFragment(Tag);
+  return F ? int(F->Version) : -1;
+}
+
+uint64_t rio::dr_publication_epoch(void *Context) {
+  return runtimeOf(Context).publicationEpoch();
+}
+
+uint64_t rio::dr_min_safe_epoch(void *Context) {
+  return runtimeOf(Context).minSafeEpoch();
+}
+
 void rio::dr_flush_region(void *Context, app_pc Start, uint32_t Size) {
   runtimeOf(Context).flushRegion(Start, Size);
 }

@@ -36,7 +36,13 @@ namespace rio {
 
 /// A client that does nothing; useful for measuring baseline behaviour
 /// with the hook plumbing in place.
-class NullClient : public Client {};
+class NullClient : public Client {
+public:
+  // Transforms nothing and keeps no state: trivially safe to run on the
+  // sideline worker thread and to serialize around.
+  bool sidelineSafe() const override { return true; }
+  bool persistSafe() const override { return true; }
+};
 
 /// Instrumentation: counts dynamically executed application instructions
 /// with inlined, flags-transparent counter updates (the classic inscount
@@ -68,6 +74,12 @@ public:
   uint64_t numConverted() const { return NumConverted; }
   bool enabled() const { return Enable; }
 
+  /// The transform touches only the handed InstrList and the client's own
+  /// counters (Enable is fixed at init), and is a pure function of the
+  /// list — safe on the sideline worker and under persisted caches.
+  bool sidelineSafe() const override { return true; }
+  bool persistSafe() const override { return true; }
+
   /// Print conversion stats via dr_printf at exit (as Figure 3 does).
   bool Verbose = false;
 
@@ -85,6 +97,12 @@ public:
 
   uint64_t loadsRemoved() const { return Removed; }
   uint64_t loadsForwarded() const { return Forwarded; }
+
+  /// Reads only the immutable runtime base plus the handed InstrList, and
+  /// is a pure function of both — safe on the sideline worker and under
+  /// persisted caches.
+  bool sidelineSafe() const override { return true; }
+  bool persistSafe() const override { return true; }
 
 private:
   uint64_t Removed = 0;

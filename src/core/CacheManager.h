@@ -118,12 +118,30 @@ public:
   /// Unbinds a deleted fragment: the slot moves to the pending-reclaim
   /// list (bytes stay in place), the app-range index and write watches are
   /// dropped. FIFO entries are skipped lazily. Idempotent.
-  void retireFragment(Fragment *Frag);
+  ///
+  /// \p RetireEpoch generalizes guard-pc reclamation into epoch-based
+  /// retirement (asynchronous sideline publication, core/Sideline.h): a
+  /// slot stamped with a nonzero epoch is additionally held until every
+  /// thread's safe epoch — reported by the gate installed with
+  /// attachEpochGate() — has reached it, i.e. until every thread has
+  /// passed a publication safe point after the version swap. Epoch 0 (the
+  /// default, and every pre-existing caller) keeps the pure guard-pc
+  /// protocol bit-for-bit.
+  void retireFragment(Fragment *Frag, uint64_t RetireEpoch = 0);
+
+  /// Installs the min-safe-epoch oracle consulted by reclaimPending for
+  /// nonzero-epoch slots. Called lazily, at most once per reclaim pass,
+  /// and only when such a slot exists — guard-pc-only workloads never pay
+  /// for it. Null (the default) holds every epoch-stamped slot forever.
+  void attachEpochGate(std::function<uint64_t()> Gate) {
+    EpochGate = std::move(Gate);
+  }
 
   /// Frees pending retired slots into the free list (coalescing adjacent
   /// gaps). A slot containing any pc of \p GuardPcs stays pending:
   /// execution is still logically inside it — in shared-cache mode that
-  /// may be several suspended threads at once.
+  /// may be several suspended threads at once. Epoch-stamped slots (see
+  /// retireFragment) also wait for the epoch gate.
   void reclaimPending(const std::vector<uint32_t> &GuardPcs);
   void reclaimPending(uint32_t GuardPc) { reclaimPending(guardSetOf(GuardPc)); }
 
@@ -164,13 +182,21 @@ public:
   uint32_t liveFragments(Fragment::Kind Kind) const;
 
 private:
+  /// A retired slot awaiting reclamation. Epoch 0 = guard-pc protocol
+  /// only; nonzero = also held until minSafeEpoch >= Epoch.
+  struct PendingSlot {
+    uint32_t Addr = 0;
+    uint32_t Size = 0;
+    uint64_t Epoch = 0;
+  };
+
   struct Cache {
     uint32_t Start = 0;
     uint32_t End = 0;
     std::map<uint32_t, uint32_t> FreeGaps;  ///< gap addr -> size
     std::map<uint32_t, Fragment *> Slots;   ///< slot addr -> live fragment
     std::deque<Fragment *> Fifo;            ///< eviction order (lazy)
-    std::vector<std::pair<uint32_t, uint32_t>> Pending; ///< retired slots
+    std::vector<PendingSlot> Pending;       ///< retired slots
     uint32_t Used = 0;
     uint32_t Peak = 0;
     uint32_t Live = 0;
@@ -217,6 +243,7 @@ private:
   bool WatchWrites;
   EventTrace *Trace = nullptr;      ///< see attachTrace
   const unsigned *ActiveTid = nullptr;
+  std::function<uint64_t()> EpochGate; ///< see attachEpochGate
   /// Occupancy gauges per cache ([0] bb, [1] trace), interned once at
   /// construction: publishOccupancy runs on every register/retire.
   struct OccupancyStats {

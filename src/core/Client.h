@@ -91,6 +91,22 @@ public:
     (void)NextTag;
     return EndTrace::Default;
   }
+
+  /// True if this client's onTrace may run on the asynchronous sideline
+  /// worker thread (core/Sideline.h, SidelineMode::Async). Safe means: the
+  /// hook mutates only the passed InstrList and the client's own state, and
+  /// reads at most immutable Runtime facts (machine().runtimeBase()); it
+  /// must not touch the fragment table, caches, stats, or charge cycles.
+  /// Defaults to false — unsafe clients fall back to in-place (sync-style)
+  /// transformation at the publication point.
+  virtual bool sidelineSafe() const { return false; }
+
+  /// True if the runtime may serialize (dr_cache_save) and restore
+  /// (dr_cache_load) caches while this client is attached: the client's
+  /// transformations must be a pure function of the InstrList it was
+  /// handed, so replaying the saved bytes without re-running the hooks is
+  /// equivalent. Defaults to false, preserving the PR 6 refusal.
+  virtual bool persistSafe() const { return false; }
 };
 
 } // namespace rio

@@ -377,6 +377,39 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     }
   }
 
+  // OSR descriptors (traces only): one per plain direct exit, answering
+  // "where does the application continue from this exit boundary" for a
+  // thread left suspended at the CTI or inside its stub when this version
+  // is superseded (Fragment::osrResumePc). Chain arms and custom-stub
+  // exits are excluded — their stubs do IBL/client work whose mid-stub
+  // state has no application-level equivalent.
+  if (Kind == Fragment::Kind::Trace) {
+    for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
+      FragmentExit &Exit = Frag->Exits[Idx];
+      if (Exit.ExitKind != FragmentExit::Kind::Direct || Exit.IsIbArm ||
+          Pending[Idx].Custom)
+        continue;
+      OsrPoint P;
+      P.CtiOff = Exit.CtiOff;
+      P.StubOff = Exit.StubOff;
+      P.StubEnd = Exit.StubJmpOff + Exit.StubJmpLen;
+      // Bodies re-emitted from a decodeFragment list (sideline, client
+      // replacement) carry *cache* pcs as instruction app addresses; a
+      // resume pc must be a genuine application tag, so anything outside
+      // the application region degrades to "no transfer at this point".
+      uint32_t AppLimit = M.runtimeBase();
+      P.ResumeApp = Exit.SourceAppPc < AppLimit ? Exit.SourceAppPc : 0;
+      P.TakenApp = Exit.TargetTag < AppLimit ? Exit.TargetTag : 0;
+      if (!P.ResumeApp && !P.TakenApp)
+        continue;
+      Frag->OsrPoints.push_back(P);
+    }
+    std::sort(Frag->OsrPoints.begin(), Frag->OsrPoints.end(),
+              [](const OsrPoint &A, const OsrPoint &B) {
+                return A.CtiOff < B.CtiOff;
+              });
+  }
+
   M.invalidateDecodeRange(Base, Base + BodySize + StubBytes);
 
   // Consistency metadata: which application bytes this body was translated
@@ -756,6 +789,9 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   if (!New)
     return false;
   New->IsTraceHead = Old->IsTraceHead;
+  New->Version = Old->Version + 1;
+  New->PrevVersion = Old;
+  New->TraceBlocks = Old->TraceBlocks;
 
   // "All links targeting and originating from the old fragment are
   // immediately modified to use the new fragment." Incoming links are
@@ -785,5 +821,135 @@ bool Runtime::replaceFragment(AppPc Tag, InstrList &IL) {
   }
   linkNewFragment(New);
   ++S.FragmentsReplaced;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Versioned publication + OSR (asynchronous sideline; paper Section 3.4's
+// "concurrent thread for sideline optimization")
+//===----------------------------------------------------------------------===//
+
+bool Runtime::publishVersion(AppPc Tag, InstrList &IL) {
+  ensureUnshared(); // rebuilds the table; look up only afterwards
+  Fragment *Old = lookupFragment(Tag);
+  if (!Old)
+    return false;
+
+  unsigned NumInstrs = 0;
+  for (Instr &I : IL)
+    if (!I.isLabel())
+      ++NumInstrs;
+
+  // Only the link-graph swap runs on the application thread — the
+  // transform itself happened off the critical path — so publication is
+  // cheaper than a synchronous replace, and charges no per-instruction
+  // client transform cost.
+  chargeRuntime(M.cost().SidelinePublishCost);
+
+  Fragment *New = emitFragment(Tag, IL, Old->FragKind, NumInstrs);
+  if (!New)
+    return false;
+  New->IsTraceHead = Old->IsTraceHead;
+  New->Version = Old->Version + 1;
+  New->PrevVersion = Old;
+  New->TraceBlocks = Old->TraceBlocks;
+  uint64_t Epoch = ++PubEpoch;
+  New->PublishEpoch = Epoch;
+  // A publishing thread that holds no cache pc (dispatch boundary, or a
+  // clean call whose pc is guard-protected) is safe for this epoch. When
+  // the pump publishes between quanta the active context is suspended
+  // in the cache like any other — it earns the epoch only via OSR below.
+  if (TC->ResumePoint != ThreadContext::Resume::InCache)
+    TC->SafeEpoch = Epoch;
+
+  // Swap the tag's link graph to the new version, exactly as replacement
+  // does: incoming exits re-pointed, the old body's outgoing links severed
+  // so execution still inside it leaves at its next branch.
+  std::vector<uint32_t> Incoming = Old->IncomingLinks;
+  for (uint32_t ExitId : Incoming) {
+    auto [Owner, ExitIdx] = ExitRecords[ExitId];
+    FragmentExit &Exit = Owner->Exits[ExitIdx];
+    unlinkExit(Owner, Exit);
+    if (Config.LinkDirectBranches)
+      linkExit(Owner, Exit, New);
+  }
+  Old->IncomingLinks.clear();
+  unlinkOutgoing(Old);
+  Table.insert(Tag, New);
+
+  // OSR: transfer every thread context suspended inside the old body —
+  // including the active one when publication runs between quanta — over
+  // to the new version. The exit-boundary descriptors (or the CodeMap)
+  // translate its suspension pc to an application pc; resuming
+  // AtDispatcher on that tag re-enters through the live version. A context
+  // with no translation stays put — its guard pc keeps the old slot's
+  // bytes alive until it leaves on its own.
+  for (const auto &Ctx : Contexts) {
+    if (Ctx->ResumePoint != ThreadContext::Resume::InCache)
+      continue;
+    uint32_t Pc = Ctx->ResumeCachePc;
+    if (Pc < Old->CacheAddr ||
+        Pc >= Old->CacheAddr + Old->CodeSize + Old->StubsSize)
+      continue;
+    // Preferred: direct in-cache transfer. The new body was emitted from
+    // a decode of the old one, so its code map keys are the old body's
+    // cache pcs — an exact hit lands the thread on the very instruction
+    // it was about to execute, with no dispatcher round trip.
+    uint32_t NewOff = New->offsetOfAppPc(Pc);
+    if (NewOff != UINT32_MAX && NewOff < New->CodeSize) {
+      Ctx->ResumeCachePc = New->CacheAddr + NewOff;
+      Ctx->SafeEpoch = Epoch;
+      Stats.counter("osr_transfers") += 1;
+      obsEvent(TraceEventKind::OsrTransfer, Tag, Pc);
+      continue;
+    }
+    AppPc Resume = Old->osrResumePc(Pc - Old->CacheAddr);
+    // The CodeMap fallback can answer with a cache pc for bodies that were
+    // themselves re-emitted from decoded cache instructions — not a tag.
+    if (Resume && Resume < M.runtimeBase()) {
+      Ctx->ResumePoint = ThreadContext::Resume::AtDispatcher;
+      Ctx->ResumeTag = Resume;
+      Ctx->ResumeCachePc = 0;
+      // Transferred off the old bytes: the context is safe for this
+      // publication (it can only re-enter through the live table).
+      Ctx->SafeEpoch = Epoch;
+      Stats.counter("osr_transfers") += 1;
+      obsEvent(TraceEventKind::OsrTransfer, Tag, Pc);
+    }
+  }
+
+  // Retire the old body under this epoch: reclamation additionally waits
+  // until every thread has passed a safe point at or beyond it. (Emission
+  // above may already have evicted Old to make room; retire/notify once.)
+  if (!Old->Doomed) {
+    Old->RetireEpoch = Epoch;
+    dropIbSites(Old);
+    CM.retireFragment(Old, Epoch);
+    Old->Doomed = true;
+    DoomedFragments.push_back(Old);
+    if (TheClient)
+      TheClient->onFragmentDeleted(*this, Tag);
+  }
+  linkNewFragment(New);
+  Stats.counter("sideline_versions_published") += 1;
+  obsEvent(TraceEventKind::SidelinePublished, Tag, New->CacheAddr);
+  return true;
+}
+
+bool Runtime::deoptimizeFragment(AppPc Tag) {
+  ensureUnshared();
+  Fragment *Old = lookupFragment(Tag);
+  if (!Old || !Old->isTrace() || Old->TraceBlocks.empty())
+    return false;
+  // Rebuild the pristine trace body from the recorded block list against
+  // current application code, then publish it like any other version.
+  unsigned NumInstrs = 0;
+  InstrList *IL = buildTraceList(Old->TraceBlocks, NumInstrs);
+  if (!IL)
+    return false;
+  mangleForCache(*IL);
+  if (!publishVersion(Tag, *IL))
+    return false;
+  Stats.counter("deoptimizations") += 1;
   return true;
 }

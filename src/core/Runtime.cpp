@@ -114,6 +114,9 @@ Runtime::Runtime(Machine &M, const RuntimeConfig &Config, Client *TheClient,
   ObsTrace = this->Config.Trace;
   Prof = this->Config.Profiler;
   CM.attachTrace(ObsTrace, &ObsTid);
+  // Epoch-retired slots (versioned publication) are reclaimed only once
+  // every thread context has passed a safe point for their retire epoch.
+  CM.attachEpochGate([this] { return minSafeEpoch(); });
 
   // Adaptive indirect-branch inlining needs the cache, the IBL (misses are
   // resolved by lookup, and unlinked arms re-route through it) and direct
@@ -170,6 +173,23 @@ void Runtime::resetThreadForRun() {
   TC->TraceGenHead = 0;
   TC->TraceGenBlocks.clear();
   TC->TraceGenInstrs = 0;
+}
+
+uint64_t Runtime::minSafeEpoch() const {
+  // Only a context suspended *inside the cache* can still reference a
+  // superseded version's bytes: Fresh and finished threads hold nothing,
+  // and an AtDispatcher suspension resumes by tag lookup (always the
+  // live version). That includes the active context — it is InCache
+  // exactly when suspended at a quantum boundary, where the pump may
+  // publish around it. Start from PubEpoch and let InCache suspensions
+  // drag the minimum down to their last safe point.
+  uint64_t Min = PubEpoch;
+  for (const auto &Ctx : Contexts) {
+    if (Ctx->ResumePoint != ThreadContext::Resume::InCache)
+      continue;
+    Min = std::min(Min, Ctx->SafeEpoch);
+  }
+  return Min;
 }
 
 const std::vector<uint32_t> &Runtime::collectGuardPcs() {
@@ -417,6 +437,11 @@ RunResult Runtime::runCached(uint64_t Deadline) {
       TC->ResumeTag = Target;
       return finishRun(/*Quantum=*/true);
     }
+    // Dispatch boundary = async-sideline publication safe point: no cache
+    // pc is live-in for this thread, so superseded versions can retire and
+    // finished re-optimizations can be published before the next lookup.
+    if (RIO_UNLIKELY(Config.SidelinePump != nullptr))
+      pumpSideline();
     Fragment *Frag = lookupFragment(Target);
     if (!Frag)
       Frag = buildBasicBlock(Target);

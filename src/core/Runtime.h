@@ -108,6 +108,13 @@ struct ThreadContext {
   /// Fragment (tag) whose code triggered the current client callback.
   AppPc CurrentFragmentTag = 0;
 
+  /// Highest publication epoch this thread is known to have passed a safe
+  /// point for (a dispatch boundary: no cache pc live-in except the
+  /// recorded resume point, which OSR transfer rewrites). Epoch-based slot
+  /// retirement (CacheManager::reclaimPending) frees a superseded version's
+  /// bytes only once every context's SafeEpoch reaches its RetireEpoch.
+  uint64_t SafeEpoch = 0;
+
   /// Trace-recording state (NET). Recording can span scheduling quanta, so
   /// it must survive suspension per thread.
   bool TraceGenActive = false;
@@ -258,6 +265,43 @@ public:
   bool replaceFragment(AppPc Tag, InstrList &IL);
 
   //===--------------------------------------------------------------------===
+  // Versioned publication + OSR (asynchronous sideline; core/Sideline.h)
+  //===--------------------------------------------------------------------===
+
+  /// Publishes \p IL as the next *version* of the fragment with tag \p Tag
+  /// (the asynchronous-sideline install path, dr_publish_fragment):
+  ///   - the new body is emitted and the tag's link graph swapped to it
+  ///     atomically with respect to simulated execution (this runs at a
+  ///     dispatch boundary, between fragment executions);
+  ///   - the old body is retired under a fresh publication epoch — its
+  ///     bytes are reclaimed only after every thread context has passed a
+  ///     safe point at or beyond that epoch;
+  ///   - any *other* thread context suspended inside the old body is
+  ///     OSR-transferred: its resume point is rewritten to the equivalent
+  ///     application pc (Fragment::osrResumePc) so it re-enters through
+  ///     the dispatcher and runs the new version.
+  /// Charges SidelinePublishCost (cheaper than a synchronous replace — the
+  /// transform itself happened off the critical path). Returns false if no
+  /// fragment with that tag exists or emission fails.
+  bool publishVersion(AppPc Tag, InstrList &IL);
+
+  /// Undoes speculative sideline optimization of the trace with tag \p Tag
+  /// by publishing a pristine version rebuilt from the trace's recorded
+  /// block list against current application code (dr_deoptimize_fragment).
+  /// Returns false if the tag is not a live trace with a recorded block
+  /// list, or emission fails.
+  bool deoptimizeFragment(AppPc Tag);
+
+  /// Publication epochs minted so far (the live version of any tag has
+  /// PublishEpoch <= this).
+  uint64_t publicationEpoch() const { return PubEpoch; }
+
+  /// The slowest thread's safe epoch: the largest epoch E such that every
+  /// thread context has passed a publication safe point for E. Slots
+  /// retired under epoch R stay un-reclaimed while minSafeEpoch() < R.
+  uint64_t minSafeEpoch() const;
+
+  //===--------------------------------------------------------------------===
   // Custom trace extensions (paper Section 3.5)
   //===--------------------------------------------------------------------===
 
@@ -361,6 +405,11 @@ private:
   AppPc handleIndirectArrival(AppPc Target, AppPc SiteCachePc, AppPc &Resume);
   void serviceCleanCall(uint32_t Id);
   void chargeRuntime(uint64_t Cycles);
+  /// Async-sideline publication point, called at every dispatch boundary
+  /// when Config.SidelinePump is attached: marks the active context safe
+  /// for all epochs so far, then lets the pump publish due jobs. Defined
+  /// in Sideline.cpp (the pump's type is only complete there).
+  void pumpSideline();
   /// Rewrites a cache-pc fault reason in application terms (fragment tag).
   void annotateCacheFault(uint32_t CachePc);
 
@@ -523,6 +572,8 @@ private:
   std::vector<std::function<void(CleanCallContext &)>> CleanCalls;
 
   uint64_t RuntimeCycles = 0;
+  /// Publication epochs minted (publishVersion); see ThreadContext::SafeEpoch.
+  uint64_t PubEpoch = 0;
   bool ClientInitDone = false;
   HookMode Hooks = HookMode::All;
 

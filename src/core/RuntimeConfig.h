@@ -26,6 +26,18 @@ namespace rio {
 
 class EventTrace;
 class SampleProfile;
+class SidelineOptimizer;
+
+/// How the sideline re-optimizer runs (core/Sideline.h).
+enum class SidelineMode {
+  Off,  ///< no sideline re-optimization
+  Sync, ///< processOne() at dispatch boundaries (the pre-async behavior)
+  /// A real host worker thread re-optimizes off the critical path and the
+  /// runtime publishes finished versions at dispatch-boundary publication
+  /// points on a seeded virtual-completion schedule, keeping simulated
+  /// cycles bit-reproducible (docs/sideline-cost-model.md).
+  Async,
+};
 
 enum class ExecMode {
   Emulate, ///< pure interpretation, no code cache
@@ -148,6 +160,12 @@ struct RuntimeConfig {
   /// simulated cycles and feeds the size/length/age histograms. Not owned;
   /// host-side only, like Trace.
   SampleProfile *Profiler = nullptr;
+
+  /// Asynchronous sideline (SidelineMode::Async): the coordinator whose
+  /// pump the runtime calls at each dispatch boundary. Not owned; rides by
+  /// pointer like Trace/Profiler so ThreadedRunner's by-value config copies
+  /// still reach the one coordinator. Null = no pump (Off and Sync modes).
+  SidelineOptimizer *SidelinePump = nullptr;
 
   /// Convenience constructors for the Table 1 ladder.
   static RuntimeConfig emulate() {

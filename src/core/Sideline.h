@@ -8,15 +8,34 @@
 /// \file
 /// The paper's proposed "sideline optimization" (Section 3.4): "We plan to
 /// investigate using a concurrent thread for sideline optimization using
-/// this low-overhead trace replacement." Implemented here as the paper
-/// sketches it: trace transformations are taken *off the application's
-/// critical path* — traces are emitted unoptimized, queued, and optimized
-/// by a (simulated) concurrent optimizer thread that installs results via
-/// the same dr_decode_fragment / dr_replace_fragment machinery clients
-/// use. Per the paper, "if the application thread remains in the code
-/// cache until after the replacement is complete, no synchronization cost
-/// is incurred": the optimizer's transformation cycles are not charged to
-/// the application; only the replacement's relink work is.
+/// this low-overhead trace replacement." Two implementations live here:
+///
+///   SidelineMode::Sync — the original simulated form: traces are emitted
+///   unoptimized and queued; processOne() (called between scheduling
+///   quanta) decodes one, runs the inner client's transformation, and
+///   installs the result via dr_replace_fragment, refunding every cycle
+///   above the replacement's relink cost. Bit-identical to the pre-async
+///   runtime.
+///
+///   SidelineMode::Async — a *real* host worker thread. onTrace enqueues
+///   the (runtime, tag) pair; at each dispatch boundary the runtime's
+///   pump() converts queued tags into jobs (the fragment body is decoded
+///   on the application thread into a private per-job arena, stamped with
+///   the exact fragment version it captured), hands them to the worker
+///   over a lock-free SPSC ring, and publishes finished results as new
+///   fragment *versions* (Runtime::publishVersion): link graph swapped
+///   atomically, the old body epoch-retired, suspended threads OSR-
+///   transferred out of it. Simulated cycles stay bit-reproducible because
+///   each job's completion is scheduled on simulated time by a seeded
+///   virtual-completion latency, independent of when the host worker
+///   actually finishes (docs/sideline-cost-model.md); the worker only
+///   shifts *host* wall-clock time off the application thread.
+///
+/// Clients whose onTrace is not thread-safe (Client::sidelineSafe() ==
+/// false) still get the async publication schedule: their transform runs
+/// on the application thread at the publication point with its cycles
+/// refunded in full, so async-mode simulated behavior is identical with
+/// or without the worker.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +43,13 @@
 #define RIO_CORE_SIDELINE_H
 
 #include "core/Runtime.h"
+#include "support/SpscRing.h"
 
+#include <condition_variable>
 #include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
 
 namespace rio {
 
@@ -36,7 +60,12 @@ public:
   /// \p Inner is the optimization client whose trace transformations are
   /// deferred (not owned). Its basic-block and end-trace hooks still run
   /// synchronously — only trace *transformation* moves off the hot path.
-  explicit SidelineOptimizer(Client &Inner) : Inner(Inner) {}
+  /// In Async mode a host worker thread is spawned iff Inner is
+  /// sidelineSafe(); \p Seed fixes the virtual-completion schedule.
+  explicit SidelineOptimizer(Client &Inner,
+                             SidelineMode Mode = SidelineMode::Sync,
+                             uint64_t Seed = 0x5eed51deull);
+  ~SidelineOptimizer() override;
 
   void onInit(Runtime &RT) override { Inner.onInit(RT); }
   void onExit(Runtime &RT) override { Inner.onExit(RT); }
@@ -52,31 +81,100 @@ public:
   EndTrace onEndTrace(Runtime &RT, AppPc TraceTag, AppPc NextTag) override {
     return Inner.onEndTrace(RT, TraceTag, NextTag);
   }
+  /// Persist composes with sideline when the inner transform is pure: only
+  /// published (live) versions are serialized — in-flight jobs are
+  /// host-side state and simply never happen in the warm-started run.
+  bool persistSafe() const override { return Inner.persistSafe(); }
 
   /// Queues the trace for sideline optimization instead of transforming it
   /// now (the trace is emitted as-is; the app keeps running).
   void onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) override;
 
-  /// One unit of sideline work: pops a queued trace, runs the inner
-  /// client's transformation over its decoded body, and installs the
+  /// One unit of Sync-mode sideline work: pops a queued trace, runs the
+  /// inner client's transformation over its decoded body, and installs the
   /// result via fragment replacement. Returns false when the queue is
-  /// empty. The transformation cycles are free to the application (they
-  /// happen on the idle processor); only the relink cost is charged.
+  /// empty — and always in Async mode, where pump() drives the work.
   bool processOne(Runtime &RT);
 
-  size_t pendingCount() const { return Pending.size(); }
+  /// Async publication point, called by the runtime at every dispatch
+  /// boundary (Runtime::pumpSideline via RuntimeConfig::SidelinePump):
+  /// converts queued traces into worker jobs and publishes every job whose
+  /// virtual completion time has been reached, in enqueue order per
+  /// runtime. Blocks (host wall-clock only) if a due job's worker result
+  /// has not landed yet. No-op in Sync mode.
+  void pump(Runtime &RT);
+
+  /// Host-side barrier: returns once the worker has finished every job it
+  /// was handed, making the inner client's own counters safe to read.
+  /// Publishes nothing — unpublished jobs stay queued for future pumps.
+  void quiesce();
+
+  SidelineMode mode() const { return Mode; }
+  /// Queued + in-flight work not yet installed or dropped (both modes).
+  size_t pendingCount() const {
+    return Pending.size() + Queued.size() + InFlight.size();
+  }
+  /// Transformations installed (Sync replacements + Async publications).
   uint64_t tracesOptimized() const { return Optimized; }
+  /// Async publications (versions installed by publishVersion).
+  uint64_t versionsPublished() const { return Published; }
+  /// Async jobs dropped because their captured version died before its
+  /// publication point (delete, flush, supersession).
+  uint64_t staleDrops() const { return StaleDrops; }
 
 private:
+  struct Job;
+
+  void enqueueJobs();
+  void drainResults();
+  void waitForJob(Job *J);
+  void publishJob(Runtime &RT, Job *J);
+  void workerMain();
+  /// Simulated cycles between a job's enqueue and its publication
+  /// becoming due: a splitmix64-style hash of (Seed, Seq), so the
+  /// schedule is a pure function of the seed and the (deterministic)
+  /// enqueue order. Range [2000, 10192).
+  static uint64_t virtualLatency(uint64_t Seed, uint64_t Seq);
+
   Client &Inner;
+  SidelineMode Mode;
+  uint64_t Seed;
+
+  //===--- Sync-mode state (unchanged from the pre-async implementation) ---===
   std::deque<AppPc> Pending;
   uint64_t Optimized = 0;
+
+  //===--- Async-mode state -------------------------------------------------===
+  /// Traces queued by onTrace, not yet decoded into jobs. Entries carry
+  /// their runtime so one optimizer serves every thread-private runtime.
+  struct QueuedTrace {
+    Runtime *RT;
+    AppPc Tag;
+  };
+  std::deque<QueuedTrace> Queued;
+  /// Jobs owned by the application side, in enqueue (Seq) order. The
+  /// worker sees only raw Job pointers through the rings.
+  std::deque<std::unique_ptr<Job>> InFlight;
+  uint64_t NextSeq = 0;
+  uint64_t Published = 0;
+  uint64_t StaleDrops = 0;
+
+  static constexpr uint32_t RingCap = 256;
+  static constexpr size_t MaxInFlight = 128; ///< < RingCap: rings never fill
+  SpscRing<Job *, RingCap> ToWorker;   ///< app -> worker
+  SpscRing<Job *, RingCap> FromWorker; ///< worker -> app
+  std::thread Worker;
+  std::mutex Mu;
+  std::condition_variable WakeCv; ///< worker parks on an empty queue
+  std::condition_variable DoneCv; ///< app parks on a due-but-unfinished job
+  bool Stopping = false;
 };
 
-/// Drives an application thread and the sideline optimizer concurrently
-/// (simulated): the application runs in quanta; between quanta the
-/// sideline drains one queued trace — work that overlapped with the
-/// application on another core.
+/// Drives an application thread and the sideline optimizer concurrently:
+/// the application runs in quanta; between quanta a Sync sideline drains
+/// one queued trace — work that overlapped with the application on another
+/// core. An Async sideline needs no help here (the runtime pumps it at
+/// dispatch boundaries), so the loop degenerates to plain slicing.
 RunResult runWithSideline(Runtime &RT, SidelineOptimizer &Sideline,
                           uint64_t Quantum = 3000);
 

@@ -281,6 +281,8 @@ struct CacheCodec::Image {
     std::vector<Exit> Exits;
     std::vector<AppRange> Ranges;
     std::vector<CodePoint> Points;
+    std::vector<OsrPoint> Osr;        // trace OSR descriptors
+    std::vector<uint32_t> NetBlocks;  // trace constituent block tags
     std::vector<uint8_t> Bytes; // relocated, exit-id-renumbered slot bytes
   };
   struct TableEntry {
@@ -384,7 +386,11 @@ uint64_t CacheCodec::configHash(Runtime &RT) {
 }
 
 bool CacheCodec::quiescent(Runtime &RT) {
-  if (RT.TheClient || RT.Config.Mode != ExecMode::Cache)
+  // A client's transformed code is serializable only if the client vouches
+  // that replaying the saved bytes without re-running its hooks is
+  // equivalent (Client::persistSafe); anything else still refuses.
+  if ((RT.TheClient && !RT.TheClient->persistSafe()) ||
+      RT.Config.Mode != ExecMode::Cache)
     return false;
   if (RT.InCleanCall)
     return false;
@@ -497,6 +503,21 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
       P.u32(C.App);
       P.u8(C.Linear ? 1 : 0);
     }
+    // Versioned-publication metadata (traces; empty for basic blocks): the
+    // OSR descriptors let a loaded trace's threads transfer out when a
+    // sideline publication supersedes it, and the constituent block list
+    // is what deoptimization rebuilds from.
+    P.u32(uint32_t(F->OsrPoints.size()));
+    for (const OsrPoint &O : F->OsrPoints) {
+      P.u32(O.CtiOff);
+      P.u32(O.StubOff);
+      P.u32(O.StubEnd);
+      P.u32(O.ResumeApp);
+      P.u32(O.TakenApp);
+    }
+    P.u32(uint32_t(F->TraceBlocks.size()));
+    for (AppPc B : F->TraceBlocks)
+      P.u32(B);
     M.mem().forEachSpan(
         F->CacheAddr, F->CodeSize + F->StubsSize,
         [&](const uint8_t *Run, uint32_t Len) { P.bytes(Run, Len); });
@@ -586,8 +607,9 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
                              Image &Out, bool Trusted) {
   // The target must be cold: restoring over built state would corrupt the
   // link graph and exit-record numbering.
-  if (RT.TheClient || RT.Config.Mode != ExecMode::Cache ||
-      !RT.Fragments.empty() || !RT.ExitRecords.empty() || RT.Table.size() != 0)
+  if ((RT.TheClient && !RT.TheClient->persistSafe()) ||
+      RT.Config.Mode != ExecMode::Cache || !RT.Fragments.empty() ||
+      !RT.ExitRecords.empty() || RT.Table.size() != 0)
     return LoadStatus::NotCold;
 
   if (!Data || Size < HeaderBytes)
@@ -761,6 +783,45 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
       F.Points.push_back(Pt);
     }
 
+    uint32_t NumOsr = R.u32();
+    if (!R.ok() || NumOsr > MaxExitsPerFragment)
+      return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
+    if (F.Kind == 0 && NumOsr != 0)
+      return LoadStatus::Malformed; // OSR descriptors are trace-only
+    F.Osr.reserve(clampedReserve(R, NumOsr, 20));
+    for (uint32_t OI = 0; OI != NumOsr; ++OI) {
+      OsrPoint O;
+      O.CtiOff = R.u32();
+      O.StubOff = R.u32();
+      O.StubEnd = R.u32();
+      O.ResumeApp = R.u32();
+      O.TakenApp = R.u32();
+      if (!R.ok())
+        return LoadStatus::Truncated;
+      // Offsets are slot-relative: the CTI inside the body, the stub range
+      // inside the stub area, app pcs inside the application region.
+      if (O.CtiOff >= F.CodeSize || O.StubOff < F.CodeSize ||
+          uint64_t(O.StubEnd) > SlotLen || O.StubEnd <= O.StubOff ||
+          O.ResumeApp >= M.runtimeBase() || O.TakenApp >= M.runtimeBase())
+        return LoadStatus::Malformed;
+      F.Osr.push_back(O);
+    }
+
+    uint32_t NumBlocks = R.u32();
+    if (!R.ok() || NumBlocks > MaxRecordsPerFragment)
+      return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
+    if (F.Kind == 0 && NumBlocks != 0)
+      return LoadStatus::Malformed; // block lists are trace-only
+    F.NetBlocks.reserve(clampedReserve(R, NumBlocks, 4));
+    for (uint32_t BI = 0; BI != NumBlocks; ++BI) {
+      uint32_t B = R.u32();
+      if (!R.ok())
+        return LoadStatus::Truncated;
+      if (B >= M.runtimeBase())
+        return LoadStatus::Malformed;
+      F.NetBlocks.push_back(B);
+    }
+
     F.Bytes.resize(size_t(SlotLen));
     if (!R.bytes(F.Bytes.data(), size_t(SlotLen)))
       return LoadStatus::Truncated;
@@ -919,6 +980,8 @@ void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes,
     G->IsTraceHead = F.IsTraceHead != 0;
     G->AppRanges = F.Ranges;
     G->CodeMap = F.Points;
+    G->OsrPoints = F.Osr;
+    G->TraceBlocks.assign(F.NetBlocks.begin(), F.NetBlocks.end());
     for (const Image::Exit &E : F.Exits) {
       FragmentExit X;
       X.ExitKind = E.ExitKind == 0 ? FragmentExit::Kind::Direct

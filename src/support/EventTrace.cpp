@@ -67,6 +67,14 @@ const char *rio::traceEventKindName(TraceEventKind Kind) {
     return "persist_load";
   case TraceEventKind::PersistRejected:
     return "persist_reject";
+  case TraceEventKind::SidelineEnqueued:
+    return "sideline_enqueued";
+  case TraceEventKind::SidelinePublished:
+    return "sideline_published";
+  case TraceEventKind::SidelineStaleDrop:
+    return "sideline_stale_drop";
+  case TraceEventKind::OsrTransfer:
+    return "osr_transfer";
   case TraceEventKind::NumKinds:
     break;
   }

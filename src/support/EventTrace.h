@@ -66,6 +66,10 @@ enum class TraceEventKind : uint8_t {
   PersistSaved,      ///< Tag = fragments saved, Aux = image bytes
   PersistLoaded,     ///< Tag = fragments restored, Aux = image bytes
   PersistRejected,   ///< Tag = reject reason (persist::LoadStatus)
+  SidelineEnqueued,  ///< Tag = trace tag, Aux = async job sequence number
+  SidelinePublished, ///< Tag = trace tag, Aux = new version's cache addr
+  SidelineStaleDrop, ///< Tag = trace tag, Aux = async job sequence number
+  OsrTransfer,       ///< Tag = superseded trace tag, Aux = suspension pc
   NumKinds,
 };
 

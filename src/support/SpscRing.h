@@ -1,0 +1,75 @@
+//===- support/SpscRing.h - Single-producer single-consumer ring ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity lock-free single-producer/single-consumer ring, the
+/// hand-off primitive between an application thread and the asynchronous
+/// sideline optimizer thread (core/Sideline.h). Classic Lamport queue:
+/// the producer owns Tail, the consumer owns Head, and each side reads the
+/// other's index with acquire semantics so the payload written before a
+/// push is visible after the matching pop. No locks, no waiting — callers
+/// that need to block (the worker parking on an empty queue) layer a
+/// condition variable on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RIO_SUPPORT_SPSCRING_H
+#define RIO_SUPPORT_SPSCRING_H
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace rio {
+
+/// See file comment. \p N must be a power of two; capacity is N elements.
+template <typename T, uint32_t N> class SpscRing {
+  static_assert(N != 0 && (N & (N - 1)) == 0, "capacity must be a power of 2");
+
+public:
+  /// Producer side. Returns false when the ring is full.
+  bool push(T Value) {
+    uint32_t T0 = Tail.load(std::memory_order_relaxed);
+    uint32_t H = Head.load(std::memory_order_acquire);
+    if (T0 - H == N)
+      return false;
+    Buf[T0 & (N - 1)] = std::move(Value);
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool pop(T &Out) {
+    uint32_t H = Head.load(std::memory_order_relaxed);
+    uint32_t T0 = Tail.load(std::memory_order_acquire);
+    if (H == T0)
+      return false;
+    Out = std::move(Buf[H & (N - 1)]);
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Safe from either side (approximate from the other's perspective).
+  bool empty() const {
+    return Head.load(std::memory_order_acquire) ==
+           Tail.load(std::memory_order_acquire);
+  }
+
+  uint32_t size() const {
+    return Tail.load(std::memory_order_acquire) -
+           Head.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<uint32_t> Head{0};
+  std::atomic<uint32_t> Tail{0};
+  T Buf[N];
+};
+
+} // namespace rio
+
+#endif // RIO_SUPPORT_SPSCRING_H

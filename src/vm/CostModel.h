@@ -65,6 +65,11 @@ struct CostModel {
   unsigned TraceBuildPerInstr = 40; ///< extra per-instruction trace cost
   unsigned CleanCallCost = 60;      ///< clientcall context save/restore
   unsigned FragmentReplaceCost = 800; ///< dr_replace_fragment relink work
+  /// Installing an asynchronously re-optimized version at a publication
+  /// point (core/Sideline.h): the app thread only swaps the link graph —
+  /// the transform itself ran off the critical path — so this is cheaper
+  /// than a full synchronous replace. See docs/sideline-cost-model.md.
+  unsigned SidelinePublishCost = 500;
   unsigned FragmentEvictCost = 120; ///< unlink + slot reclaim for one victim
   unsigned RegionFlushCost = 200;   ///< dr_flush_region / SMC flush overhead
   /// Shared-cache mode only: banking one thread's slot window and restoring

@@ -447,8 +447,8 @@ std::vector<uint8_t> reseal(std::vector<uint8_t> B) {
 // preamble, fragment count at 60. Per fragment: 30 fixed bytes (CodeSize
 // at +10, StubsSize at +14), then exit records of 34 bytes each (StubOff
 // at +14, StubJmpOff at +18, StubJmpLen at +22), app ranges (8), code
-// points (9), and the raw slot bytes. Table entries are 13 bytes, IB
-// sites 116, shadows 8.
+// points (9), OSR descriptors (20), trace block tags (4), and the raw
+// slot bytes. Table entries are 13 bytes, IB sites 116, shadows 8.
 constexpr size_t FragCountOff = 60;
 constexpr size_t FragFixedBytes = 30;
 constexpr size_t ExitBytes = 34;
@@ -474,9 +474,11 @@ size_t skipFragments(const std::vector<uint8_t> &B,
     for (uint32_t E = 0; E != NumExits; ++E, Pos += ExitBytes)
       if (B[Pos] == 0 && FirstDirectExit && !*FirstDirectExit)
         *FirstDirectExit = Pos;
-    Pos += 4 + size_t(rd32(B, Pos)) * 8; // app ranges
-    Pos += 4 + size_t(rd32(B, Pos)) * 9; // code points
-    Pos += size_t(CodeSize) + StubsSize; // slot bytes
+    Pos += 4 + size_t(rd32(B, Pos)) * 8;  // app ranges
+    Pos += 4 + size_t(rd32(B, Pos)) * 9;  // code points
+    Pos += 4 + size_t(rd32(B, Pos)) * 20; // OSR descriptors
+    Pos += 4 + size_t(rd32(B, Pos)) * 4;  // trace block tags
+    Pos += size_t(CodeSize) + StubsSize;  // slot bytes
   }
   return Pos;
 }

@@ -7,9 +7,14 @@
 
 #include "TestUtil.h"
 
+#include "api/dr_api.h"
 #include "clients/Clients.h"
 #include "core/Sideline.h"
+#include "persist/CacheImage.h"
 #include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <vector>
 
 using namespace rio;
 using namespace rio::test;
@@ -126,6 +131,207 @@ TEST(Sideline, CheapClientsCostAboutTheSame) {
     Side = runWithSideline(RT, Sideline).Cycles;
   }
   EXPECT_LT(double(Side), double(Sync) * 1.05);
+}
+
+//===----------------------------------------------------------------------===//
+// Asynchronous mode: a real host worker thread plus versioned publication
+//===----------------------------------------------------------------------===//
+
+struct AsyncRun {
+  uint64_t Cycles = 0;
+  std::string Output;
+  uint64_t Published = 0;
+  uint64_t StaleDrops = 0;
+  uint64_t Epoch = 0;
+  uint64_t Enqueued = 0;
+};
+
+/// One full async-sideline run of \p P with RLR as the inner optimizer.
+AsyncRun runAsyncOnce(const Program &P, uint64_t Seed) {
+  Machine M;
+  EXPECT_TRUE(loadProgram(M, P));
+  RlrClient Inner;
+  SidelineOptimizer Sideline(Inner, SidelineMode::Async, Seed);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.SidelinePump = &Sideline;
+  Runtime RT(M, Config, &Sideline);
+  RunResult R = runWithSideline(RT, Sideline);
+  EXPECT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  return {R.Cycles,
+          M.output(),
+          Sideline.versionsPublished(),
+          Sideline.staleDrops(),
+          RT.publicationEpoch(),
+          RT.stats().get("sideline_jobs_enqueued")};
+}
+
+TEST(Sideline, AsyncPublishesVersionsTransparently) {
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  NativeRun Native = runNative(P);
+  AsyncRun R = runAsyncOnce(P, /*Seed=*/0x5eed51deull);
+  EXPECT_EQ(R.Output, Native.Output);
+  EXPECT_GE(R.Enqueued, 1u);
+  EXPECT_GE(R.Published, 1u);
+  // Every publication minted exactly one epoch.
+  EXPECT_EQ(R.Epoch, R.Published);
+}
+
+TEST(Sideline, AsyncIsDeterministicForAFixedSeed) {
+  // The host worker races wall-clock time, but publication happens on the
+  // seeded virtual-completion schedule: two runs with the same seed must
+  // be cycle-identical, not merely output-identical.
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  AsyncRun A = runAsyncOnce(P, /*Seed=*/7);
+  AsyncRun B = runAsyncOnce(P, /*Seed=*/7);
+  EXPECT_EQ(A.Cycles, B.Cycles);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Published, B.Published);
+  EXPECT_EQ(A.StaleDrops, B.StaleDrops);
+  // A different seed shifts completion times but never correctness.
+  AsyncRun C = runAsyncOnce(P, /*Seed=*/1234);
+  EXPECT_EQ(A.Output, C.Output);
+}
+
+TEST(Sideline, AsyncPublicationIsCheaperThanSyncReplacement) {
+  // Publication swaps the link graph at a safe point (SidelinePublishCost)
+  // instead of synchronously replacing the fragment (FragmentReplaceCost).
+  // The flip side of asynchrony is latency: the old body runs until the
+  // virtual completion comes due, so a workload with very few traces can
+  // give back a sliver of the saving. Require an outright win on most
+  // workloads and near-parity (0.1%) on every one.
+  int Wins = 0;
+  for (const char *Name : {"gcc", "perlbmk", "mgrid"}) {
+    const Workload *W = findWorkload(Name);
+    Program P = buildWorkload(*W, 0);
+    uint64_t Sync;
+    {
+      Machine M;
+      ASSERT_TRUE(loadProgram(M, P));
+      StrengthReduceClient Inner;
+      SidelineOptimizer Sideline(Inner);
+      Runtime RT(M, RuntimeConfig::full(), &Sideline);
+      Sync = runWithSideline(RT, Sideline).Cycles;
+    }
+    uint64_t Async;
+    {
+      Machine M;
+      ASSERT_TRUE(loadProgram(M, P));
+      StrengthReduceClient Inner;
+      SidelineOptimizer Sideline(Inner, SidelineMode::Async, 7);
+      RuntimeConfig Config = RuntimeConfig::full();
+      Config.SidelinePump = &Sideline;
+      Runtime RT(M, Config, &Sideline);
+      Async = runWithSideline(RT, Sideline).Cycles;
+    }
+    Wins += Async < Sync;
+    EXPECT_LE(double(Async), double(Sync) * 1.001) << Name;
+  }
+  EXPECT_GE(Wins, 2);
+}
+
+TEST(Sideline, AsyncDeleteWhileQueuedIsPurged) {
+  // Regression: a cache flush lands while decoded jobs are in flight. The
+  // deletion hook must cancel the jobs captured against the now-dead
+  // versions; they surface as stale drops, never as publications into a
+  // dead fragment.
+  Program P = buildWorkload(*findWorkload("crafty"), 30);
+  NativeRun Native = runNative(P);
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  StrengthReduceClient Inner;
+  SidelineOptimizer Sideline(Inner, SidelineMode::Async, 42);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.SidelinePump = &Sideline;
+  Runtime RT(M, Config, &Sideline);
+  RunResult R;
+  bool Flushed = false;
+  for (;;) {
+    R = RT.runFor(400);
+    if (!R.QuantumExpired)
+      break;
+    if (!Flushed && Sideline.pendingCount() > 0) {
+      RT.flushCaches(); // every queued job's target version dies here
+      Flushed = true;
+    }
+  }
+  ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+  ASSERT_TRUE(Flushed);
+  EXPECT_EQ(M.output(), Native.Output);
+  EXPECT_GE(Sideline.staleDrops(), 1u);
+  EXPECT_GE(RT.stats().get("sideline_stale_drops"), 1u);
+}
+
+TEST(Sideline, VersionQueryApi) {
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  AppPc Missing = 1; // no fragment will ever carry tag 1
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, P));
+  RlrClient Inner;
+  SidelineOptimizer Sideline(Inner, SidelineMode::Async, 7);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Config.SidelinePump = &Sideline;
+  Runtime RT(M, Config, &Sideline);
+  ASSERT_EQ(runWithSideline(RT, Sideline).Status, RunStatus::Exited);
+  ASSERT_GE(Sideline.versionsPublished(), 1u);
+  EXPECT_EQ(dr_fragment_version(&RT, Missing), -1);
+  EXPECT_EQ(dr_publication_epoch(&RT), RT.publicationEpoch());
+  // Single-threaded: nobody is suspended in the cache, so the whole
+  // history is safe.
+  EXPECT_EQ(dr_min_safe_epoch(&RT), dr_publication_epoch(&RT));
+  // Some republished trace must report a bumped version number.
+  int MaxVersion = 0;
+  RT.forEachFragment([&](const Fragment &F) {
+    EXPECT_EQ(dr_fragment_version(&RT, F.Tag), int(F.Version));
+    MaxVersion = std::max(MaxVersion, int(F.Version));
+  });
+  EXPECT_GE(MaxVersion, 1);
+}
+
+TEST(Sideline, PersistRoundTripUnderSideline) {
+  // PR 6 forbade cache images whenever any client was attached; the gate
+  // is now persistSafe(), so a sideline-wrapped pure optimizer serializes
+  // (only published versions live in the table) and warm-starts.
+  const Workload *W = findWorkload("mgrid");
+  Program P = buildWorkload(*W, W->TestScale);
+  NativeRun Native = runNative(P);
+
+  std::vector<uint8_t> Image;
+  {
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, P));
+    RlrClient Inner;
+    SidelineOptimizer Sideline(Inner);
+    Runtime RT(M, RuntimeConfig::full(), &Sideline);
+    ASSERT_EQ(runWithSideline(RT, Sideline).Status, RunStatus::Exited);
+    ASSERT_GE(Sideline.tracesOptimized(), 1u);
+    ASSERT_TRUE(persist::CacheCodec::save(RT, Image));
+  }
+  {
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, P));
+    RlrClient Inner;
+    SidelineOptimizer Sideline(Inner);
+    Runtime RT(M, RuntimeConfig::full(), &Sideline);
+    ASSERT_EQ(persist::CacheCodec::load(RT, Image.data(), Image.size()),
+              persist::LoadStatus::Ok);
+    EXPECT_GE(RT.numFragments(), 1u);
+    // The image carries each trace's OSR descriptors and NET block list.
+    unsigned TracesWithBlocks = 0, TracesWithOsr = 0;
+    RT.forEachFragment([&](const Fragment &F) {
+      if (!F.isTrace())
+        return;
+      TracesWithBlocks += !F.TraceBlocks.empty();
+      TracesWithOsr += !F.OsrPoints.empty();
+    });
+    EXPECT_GE(TracesWithBlocks, 1u);
+    EXPECT_GE(TracesWithOsr, 1u);
+    RunResult R = runWithSideline(RT, Sideline);
+    ASSERT_EQ(R.Status, RunStatus::Exited) << R.FaultReason;
+    EXPECT_EQ(M.output(), Native.Output);
+  }
 }
 
 TEST(Sideline, QueueDrainsAndSurvivesFlushes) {

@@ -18,7 +18,9 @@
 #include "clients/Clients.h"
 #include "core/ThreadedRunner.h"
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 using namespace rio;
 using namespace rio::test;
@@ -543,6 +545,183 @@ TEST(Threads, FifoEvictionUnderThreads) {
     EXPECT_EQ(M.output(), Native.output()) << "mode " << int(Sharing);
     EXPECT_GE(sumStat(Runner, "cache_evictions"), 1u) << "mode "
                                                       << int(Sharing);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Versioned publication, epoch retirement, and OSR under threads
+//===----------------------------------------------------------------------===//
+
+/// sharedFnProgram, plus a private warm-up loop per worker that is hot
+/// enough (> TraceThreshold iterations) to become its own trace. The
+/// deopt hook below skips traces stitched from its own hook block, so
+/// this guarantees at least one eligible trace even in ThreadPrivate
+/// mode, where a runtime only ever sees its own thread's fragments.
+Program deoptProgram(int Workers, int Iters) {
+  std::string S = R"(
+    results: .space 32
+    flags:   .space 32
+    stacks:  .space 8192
+    main:
+  )";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov ebx, worker" + std::to_string(W) + "\n";
+    S += "  mov ecx, stacks+" + std::to_string((W + 1) * 1024) + "\n";
+    S += "  mov eax, 5\n  int 0x80\n"; // thread_create
+  }
+  S += "join:\n";
+  for (int W = 0; W != Workers; ++W) {
+    S += "  mov eax, [flags+" + std::to_string(W * 4) + "]\n";
+    S += "  test eax, eax\n  jz join\n";
+  }
+  S += "  mov esi, 0\n";
+  for (int W = 0; W != Workers; ++W)
+    S += "  add esi, [results+" + std::to_string(W * 4) + "]\n";
+  S += "  and esi, 0xFFFFFF\n";
+  S += "  mov ebx, esi\n  mov eax, 2\n  int 0x80\n";
+  S += "  mov ebx, 0\n  mov eax, 1\n  int 0x80\n";
+  for (int W = 0; W != Workers; ++W) {
+    std::string Id = std::to_string(W);
+    S += "worker" + Id + ":\n";
+    S += "  mov esi, 0\n";
+    S += "  mov edx, 120\n"; // warm-up: its own trace, no hook block
+    S += "prep" + Id + ":\n";
+    S += "  add esi, edx\n";
+    S += "  dec edx\n  jnz prep" + Id + "\n";
+    S += "  and esi, 1023\n";
+    S += "  mov ecx, " + std::to_string(Iters) + "\n";
+    S += "wloop" + Id + ":\n";
+    S += "  mov eax, ecx\n";
+    S += "  call shared_fn\n";
+    S += "  add esi, eax\n  and esi, 0xFFFFFF\n";
+    S += "  dec ecx\n  jnz wloop" + Id + "\n";
+    S += "  mov [results+" + std::to_string(W * 4) + "], esi\n";
+    S += "  mov eax, 1\n  mov [flags+" + std::to_string(W * 4) + "], eax\n";
+    S += "  mov eax, 6\n  int 0x80\n"; // thread_exit
+  }
+  S += R"(
+    shared_fn:
+      imul eax, eax, 17
+      and eax, 1023
+      add eax, 3
+      ret
+  )";
+  return assembleOrDie(S);
+}
+
+/// From worker 0's loop body, periodically deoptimizes every live trace
+/// except the one it is currently executing in. Each deoptimization
+/// publishes a new version and retires the old body under a publication
+/// epoch while the *other* workers are suspended mid-quantum — possibly
+/// inside the retired bytes, where they are either OSR-transferred to the
+/// new version or guard-pinned until they leave on their own.
+class CrossThreadDeoptClient : public Client {
+public:
+  AppPc HookTag = 0;
+  int MaxRounds = 12;
+  int Rounds = 0;
+  int Deopts = 0;
+
+  void onBasicBlock(Runtime &RT, AppPc Tag, InstrList &Block) override {
+    if (Tag != HookTag)
+      return;
+    uint32_t Id = RT.registerCleanCall([this](CleanCallContext &Ctx) {
+      if (Rounds >= MaxRounds)
+        return;
+      std::vector<AppPc> Tags;
+      Ctx.RT.forEachFragment([&](const Fragment &F) {
+        // Skip the fragment this clean call returns into, and anything
+        // stitched from the hook block (deoptimization rebuilds pristine
+        // bodies, which would drop this instrumentation).
+        if (!F.isTrace() || F.TraceBlocks.empty() || F.Tag == Ctx.FragmentTag)
+          return;
+        if (std::find(F.TraceBlocks.begin(), F.TraceBlocks.end(), HookTag) !=
+            F.TraceBlocks.end())
+          return;
+        Tags.push_back(F.Tag);
+      });
+      if (Tags.empty())
+        return;
+      ++Rounds;
+      for (AppPc T : Tags)
+        Deopts += dr_deoptimize_fragment(&Ctx.RT, T);
+    });
+    Instr *Call = Instr::createSynth(Block.arena(), OP_clientcall,
+                                     {Operand::imm(int64_t(Id), 4)});
+    ASSERT_NE(Call, nullptr);
+    Block.prepend(Call);
+  }
+};
+
+TEST(Threads, PublicationWhileThreadsSuspendedMidTrace) {
+  Program P = deoptProgram(3, 400);
+  Machine Native;
+  ASSERT_TRUE(loadProgram(Native, P));
+  RunResult NR = runThreadedNative(Native);
+  ASSERT_EQ(NR.Status, RunStatus::Exited);
+
+  for (CacheSharing Sharing :
+       {CacheSharing::ThreadPrivate, CacheSharing::Shared}) {
+    RuntimeConfig Config = RuntimeConfig::full();
+    Config.Sharing = Sharing;
+    Config.ThreadQuantum = 700; // frequent mid-fragment suspensions
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, P));
+    CrossThreadDeoptClient C;
+    C.HookTag = P.symbol("wloop0");
+    ThreadedRunner Runner(M, Config, &C);
+    RunResult R = Runner.run();
+    ASSERT_EQ(R.Status, RunStatus::Exited)
+        << R.FaultReason << " mode " << int(Sharing);
+    EXPECT_EQ(M.output(), Native.output()) << "mode " << int(Sharing);
+    EXPECT_GE(C.Deopts, 1) << "mode " << int(Sharing);
+    EXPECT_GE(sumStat(Runner, "deoptimizations"), 1u);
+    EXPECT_GE(sumStat(Runner, "sideline_versions_published"), 1u);
+    if (Sharing == CacheSharing::Shared) {
+      // Four contexts share one runtime: with twelve publication rounds
+      // against a 700-cycle quantum, some worker was parked at a side
+      // exit of a retired body and must have been transferred on-stack.
+      EXPECT_GE(sumStat(Runner, "osr_transfers"), 1u);
+      Runtime *RT0 = Runner.runtimeFor(0);
+      ASSERT_NE(RT0, nullptr);
+      EXPECT_GE(RT0->publicationEpoch(), 1u);
+      // Run over: everyone left the cache, the whole history is safe.
+      EXPECT_EQ(RT0->minSafeEpoch(), RT0->publicationEpoch());
+    }
+  }
+}
+
+TEST(Threads, EpochRetirementWithBoundedCaches) {
+  // Superseded versions retire into a bounded FIFO cache mid-quantum: the
+  // allocator may only reuse a retired slot once every suspended context
+  // has both left its bytes (guard pcs) and passed the retirement epoch.
+  Program P = deoptProgram(3, 400);
+  Machine Native;
+  ASSERT_TRUE(loadProgram(Native, P));
+  RunResult NR = runThreadedNative(Native);
+  ASSERT_EQ(NR.Status, RunStatus::Exited);
+
+  for (CacheSharing Sharing :
+       {CacheSharing::ThreadPrivate, CacheSharing::Shared}) {
+    RuntimeConfig Config = RuntimeConfig::full();
+    Config.Sharing = Sharing;
+    Config.Eviction = EvictionPolicy::Fifo;
+    bool IsShared = Sharing == CacheSharing::Shared;
+    Config.BbCacheSize = IsShared ? 640 : 256;
+    Config.TraceCacheSize = IsShared ? 768 : 384;
+    Config.ThreadQuantum = 700;
+    Machine M;
+    ASSERT_TRUE(loadProgram(M, P));
+    CrossThreadDeoptClient C;
+    C.HookTag = P.symbol("wloop0");
+    C.MaxRounds = 6;
+    ThreadedRunner Runner(M, Config, &C);
+    RunResult R = Runner.run();
+    ASSERT_EQ(R.Status, RunStatus::Exited)
+        << R.FaultReason << " mode " << int(Sharing);
+    EXPECT_EQ(M.output(), Native.output()) << "mode " << int(Sharing);
+    EXPECT_GE(sumStat(Runner, "cache_evictions"), 1u)
+        << "mode " << int(Sharing);
   }
 }
 
