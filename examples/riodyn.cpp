@@ -43,6 +43,15 @@
 ///                            machine fork (composes with -cache-load;
 ///                            refuses -cache-save, -sideline, -native,
 ///                            -threads, and clients)
+///     -metrics <file>        telemetry snapshots: Prometheus exposition to
+///                            <file>, the JSON export next to it
+///     -metrics-interval <n>  rewrite the -metrics files every n simulated
+///                            cycles during the run (default: end only)
+///     -flight-record <file>  post-mortem JSON dump on faults and budget
+///                            overruns (events + snapshot + profile)
+///     -budget <n>            abort (exit 124) once the run exceeds n
+///                            simulated instructions
+///     -help                  list every flag
 ///
 //===----------------------------------------------------------------------===//
 
@@ -52,9 +61,11 @@
 #include "core/ThreadedRunner.h"
 #include "harness/Experiment.h"
 #include "support/EventTrace.h"
+#include "support/Metrics.h"
 #include "support/OutStream.h"
 #include "support/Profile.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -81,30 +92,69 @@ bool readFile(const char *Path, std::string &Out) {
 /// is a full (CoW) machine and runtime, and the driver runs them in turn.
 constexpr int MaxTenants = 1024;
 
-int usage() {
+void printHelp() {
   OutStream &OS = outs();
-  OS.printf("usage: riodyn [options] <workload-name | file.s>\n"
-            "  -native | -config <emulate|bbcache|linkdirect|linkindirect|"
-            "full>\n"
-            "  -client <none|null|inscount|rlr|inc2add|ibdispatch|"
-            "customtraces|shepherd|all4>\n"
-            "  -threads [-shared] | -sideline | -sideline-async "
-            "[-sideline-seed <n>]\n"
-            "  -stats | -scale <n> | -disas <sym> | -dump-asm\n"
-            "  -trace <file> | -profile | -sample-interval <n>\n"
-            "  -ib-inline             adaptive indirect-branch inline caches\n"
-            "  -cache-load <file> | -cache-save <file>   persistent code "
-            "caches\n"
-            "  -tenants <n>           serve 1..%d copy-on-write forked "
-            "tenants from one\n"
-            "                         warmed template (not with -cache-save, "
-            "-sideline,\n"
-            "                         -native, -threads, or -client)\n"
-            "workloads:",
-            MaxTenants);
+  OS.printf(
+      "usage: riodyn [options] <workload-name | file.s>\n"
+      "\n"
+      "execution:\n"
+      "  -native                run without the runtime (native baseline)\n"
+      "  -config <name>         emulate|bbcache|linkdirect|linkindirect|full "
+      "(default full)\n"
+      "  -client <name>         none|null|inscount|rlr|inc2add|ibdispatch|"
+      "customtraces|shepherd|all4\n"
+      "  -threads               use the multi-thread scheduler\n"
+      "  -shared                one shared code cache for all threads "
+      "(implies -threads)\n"
+      "  -sideline              defer trace optimization to the sideline\n"
+      "  -sideline-async        run the sideline on a real host worker "
+      "thread (implies -sideline)\n"
+      "  -sideline-seed <n>     seed for the async completion schedule\n"
+      "  -ib-inline             adaptive indirect-branch inline caches\n"
+      "  -scale <n>             workload scale override\n"
+      "  -budget <n>            abort (exit 124) past n simulated "
+      "instructions\n"
+      "\n"
+      "persistence and forking:\n"
+      "  -cache-load <file>     warm-start from a .riocache image\n"
+      "  -cache-save <file>     serialize the warmed caches after the run\n"
+      "  -tenants <n>           serve 1..%d copy-on-write forked tenants "
+      "from one warmed\n"
+      "                         template (not with -cache-save, -sideline, "
+      "-native,\n"
+      "                         -threads, or -client)\n"
+      "\n"
+      "observability:\n"
+      "  -stats                 print runtime statistics after the run\n"
+      "  -trace <file>          record runtime events; write Chrome trace "
+      "JSON\n"
+      "  -profile               cycle-sampled profile, printed after the "
+      "run\n"
+      "  -sample-interval <n>   simulated cycles between samples (default "
+      "1000)\n"
+      "  -metrics <file>        telemetry snapshots: Prometheus text to "
+      "<file>, JSON beside it\n"
+      "  -metrics-interval <n>  rewrite the -metrics files every n "
+      "simulated cycles\n"
+      "  -flight-record <file>  post-mortem JSON dump on faults and budget "
+      "overruns\n"
+      "\n"
+      "inspection:\n"
+      "  -disas <symbol>        disassemble the fragment at a program "
+      "symbol\n"
+      "  -dump-asm              print the workload's assembly source and "
+      "exit\n"
+      "  -help                  print this listing and exit\n"
+      "\n"
+      "workloads:",
+      MaxTenants);
   for (const Workload &W : allWorkloads())
     OS.printf(" %s", W.Name);
   OS.printf("\n");
+}
+
+int usage() {
+  printHelp();
   return 1;
 }
 
@@ -118,15 +168,21 @@ int main(int argc, char **argv) {
   uint64_t SidelineSeed = 0x5eed51deull;
   bool DumpAsm = false, Profile = false, IbInline = false;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
-              TraceFile, CacheLoadFile, CacheSaveFile;
+              TraceFile, CacheLoadFile, CacheSaveFile, MetricsFile,
+              FlightRecordFile;
   uint64_t SampleInterval = 1000;
+  uint64_t MetricsInterval = 0;
+  uint64_t Budget = 0;
   int Scale = 0;
   int Tenants = 0;
   bool TenantsGiven = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "-native")
+    if (Arg == "-help" || Arg == "-h" || Arg == "--help") {
+      printHelp();
+      return 0;
+    } else if (Arg == "-native")
       Native = true;
     else if (Arg == "-threads")
       Threads = true;
@@ -178,11 +234,28 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("-tenants=", 0) == 0) {
       Tenants = std::atoi(Arg.c_str() + 9);
       TenantsGiven = true;
-    }
+    } else if (Arg == "-metrics" && I + 1 < argc)
+      MetricsFile = argv[++I];
+    else if (Arg.rfind("-metrics=", 0) == 0)
+      MetricsFile = Arg.substr(9);
+    else if (Arg == "-metrics-interval" && I + 1 < argc)
+      MetricsInterval = std::strtoull(argv[++I], nullptr, 0);
+    else if (Arg.rfind("-metrics-interval=", 0) == 0)
+      MetricsInterval = std::strtoull(Arg.c_str() + 18, nullptr, 0);
+    else if (Arg == "-flight-record" && I + 1 < argc)
+      FlightRecordFile = argv[++I];
+    else if (Arg.rfind("-flight-record=", 0) == 0)
+      FlightRecordFile = Arg.substr(15);
+    else if (Arg == "-budget" && I + 1 < argc)
+      Budget = std::strtoull(argv[++I], nullptr, 0);
+    else if (Arg.rfind("-budget=", 0) == 0)
+      Budget = std::strtoull(Arg.c_str() + 8, nullptr, 0);
     else if (Arg[0] != '-')
       Target = Arg;
-    else
+    else {
+      OS.printf("error: unknown flag '%s'\n\n", Arg.c_str());
       return usage();
+    }
   }
   if (Target.empty())
     return usage();
@@ -308,12 +381,101 @@ int main(int argc, char **argv) {
                 CacheLoadFile.c_str());
   };
 
+  // Production telemetry. One registry serves the whole invocation: the
+  // runtime (labeled "main", or "template" when it will serve tenants),
+  // later each forked tenant, and the sideline optimizer. Sources outlive
+  // the last snapshot because every export below happens while they are
+  // alive. Host-side only — attaching it changes no simulated cycle.
+  MetricsRegistry Reg;
+  std::string MetricsJsonFile;
+  if (!MetricsFile.empty()) {
+    MetricsJsonFile = MetricsFile;
+    if (MetricsJsonFile.size() > 5 &&
+        MetricsJsonFile.compare(MetricsJsonFile.size() - 5, 5, ".prom") == 0)
+      MetricsJsonFile.resize(MetricsJsonFile.size() - 5);
+    MetricsJsonFile += ".json";
+  }
+  // Writes one snapshot to both export files (same snapshot => the two
+  // documents carry the same sequence number and values).
+  auto WriteMetrics = [&]() -> bool {
+    if (MetricsFile.empty())
+      return true;
+    MetricSnapshot Snap = Reg.snapshot();
+    std::FILE *PF = std::fopen(MetricsFile.c_str(), "w");
+    if (!PF) {
+      OS.printf("error: cannot open metrics file '%s'\n", MetricsFile.c_str());
+      return false;
+    }
+    FileOutStream PromOS(PF);
+    writePrometheus(PromOS, Snap);
+    std::fclose(PF);
+    std::FILE *JF = std::fopen(MetricsJsonFile.c_str(), "w");
+    if (!JF) {
+      OS.printf("error: cannot open metrics file '%s'\n",
+                MetricsJsonFile.c_str());
+      return false;
+    }
+    FileOutStream JsonOS(JF);
+    writeMetricsJson(JsonOS, Snap);
+    std::fclose(JF);
+    return true;
+  };
+  auto WriteFlight = [&](const char *Reason) {
+    if (FlightRecordFile.empty())
+      return;
+    std::FILE *F = std::fopen(FlightRecordFile.c_str(), "w");
+    if (!F) {
+      OS.printf("error: cannot open flight-record file '%s'\n",
+                FlightRecordFile.c_str());
+      return;
+    }
+    FileOutStream FOS(F);
+    writeFlightRecord(FOS, Reason, Reg.snapshot(), Config.Trace,
+                      Config.Profiler);
+    std::fclose(F);
+    OS.printf("flight record: %s -> '%s'\n", Reason, FlightRecordFile.c_str());
+  };
+
+  // Drives a run in runFor slices only when something needs mid-run
+  // control (periodic snapshots on the simulated clock, or the instruction
+  // budget); otherwise the run is a single uninterrupted call.
+  bool BudgetOverrun = false;
+  auto DrivenRun = [&](Runtime &Target) -> RunResult {
+    if (!MetricsInterval && !Budget)
+      return Target.run();
+    uint64_t NextSnap = Target.machine().cycles() + MetricsInterval;
+    RunResult Res;
+    for (;;) {
+      uint64_t Step = 4096;
+      if (Budget)
+        Step = std::min(
+            Step, Budget > Target.machine().instructionsExecuted()
+                      ? Budget - Target.machine().instructionsExecuted()
+                      : uint64_t(1));
+      Res = Target.runFor(Step);
+      if (MetricsInterval && Target.machine().cycles() >= NextSnap) {
+        WriteMetrics();
+        while (NextSnap <= Target.machine().cycles())
+          NextSnap += MetricsInterval;
+      }
+      if (!Res.QuantumExpired)
+        return Res;
+      if (Budget && Target.machine().instructionsExecuted() >= Budget) {
+        BudgetOverrun = true;
+        return Res;
+      }
+    }
+  };
+
   RunResult R;
   // Declared before RT so the runtime (whose config may point at the
   // sideline pump) is destroyed first.
   NullClient SidelineFallback;
   std::unique_ptr<SidelineOptimizer> Sideline;
   std::unique_ptr<Runtime> RT;
+  // Function scope (not the -tenants block): tenant gauges registered in
+  // Reg must stay readable for the final metrics write below.
+  TenantFleet Fleet;
   if (Native) {
     R = runThreadedNative(M);
   } else if (Threads) {
@@ -340,16 +502,29 @@ int main(int argc, char **argv) {
       CacheSaveFile.clear();
     }
     WarmStart(*RT);
+    RT->registerMetrics(Reg, "main");
+    Sideline->registerMetrics(Reg, Reg.addSource("sideline"));
     R = runWithSideline(*RT, *Sideline);
   } else {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);
     WarmStart(*RT);
-    R = RT->run();
+    RT->registerMetrics(Reg, TenantsGiven ? "template" : "main");
+    R = DrivenRun(*RT);
+    if (BudgetOverrun) {
+      WriteFlight("budget_overrun");
+      WriteMetrics();
+      OS.printf("budget: exceeded %llu instructions (at %llu); aborting\n",
+                (unsigned long long)Budget,
+                (unsigned long long)M.instructionsExecuted());
+      return 124;
+    }
     if (TenantsGiven && R.Status == RunStatus::Exited) {
       // Serve N tenants from the warmed template: rewind the machine to
       // the program entry (memory, caches, and predictors stay warm),
-      // freeze the runtime, then fork each tenant onto a copy-on-write
-      // machine fork and run it.
+      // freeze the runtime, then fork the whole fleet onto copy-on-write
+      // machine forks and run each tenant. The fleet stays alive together
+      // so the final metrics snapshot sees every tenant's section next to
+      // the template's, and the rollup sums across all of them.
       M.resetForRun();
       RT->resetThreadForRun();
       std::string Err;
@@ -359,34 +534,40 @@ int main(int argc, char **argv) {
       }
       OS.printf("tenants: template frozen (%llu fragments); serving %d\n",
                 (unsigned long long)RT->numFragments(), Tenants);
-      for (int T = 0; T != Tenants; ++T) {
-        Machine TenantM(M);
-        std::unique_ptr<Runtime> Tenant =
-            Runtime::forkFrom(*RT, TenantM, &Err);
-        if (!Tenant) {
-          OS.printf("tenants: fork failed: %s\n", Err.c_str());
-          return 1;
-        }
-        RunResult TR = Tenant->run();
+      if (!Fleet.spawn(*RT, M, unsigned(Tenants), &Err)) {
+        OS.printf("tenants: fork failed: %s\n", Err.c_str());
+        return 1;
+      }
+      Fleet.registerMetrics(Reg);
+      for (size_t T = 0; T != Fleet.size(); ++T) {
+        RunResult TR = Fleet[T].RT->run();
         OS.printf("tenant %d: %s, %llu cycles, %llu page(s) copied, "
                   "cache %s\n",
-                  T,
+                  int(T),
                   TR.Status == RunStatus::Exited
                       ? "exited"
                       : ("FAULTED: " + TR.FaultReason).c_str(),
                   (unsigned long long)TR.Cycles,
-                  (unsigned long long)TenantM.mem().cowPageCopies(),
-                  Tenant->stats().get("fork_cache_unshares") ? "unshared"
-                                                             : "shared");
-        if (TR.Status != RunStatus::Exited)
+                  (unsigned long long)Fleet[T].M->mem().cowPageCopies(),
+                  Fleet[T].RT->stats().get("fork_cache_unshares")
+                      ? "unshared"
+                      : "shared");
+        if (TR.Status != RunStatus::Exited) {
+          WriteFlight("tenant_fault");
           return 125;
+        }
       }
     } else if (TenantsGiven) {
       OS.printf("tenants: template run did not exit cleanly; not forking\n");
     }
   }
+  if (R.Status == RunStatus::Faulted)
+    WriteFlight("fault");
   if (!RT && (!CacheLoadFile.empty() || !CacheSaveFile.empty()))
     OS.printf("cache: -cache-load/-cache-save need a single-runtime mode; "
+              "ignored\n");
+  if (!RT && (!MetricsFile.empty() || !FlightRecordFile.empty()))
+    OS.printf("metrics: -metrics/-flight-record need a single-runtime mode; "
               "ignored\n");
 
   OS << M.output();
@@ -415,6 +596,13 @@ int main(int argc, char **argv) {
   if (Stats && RT) {
     OS.printf("\nruntime statistics:\n");
     RT->stats().print(OS);
+  }
+  if (!MetricsFile.empty() && RT) {
+    if (!WriteMetrics())
+      return 1;
+    OS.printf("metrics: snapshot %llu -> '%s' + '%s'\n",
+              (unsigned long long)Reg.snapshotsTaken(), MetricsFile.c_str(),
+              MetricsJsonFile.c_str());
   }
   if (!TraceFile.empty()) {
     std::FILE *F = std::fopen(TraceFile.c_str(), "wb");

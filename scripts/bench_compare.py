@@ -8,11 +8,17 @@ Three schemas are recognized by their fields:
     runs on different hardware are only loosely comparable — the default is
     to warn on regressions and exit 0.
 
-  * observability (bench_observability): entries carry {"config", "cycles",
-    "events", "samples"}. The simulated cycle counts must be bit-identical
-    across the off/idle/recording states AND across commits (the
-    observability layer is host-side only), so these are compared with a
-    zero threshold — any drift at all is a regression.
+  * metrics (bench_observability): entries carry {"config", "cycles",
+    "events", "samples", "snapshots", "snapshot_ns"}. The simulated cycle
+    counts must be bit-identical across the off/idle/recording/metrics
+    states AND across commits (the whole observability layer, metrics
+    registry included, is host-side only), so cycles are compared with a
+    zero threshold — any drift at all is a regression. Snapshot counts are
+    exact too; snapshot_ns is host wall clock and only displayed.
+
+  * observability (older bench_observability files): entries carry
+    {"config", "cycles", "events", "samples"} without snapshot columns.
+    Same zero-threshold cycle gate.
 
   * fork (bench_fork): entries carry {"config", "cycles", "cycles_warmup",
     "cow_pages", "unshares", ...}. Every forked tenant must replay the cold
@@ -33,7 +39,10 @@ Three schemas are recognized by their fields:
     change worth reading; cache_bytes drift is reported alongside.
 
 Configs are matched by name. Pass --fail-on-regress to turn a regression
-beyond the threshold into a non-zero exit.
+beyond the threshold into a non-zero exit. A file whose entries match no
+known schema, or whose entries are missing a key its schema requires, is
+always a hard error (exit 2): silently misclassifying a benchmark file
+would un-gate its invariants.
 
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
@@ -55,6 +64,11 @@ def load(path):
     if "mips" in data[0]:
         schema = "throughput"
         required = ("config", "instructions", "wall_ns", "mips")
+    elif "snapshot_ns" in data[0]:
+        # Must be probed before "events": metrics files carry both.
+        schema = "metrics"
+        required = ("config", "cycles", "events", "samples", "snapshots",
+                    "snapshot_ns")
     elif "events" in data[0]:
         schema = "observability"
         required = ("config", "cycles", "events", "samples")
@@ -68,9 +82,13 @@ def load(path):
     elif "published" in data[0]:
         schema = "sideline"
         required = ("config", "cycles", "published")
-    else:
+    elif "cycles" in data[0]:
         schema = "simulated"
         required = ("config", "cycles")
+    else:
+        raise ValueError(
+            f"{path}: unrecognized benchmark schema "
+            f"(entry fields: {sorted(data[0])}); refusing to guess")
     out = {}
     for entry in data:
         for key in required:
@@ -131,8 +149,12 @@ def main():
                     help="exit 1 if any config regresses past the threshold")
     args = ap.parse_args()
 
-    base_schema, base = load(args.baseline)
-    cur_schema, cur = load(args.current)
+    try:
+        base_schema, base = load(args.baseline)
+        cur_schema, cur = load(args.current)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     if base_schema != cur_schema:
         print(f"schema mismatch: {args.baseline} is {base_schema}, "
               f"{args.current} is {cur_schema}")
@@ -141,6 +163,15 @@ def main():
     if base_schema == "throughput":
         regressions = compare(base, cur, "mips", higher_is_better=True,
                               threshold=args.threshold)
+    elif base_schema == "metrics":
+        # Same host-side-only invariant as observability, now covering the
+        # metrics registry's snapshot driver too; snapshot counts come from
+        # the deterministic runFor slicing, so they are exact as well.
+        # snapshot_ns is host wall clock, displayed but never gated.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=0.0, extra="snapshot_ns")
+        regressions += compare_exact(base, cur, "cycles")
+        regressions += compare_exact(base, cur, "snapshots")
     elif base_schema == "observability":
         # Host-side-only invariant: cycles must not move at all, in either
         # direction. A "speedup" here is just as much a bug as a slowdown.
@@ -188,7 +219,7 @@ def main():
                               threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
-        if base_schema in ("observability", "fork", "sideline"):
+        if base_schema in ("metrics", "observability", "fork", "sideline"):
             print("\nWARNING: simulated cycles drifted (must be "
                   "bit-identical):")
         else:

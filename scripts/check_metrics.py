@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Validate riodyn metrics exports against scripts/metrics_schema.json.
+
+Checks the pair of files `riodyn -metrics OUT.prom` writes (Prometheus text
+exposition plus the sibling OUT.json snapshot), or a flight-record dump:
+
+  check_metrics.py --schema scripts/metrics_schema.json OUT.prom OUT.json
+  check_metrics.py --schema scripts/metrics_schema.json --flight FR.json
+
+Prometheus checks: every sample belongs to a family declared by a
+preceding `# TYPE` line, types are legal, required families are present,
+histogram `_bucket` series are cumulative and end at `+Inf` == `_count`.
+
+JSON checks: required top-level keys, fleet entries carry kind/value/delta
+with a legal kind, and the per-tenant sections sum exactly to the fleet
+rollup for every metric (the registry computes the rollup, so any mismatch
+means a corrupted export).
+
+Cross-checks: both files came from the same snapshot, so the fleet values
+in the Prometheus text must equal the JSON fleet values.
+
+Everything is hand-rolled on the standard library: no jsonschema, no
+prometheus client. Exit 0 on success, 1 with a message on any violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+class Violation(Exception):
+    pass
+
+
+def fail(msg):
+    raise Violation(msg)
+
+
+def parse_prometheus(text):
+    """Returns ({family: type}, {series_line_name_with_labels: value})."""
+    types = {}
+    samples = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = re.match(r"# TYPE (\S+) (\S+)$", line)
+            if not m:
+                fail(f"prom line {lineno}: malformed comment: {line!r}")
+            types[m.group(1)] = m.group(2)
+            continue
+        m = re.match(r"([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (\d+)$", line)
+        if not m:
+            fail(f"prom line {lineno}: malformed sample: {line!r}")
+        name, labels, value = m.group(1), m.group(2) or "", int(m.group(3))
+        family = re.sub(r"_(bucket|sum|count)$", "", name) \
+            if name.endswith(("_bucket", "_sum", "_count")) else name
+        if family not in types and name not in types:
+            fail(f"prom line {lineno}: sample {name!r} has no # TYPE line")
+        samples[name + labels] = value
+    return types, samples
+
+
+def check_prometheus(text, schema):
+    types, samples = parse_prometheus(text)
+    legal = set(schema["types"])
+    prefix = schema["prefix"]
+    for family, kind in types.items():
+        if kind not in legal:
+            fail(f"prom family {family!r}: illegal type {kind!r}")
+        if not family.startswith(prefix):
+            fail(f"prom family {family!r}: missing prefix {prefix!r}")
+    for family in schema["required_families"]:
+        if family not in types:
+            fail(f"prom: required family {family!r} missing")
+        if not any(s == family or s.startswith(family + "{")
+                   for s in samples):
+            fail(f"prom: family {family!r} declared but has no sample")
+    # Histogram sanity: cumulative buckets, +Inf present and == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [(s, v) for s, v in samples.items()
+                   if s.startswith(family + "_bucket{")]
+        if not buckets:
+            fail(f"prom histogram {family!r}: no _bucket series")
+        prev = 0
+        for s, v in buckets:  # emitted in ascending le order
+            if v < prev:
+                fail(f"prom histogram {family!r}: non-cumulative at {s!r}")
+            prev = v
+        inf = samples.get(family + '_bucket{le="+Inf"}')
+        count = samples.get(family + "_count")
+        if inf is None or count is None or inf != count:
+            fail(f"prom histogram {family!r}: +Inf bucket ({inf}) != "
+                 f"_count ({count})")
+    return types, samples
+
+
+def check_json(doc, schema):
+    for key in schema["required_top"]:
+        if key not in doc:
+            fail(f"json: required top-level key {key!r} missing")
+    if not isinstance(doc["sequence"], int) or doc["sequence"] < 1:
+        fail(f"json: sequence must be a positive integer, "
+             f"got {doc['sequence']!r}")
+    kinds = set(schema["kinds"])
+    for name, entry in doc["fleet"].items():
+        for key in schema["fleet_value_keys"]:
+            if key not in entry:
+                fail(f"json fleet {name!r}: missing {key!r}")
+        if entry["kind"] not in kinds:
+            fail(f"json fleet {name!r}: illegal kind {entry['kind']!r}")
+    for metric in schema["required_fleet_metrics"]:
+        if metric not in doc["fleet"]:
+            fail(f"json: required fleet metric {metric!r} missing")
+    for tenant in doc["tenants"]:
+        for key in schema["tenant_keys"]:
+            if key not in tenant:
+                fail(f"json tenant section: missing {key!r}")
+    # The rollup identity: tenant sections sum exactly to the fleet value.
+    for name, entry in doc["fleet"].items():
+        total = sum(t["metrics"].get(name, 0) for t in doc["tenants"])
+        if total != entry["value"]:
+            fail(f"json fleet {name!r}: tenant sum {total} != "
+                 f"fleet value {entry['value']}")
+
+
+def cross_check(samples, doc, prefix):
+    """Both files were written from one snapshot: fleet values must agree."""
+    for name, entry in doc["fleet"].items():
+        prom = samples.get(prefix + name)
+        if prom is None:
+            fail(f"cross: fleet metric {name!r} absent from Prometheus text")
+        if prom != entry["value"]:
+            fail(f"cross: {name!r} is {prom} in Prometheus text but "
+                 f"{entry['value']} in JSON")
+    if samples.get(prefix + "snapshot_sequence") != doc["sequence"]:
+        fail("cross: snapshot_sequence differs between the two files")
+
+
+def check_flight(doc, schema):
+    for key in schema["required_top"]:
+        if key not in doc:
+            fail(f"flight: required top-level key {key!r} missing")
+    if doc["flight_record"] != 1:
+        fail(f"flight: version marker is {doc['flight_record']!r}, not 1")
+    for key in schema["events_keys"]:
+        if key not in doc["events"]:
+            fail(f"flight events: missing {key!r}")
+    for key in schema["profile_keys"]:
+        if key not in doc["profile"]:
+            fail(f"flight profile: missing {key!r}")
+    ev = doc["events"]
+    if ev["dropped"] + len(ev["last"]) > ev["total_recorded"] and ev["last"]:
+        fail(f"flight events: dropped ({ev['dropped']}) + retained "
+             f"({len(ev['last'])}) exceeds total ({ev['total_recorded']})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--schema", required=True,
+                    help="path to scripts/metrics_schema.json")
+    ap.add_argument("--flight", metavar="FR_JSON",
+                    help="validate a flight-record dump instead")
+    ap.add_argument("prom", nargs="?", help="Prometheus exposition file")
+    ap.add_argument("json_file", nargs="?", help="sibling JSON snapshot")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    try:
+        if args.flight:
+            with open(args.flight) as f:
+                doc = json.load(f)
+            check_flight(doc, schema["flight_record"])
+            check_json(doc["snapshot"], schema["json"])
+            print(f"{args.flight}: flight record OK "
+                  f"(reason {doc['reason']!r}, "
+                  f"{len(doc['events']['last'])} events retained, "
+                  f"{len(doc['profile']['top'])} profile rows)")
+            return 0
+        if not args.prom or not args.json_file:
+            ap.error("need OUT.prom and OUT.json (or --flight FR.json)")
+        with open(args.prom) as f:
+            prom_text = f.read()
+        with open(args.json_file) as f:
+            doc = json.load(f)
+        _, samples = check_prometheus(prom_text, schema["prometheus"])
+        check_json(doc, schema["json"])
+        cross_check(samples, doc, schema["prometheus"]["prefix"])
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except Violation as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"{args.prom} + {args.json_file}: metrics exports OK "
+          f"({len(doc['fleet'])} fleet metrics, "
+          f"{len(doc['tenants'])} sections, sequence {doc['sequence']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

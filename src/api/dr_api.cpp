@@ -12,6 +12,7 @@
 #include "support/OutStream.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace rio;
 
@@ -527,6 +528,44 @@ Machine *rio::dr_fork_machine_of(void *Context) {
 }
 
 void rio::dr_fork_delete(void *Context) { ForkRegistry.erase(Context); }
+
+MetricsRegistry &rio::dr_metrics(void *Context) {
+  return runtimeOf(Context).metrics();
+}
+
+MetricSnapshot rio::dr_metrics_snapshot(void *Context) {
+  return runtimeOf(Context).metrics().snapshot();
+}
+
+bool rio::dr_metrics_export(void *Context, const char *Path,
+                            const char *Format) {
+  bool Prom = std::strcmp(Format, "prom") == 0;
+  if (!Prom && std::strcmp(Format, "json") != 0)
+    return false;
+  std::FILE *File = std::fopen(Path, "w");
+  if (!File)
+    return false;
+  MetricSnapshot Snap = runtimeOf(Context).metrics().snapshot();
+  FileOutStream OS(File);
+  if (Prom)
+    writePrometheus(OS, Snap);
+  else
+    writeMetricsJson(OS, Snap);
+  std::fclose(File);
+  return true;
+}
+
+bool rio::dr_flight_dump(void *Context, const char *Path, const char *Reason) {
+  Runtime &RT = runtimeOf(Context);
+  std::FILE *File = std::fopen(Path, "w");
+  if (!File)
+    return false;
+  MetricSnapshot Snap = RT.metrics().snapshot();
+  FileOutStream OS(File);
+  writeFlightRecord(OS, Reason, Snap, RT.eventTrace(), RT.profiler());
+  std::fclose(File);
+  return true;
+}
 
 int rio::proc_get_family(void *Context) {
   return runtimeOf(Context).machine().cost().Family == CpuFamily::PentiumIV

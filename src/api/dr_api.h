@@ -27,6 +27,7 @@
 
 #include "core/Runtime.h"
 #include "ir/InstrList.h"
+#include "support/Metrics.h"
 
 #include <cstdarg>
 
@@ -445,6 +446,37 @@ Machine *dr_fork_machine_of(void *context);
 /// machine (copy-on-write pages return to the template). No-op on contexts
 /// that did not come from dr_fork_machine.
 void dr_fork_delete(void *context);
+
+//===----------------------------------------------------------------------===//
+// Production telemetry (support/Metrics.h) — API.md §16
+//===----------------------------------------------------------------------===//
+
+/// The runtime's metrics registry, created on first use with the runtime
+/// registered under the label "main". Clients may add their own gauges and
+/// counters to it; snapshot deltas accumulate across calls because the
+/// registry lives as long as the runtime. Purely host-side: touching it
+/// never charges simulated cycles.
+MetricsRegistry &dr_metrics(void *context);
+
+/// Takes a point-in-time snapshot of dr_metrics(context): every statistic
+/// and gauge, with the fleet rollup, deltas since the previous snapshot,
+/// and any registered histograms. Deterministic ordering (see
+/// support/Metrics.h), safe mid-run.
+MetricSnapshot dr_metrics_snapshot(void *context);
+
+/// Snapshots dr_metrics(context) and writes the export to \p path:
+/// \p format "prom" for Prometheus text exposition, "json" for the JSON
+/// document. Returns false on an unknown format or when the file cannot
+/// be written.
+bool dr_metrics_export(void *context, const char *path, const char *format);
+
+/// The flight recorder: dumps one self-contained JSON post-mortem to
+/// \p path — \p reason, a fresh metric snapshot, the last trace events
+/// (when an event ring is attached), and the hottest profile entries
+/// (when a profiler is attached). The mid-run "what just happened" export
+/// for guard-rail trips and budget overruns. Returns false when the file
+/// cannot be written.
+bool dr_flight_dump(void *context, const char *path, const char *reason);
 
 //===----------------------------------------------------------------------===//
 // Processor identification (paper Section 3.2 / Figure 3)

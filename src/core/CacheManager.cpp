@@ -305,6 +305,14 @@ uint32_t CacheManager::liveFragments(Fragment::Kind Kind) const {
   return cacheFor(Kind).Live;
 }
 
+uint32_t CacheManager::pendingReclaimBytes(Fragment::Kind Kind) const {
+  const Cache &C = cacheFor(Kind);
+  uint32_t Total = 0;
+  for (const auto &Slot : C.Pending)
+    Total += Slot.Size;
+  return Total;
+}
+
 void CacheManager::publishOccupancy(Fragment::Kind Kind) {
   const Cache &C = cacheFor(Kind);
   OccupancyStats &O = Occupancy[Kind == Fragment::Kind::Trace ? 1 : 0];

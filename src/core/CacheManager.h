@@ -180,6 +180,9 @@ public:
   /// Largest single free gap — what the next allocation can actually get.
   uint32_t largestFreeGap(Fragment::Kind Kind) const;
   uint32_t liveFragments(Fragment::Kind Kind) const;
+  /// Bytes sitting in retired slots not yet reclaimed (deferred deletion,
+  /// epoch-held versions) — telemetry for the metrics registry.
+  uint32_t pendingReclaimBytes(Fragment::Kind Kind) const;
 
 private:
   /// A retired slot awaiting reclamation. Epoch 0 = guard-pc protocol

@@ -337,6 +337,13 @@ void Runtime::ibNoteArmExec(uint32_t Pc) {
   obsEvent(TraceEventKind::IbInlineHit, Exit.TargetTag, Pc);
 }
 
+uint64_t Runtime::ibProfileArrivalsTotal() const {
+  uint64_t Total = 0;
+  for (const auto &[Site, Profile] : IbProfiles)
+    Total += Profile.Total;
+  return Total;
+}
+
 void Runtime::dropIbSites(Fragment *Frag) {
   if (IbArmPcs.empty() && IbArmStubSites.empty())
     return;

@@ -8,6 +8,7 @@
 #include "core/Runtime.h"
 
 #include "support/Compiler.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <cstring>
@@ -190,6 +191,67 @@ uint64_t Runtime::minSafeEpoch() const {
     Min = std::min(Min, Ctx->SafeEpoch);
   }
   return Min;
+}
+
+void Runtime::registerMetrics(MetricsRegistry &MR, uint32_t Source) {
+  // Everything below is read-only pulls at snapshot time: no counter here
+  // adds a single instruction to dispatch, emission, or cache execution,
+  // which is what keeps metered runs cycle-identical to unmetered ones.
+  MR.addCounters(Source, &Stats);
+  MR.addCounter(Source, "cycles", [this] { return M.cycles(); });
+  MR.addCounter(Source, "instructions",
+                [this] { return M.instructionsExecuted(); });
+  MR.addCounter(Source, "cow_page_copies",
+                [this] { return M.mem().cowPageCopies(); });
+  MR.addGauge(Source, "private_pages",
+              [this] { return uint64_t(M.mem().privatePages()); });
+  // Cache occupancy reads through queryCM() so a still-shared forked
+  // tenant reports the template cache it actually executes from.
+  MR.addGauge(Source, "cache_used_bytes",
+              [this] { return uint64_t(queryCM().totalUsedBytes()); });
+  MR.addGauge(Source, "cache_pending_reclaim_bytes", [this] {
+    const CacheManager &Q = queryCM();
+    return uint64_t(Q.pendingReclaimBytes(Fragment::Kind::BasicBlock)) +
+           Q.pendingReclaimBytes(Fragment::Kind::Trace);
+  });
+  MR.addGauge(Source, "cache_live_fragments", [this] {
+    const CacheManager &Q = queryCM();
+    return uint64_t(Q.liveFragments(Fragment::Kind::BasicBlock)) +
+           Q.liveFragments(Fragment::Kind::Trace);
+  });
+  MR.addCounter(Source, "publication_epoch", [this] { return PubEpoch; });
+  MR.addCounter(Source, "min_safe_epoch", [this] { return minSafeEpoch(); });
+  MR.addGauge(Source, "ib_profiled_sites",
+              [this] { return uint64_t(IbProfiles.size()); });
+  MR.addCounter(Source, "ib_profile_arrivals",
+                [this] { return ibProfileArrivalsTotal(); });
+  MR.addGauge(Source, "frozen_template_bytes",
+              [this] { return uint64_t(Frozen.size()); });
+  MR.addGauge(Source, "fork_shared_cache",
+              [this] { return uint64_t(isForked() ? 1 : 0); });
+  // Fleet-level distributions: the profiler is typically shared by every
+  // runtime built from one config, and addHistogram is idempotent per
+  // name, so each runtime may register it blindly.
+  if (Prof) {
+    MR.addHistogram("fragment_size_bytes", &Prof->FragmentSizes);
+    MR.addHistogram("trace_length_blocks", &Prof->TraceLengths);
+    MR.addHistogram("eviction_age_cycles", &Prof->EvictionAges);
+  }
+}
+
+uint32_t Runtime::registerMetrics(MetricsRegistry &MR,
+                                  const std::string &Label) {
+  uint32_t Source = MR.addSource(Label);
+  registerMetrics(MR, Source);
+  return Source;
+}
+
+MetricsRegistry &Runtime::metrics() {
+  if (!SelfMetrics) {
+    SelfMetrics.reset(new MetricsRegistry());
+    registerMetrics(*SelfMetrics, "main");
+  }
+  return *SelfMetrics;
 }
 
 const std::vector<uint32_t> &Runtime::collectGuardPcs() {

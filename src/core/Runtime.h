@@ -54,6 +54,8 @@ namespace persist {
 class CacheCodec;
 }
 
+class MetricsRegistry;
+
 /// Offsets of runtime-reserved slots within the runtime region. The slots
 /// are addressed absolutely by runtime-inserted code; they stand in for
 /// DynamoRIO's thread-local spill slots (paper Section 3.2).
@@ -230,6 +232,33 @@ public:
   void noteClientEvent(uint32_t LabelId, uint32_t Value) {
     obsEvent(TraceEventKind::ClientMarker, LabelId, Value);
   }
+
+  //===--------------------------------------------------------------------===
+  // Production telemetry (support/Metrics.h)
+  //===--------------------------------------------------------------------===
+
+  /// Registers this runtime's full telemetry under source \p Source of
+  /// \p MR: every interned statistic as a counter, plus machine-level
+  /// counters (cycles, instructions, CoW page copies) and live gauges
+  /// (private pages, cache occupancy, pending reclaim bytes, publication
+  /// epochs, IB profile coverage, fork/freeze state). Pull-based: nothing
+  /// is added to any hot path, and snapshots never charge simulated
+  /// cycles. The registry must not outlive this runtime.
+  void registerMetrics(MetricsRegistry &MR, uint32_t Source);
+
+  /// Convenience: adds a source labeled \p Label to \p MR, registers this
+  /// runtime into it, and returns the source id.
+  uint32_t registerMetrics(MetricsRegistry &MR, const std::string &Label);
+
+  /// The runtime's own lazily created registry — what dr_metrics_snapshot,
+  /// dr_metrics_export, and dr_flight_dump read. Created on first use with
+  /// this runtime registered under the label "main"; deltas are tracked
+  /// across calls because the registry persists with the runtime.
+  MetricsRegistry &metrics();
+
+  /// Total arrivals recorded across every profiled indirect-branch site
+  /// (the sum of all IbSiteProfile totals; defined in IbInline.cpp).
+  uint64_t ibProfileArrivalsTotal() const;
 
   //===--------------------------------------------------------------------===
   // Fragment queries
@@ -584,6 +613,10 @@ private:
   EventTrace *ObsTrace = nullptr;
   SampleProfile *Prof = nullptr;
   unsigned ObsTid = 0;
+
+  /// Lazily created self-registry behind metrics() (and the dr_metrics_*
+  /// API). Pointer so support/Metrics.h stays out of this header.
+  std::unique_ptr<MetricsRegistry> SelfMetrics;
 
   /// Thread contexts, indexed by tid. A thread-private Runtime only ever
   /// has [0]; a shared Runtime grows one per application thread as the

@@ -27,6 +27,7 @@
 #include "core/Sideline.h"
 
 #include "support/EventTrace.h"
+#include "support/Metrics.h"
 
 #include <algorithm>
 #include <atomic>
@@ -257,6 +258,17 @@ void SidelineOptimizer::pump(Runtime &RT) {
     // fragment-deleted hook, which walks InFlight to purge stale jobs.
     publishJob(RT, Owned.get());
   }
+}
+
+void SidelineOptimizer::registerMetrics(MetricsRegistry &MR, uint32_t Source) {
+  MR.addGauge(Source, "sideline_pending_jobs",
+              [this] { return uint64_t(pendingCount()); });
+  MR.addCounter(Source, "sideline_optimized_total",
+                [this] { return Optimized; });
+  MR.addCounter(Source, "sideline_published_total",
+                [this] { return Published; });
+  MR.addCounter(Source, "sideline_stale_drops_total",
+                [this] { return StaleDrops; });
 }
 
 void SidelineOptimizer::quiesce() {

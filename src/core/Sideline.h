@@ -122,6 +122,14 @@ public:
   /// publication point (delete, flush, supersession).
   uint64_t staleDrops() const { return StaleDrops; }
 
+  /// Registers the optimizer's own telemetry under source \p Source of
+  /// \p MR: the pending-work gauge plus installed/published/stale-drop
+  /// counters. Names are distinct from the per-runtime sideline statistics
+  /// (which already roll up per tenant), so one optimizer serving many
+  /// runtimes is not double-counted in the fleet rollup. Defined in
+  /// Sideline.cpp.
+  void registerMetrics(MetricsRegistry &MR, uint32_t Source);
+
 private:
   struct Job;
 

@@ -39,6 +39,7 @@
 #include "core/Runtime.h"
 
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace rio {
@@ -140,6 +141,15 @@ public:
   Tenant &operator[](size_t I) { return Fleet[I]; }
   std::vector<Tenant>::iterator begin() { return Fleet.begin(); }
   std::vector<Tenant>::iterator end() { return Fleet.end(); }
+
+  /// Registers every tenant into \p MR under labels "tenant0".."tenantN"
+  /// (registration order == fleet order, so snapshot sections line up with
+  /// operator[]). The registry's fleet rollup then sums exactly these
+  /// tenants; register the template separately if it should be counted.
+  void registerMetrics(MetricsRegistry &MR) {
+    for (size_t I = 0; I != Fleet.size(); ++I)
+      Fleet[I].RT->registerMetrics(MR, "tenant" + std::to_string(I));
+  }
 
   /// Destroys every tenant (runtimes before machines, per member order),
   /// returning their copy-on-write pages to the template.

@@ -66,6 +66,9 @@ bool Runtime::freezeTemplate(std::string *Error) {
                 "trace recording or a clean call in flight, or code-write "
                 "events pending");
   Frozen = std::move(Img);
+  // Telemetry breadcrumb (the image itself never contains statistics, so
+  // tenants forked from this template do not inherit the value).
+  Stats.counter("fork_template_frozen_bytes") = Frozen.size();
   return true;
 }
 
@@ -116,6 +119,10 @@ std::unique_ptr<Runtime> Runtime::forkFrom(const Runtime &Template,
 
   RT->Tpl = &Template;
   RT->UnshareHook = &Runtime::unshareImpl;
+  // Telemetry: marks this runtime as fork-born (stays 1 after unsharing,
+  // unlike the live fork_shared_cache gauge), and makes the fleet rollup's
+  // fork_tenant value equal the tenant count.
+  RT->Stats.counter("fork_tenant") = 1;
   return RT;
 }
 

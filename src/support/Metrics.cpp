@@ -1,0 +1,327 @@
+//===- support/Metrics.cpp - Typed metrics registry and exporters ----------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/EventTrace.h"
+#include "support/OutStream.h"
+#include "support/Profile.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+namespace rio {
+
+const char *metricKindName(MetricKind Kind) {
+  return Kind == MetricKind::Counter ? "counter" : "gauge";
+}
+
+//===----------------------------------------------------------------------===//
+// MetricSnapshot queries
+//===----------------------------------------------------------------------===//
+
+const MetricValue *MetricSnapshot::fleet(const std::string &Name) const {
+  for (const MetricValue &V : Fleet)
+    if (V.Name == Name)
+      return &V;
+  return nullptr;
+}
+
+const MetricSection *MetricSnapshot::section(const std::string &Label) const {
+  for (const MetricSection &S : Sections)
+    if (S.Label == Label)
+      return &S;
+  return nullptr;
+}
+
+const MetricValue *MetricSnapshot::find(const MetricSection &S,
+                                        const std::string &Name) {
+  for (const MetricValue &V : S.Values)
+    if (V.Name == Name)
+      return &V;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+MetricsRegistry::SourceId MetricsRegistry::addSource(const std::string &Label) {
+  Sources.push_back(Source{Label, {}, {}});
+  return SourceId(Sources.size() - 1);
+}
+
+void MetricsRegistry::addCounters(SourceId Src, const StatisticSet *Set) {
+  Sources[Src].Sets.push_back(Set);
+}
+
+void MetricsRegistry::addCounter(SourceId Src, const std::string &Name,
+                                 std::function<uint64_t()> Read) {
+  Kinds.emplace(Name, MetricKind::Counter);
+  Sources[Src].Fns.push_back(
+      FnMetric{Name, MetricKind::Counter, std::move(Read)});
+}
+
+void MetricsRegistry::addGauge(SourceId Src, const std::string &Name,
+                               std::function<uint64_t()> Read) {
+  Kinds.emplace(Name, MetricKind::Gauge);
+  Sources[Src].Fns.push_back(FnMetric{Name, MetricKind::Gauge, std::move(Read)});
+}
+
+void MetricsRegistry::addHistogram(const std::string &Name,
+                                   const Histogram *H) {
+  // Idempotent per name: a fleet shares one profiler, and every runtime
+  // registering it must not duplicate the series.
+  for (const auto &Existing : Histograms)
+    if (Existing.first == Name)
+      return;
+  Histograms.emplace_back(Name, H);
+}
+
+MetricSnapshot MetricsRegistry::snapshot() {
+  MetricSnapshot Snap;
+  Snap.Sequence = ++Seq;
+
+  // Per-source values (std::map keeps each section name-sorted for free),
+  // summed into the fleet rollup as they are read.
+  std::map<std::string, uint64_t> Rollup;
+  for (const Source &Src : Sources) {
+    std::map<std::string, uint64_t> Vals;
+    for (const StatisticSet *Set : Src.Sets)
+      for (const auto &[Name, Value] : Set->all())
+        Vals[Name] += Value;
+    for (const FnMetric &Fn : Src.Fns)
+      Vals[Fn.Name] += Fn.Read();
+
+    MetricSection Sec;
+    Sec.Label = Src.Label;
+    Sec.Values.reserve(Vals.size());
+    for (const auto &[Name, Value] : Vals) {
+      auto KindIt = Kinds.find(Name);
+      MetricKind Kind =
+          KindIt == Kinds.end() ? MetricKind::Counter : KindIt->second;
+      Sec.Values.push_back(MetricValue{Name, Kind, Value, 0});
+      Rollup[Name] += Value;
+    }
+    Snap.Sections.push_back(std::move(Sec));
+
+    if (auto It = Vals.find("cycles"); It != Vals.end())
+      Snap.Cycles = std::max(Snap.Cycles, It->second);
+  }
+
+  Snap.Fleet.reserve(Rollup.size());
+  for (const auto &[Name, Value] : Rollup) {
+    auto KindIt = Kinds.find(Name);
+    MetricKind Kind =
+        KindIt == Kinds.end() ? MetricKind::Counter : KindIt->second;
+    uint64_t Prev = 0;
+    if (auto It = PrevFleet.find(Name); It != PrevFleet.end())
+      Prev = It->second;
+    // Counters never shrink within one run, but guard anyway so a source
+    // swap cannot underflow the delta.
+    uint64_t Delta = Value >= Prev ? Value - Prev : 0;
+    Snap.Fleet.push_back(MetricValue{Name, Kind, Value, Delta});
+    PrevFleet[Name] = Value;
+  }
+
+  std::vector<std::pair<std::string, const Histogram *>> Hists = Histograms;
+  std::sort(Hists.begin(), Hists.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  for (const auto &[Name, H] : Hists) {
+    MetricHistogram MH;
+    MH.Name = Name;
+    MH.Count = H->count();
+    MH.Sum = H->sum();
+    MH.Max = H->max();
+    for (unsigned B = 0; B != Histogram::NumBuckets; ++B)
+      if (H->bucket(B))
+        MH.Buckets.push_back(MetricHistogram::Bucket{
+            Histogram::bucketLo(B), Histogram::bucketHi(B), H->bucket(B)});
+    Snap.Histograms.push_back(std::move(MH));
+  }
+  return Snap;
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus text exposition
+//===----------------------------------------------------------------------===//
+
+void writePrometheus(OutStream &OS, const MetricSnapshot &S,
+                     const char *Prefix) {
+  OS.printf("# TYPE %ssnapshot_sequence counter\n%ssnapshot_sequence %llu\n",
+            Prefix, Prefix, (unsigned long long)S.Sequence);
+  OS.printf("# TYPE %ssnapshot_cycles gauge\n%ssnapshot_cycles %llu\n", Prefix,
+            Prefix, (unsigned long long)S.Cycles);
+  for (const MetricValue &V : S.Fleet) {
+    OS.printf("# TYPE %s%s %s\n", Prefix, V.Name.c_str(),
+              metricKindName(V.Kind));
+    OS.printf("%s%s %llu\n", Prefix, V.Name.c_str(),
+              (unsigned long long)V.Value);
+    for (const MetricSection &Sec : S.Sections)
+      if (const MetricValue *TV = MetricSnapshot::find(Sec, V.Name))
+        OS.printf("%s%s{tenant=\"%s\"} %llu\n", Prefix, V.Name.c_str(),
+                  Sec.Label.c_str(), (unsigned long long)TV->Value);
+  }
+  for (const MetricHistogram &H : S.Histograms) {
+    OS.printf("# TYPE %s%s histogram\n", Prefix, H.Name.c_str());
+    uint64_t Cum = 0;
+    for (const MetricHistogram::Bucket &B : H.Buckets) {
+      Cum += B.N;
+      OS.printf("%s%s_bucket{le=\"%llu\"} %llu\n", Prefix, H.Name.c_str(),
+                (unsigned long long)B.Hi, (unsigned long long)Cum);
+    }
+    OS.printf("%s%s_bucket{le=\"+Inf\"} %llu\n", Prefix, H.Name.c_str(),
+              (unsigned long long)H.Count);
+    OS.printf("%s%s_sum %llu\n", Prefix, H.Name.c_str(),
+              (unsigned long long)H.Sum);
+    OS.printf("%s%s_count %llu\n", Prefix, H.Name.c_str(),
+              (unsigned long long)H.Count);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JSON export
+//===----------------------------------------------------------------------===//
+
+void appendJsonString(std::string &Out, const std::string &In) {
+  Out += '"';
+  for (char C : In) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if ((unsigned char)C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+namespace {
+
+void writeJsonStr(OutStream &OS, const std::string &In) {
+  std::string Buf;
+  appendJsonString(Buf, In);
+  OS.write(Buf.data(), Buf.size());
+}
+
+} // namespace
+
+void writeMetricsJson(OutStream &OS, const MetricSnapshot &S) {
+  OS.printf("{\n  \"sequence\": %llu,\n  \"cycles\": %llu,\n",
+            (unsigned long long)S.Sequence, (unsigned long long)S.Cycles);
+  OS.printf("  \"fleet\": {");
+  for (size_t I = 0; I != S.Fleet.size(); ++I) {
+    const MetricValue &V = S.Fleet[I];
+    OS.printf("%s\n    ", I ? "," : "");
+    writeJsonStr(OS, V.Name);
+    OS.printf(": {\"kind\": \"%s\", \"value\": %llu, \"delta\": %llu}",
+              metricKindName(V.Kind), (unsigned long long)V.Value,
+              (unsigned long long)V.Delta);
+  }
+  OS.printf("\n  },\n  \"tenants\": [");
+  for (size_t I = 0; I != S.Sections.size(); ++I) {
+    const MetricSection &Sec = S.Sections[I];
+    OS.printf("%s\n    {\"label\": ", I ? "," : "");
+    writeJsonStr(OS, Sec.Label);
+    OS.printf(", \"metrics\": {");
+    for (size_t J = 0; J != Sec.Values.size(); ++J) {
+      const MetricValue &V = Sec.Values[J];
+      OS.printf("%s", J ? ", " : "");
+      writeJsonStr(OS, V.Name);
+      OS.printf(": %llu", (unsigned long long)V.Value);
+    }
+    OS.printf("}}");
+  }
+  OS.printf("\n  ],\n  \"histograms\": {");
+  for (size_t I = 0; I != S.Histograms.size(); ++I) {
+    const MetricHistogram &H = S.Histograms[I];
+    OS.printf("%s\n    ", I ? "," : "");
+    writeJsonStr(OS, H.Name);
+    OS.printf(": {\"count\": %llu, \"sum\": %llu, \"max\": %llu, "
+              "\"buckets\": [",
+              (unsigned long long)H.Count, (unsigned long long)H.Sum,
+              (unsigned long long)H.Max);
+    for (size_t B = 0; B != H.Buckets.size(); ++B)
+      OS.printf("%s[%llu, %llu, %llu]", B ? ", " : "",
+                (unsigned long long)H.Buckets[B].Lo,
+                (unsigned long long)H.Buckets[B].Hi,
+                (unsigned long long)H.Buckets[B].N);
+    OS.printf("]}");
+  }
+  OS.printf("\n  }\n}\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Flight recorder
+//===----------------------------------------------------------------------===//
+
+void writeFlightRecord(OutStream &OS, const char *Reason,
+                       const MetricSnapshot &S, const EventTrace *Trace,
+                       const SampleProfile *Prof, size_t LastN, size_t TopK) {
+  OS.printf("{\n\"flight_record\": 1,\n\"reason\": ");
+  writeJsonStr(OS, Reason ? Reason : "");
+  OS.printf(",\n\"snapshot\": ");
+  writeMetricsJson(OS, S);
+
+  OS.printf(",\n\"events\": {");
+  if (Trace) {
+    size_t N = Trace->size();
+    size_t First = N > LastN ? N - LastN : 0;
+    OS.printf("\"total_recorded\": %llu, \"dropped\": %llu, \"last\": [",
+              (unsigned long long)Trace->totalRecorded(),
+              (unsigned long long)Trace->droppedEvents());
+    for (size_t I = First; I != N; ++I) {
+      const TraceEvent &E = Trace->event(I);
+      OS.printf("%s\n  {\"cycles\": %llu, \"tid\": %u, \"kind\": \"%s\", "
+                "\"tag\": %u, \"aux\": %u}",
+                I != First ? "," : "", (unsigned long long)E.Cycles,
+                unsigned(E.Tid), traceEventKindName(E.kind()), E.Tag, E.Aux);
+    }
+    OS.printf("\n]}");
+  } else {
+    OS.printf("\"total_recorded\": 0, \"dropped\": 0, \"last\": []}");
+  }
+
+  OS.printf(",\n\"profile\": {");
+  if (Prof) {
+    OS.printf("\"total_samples\": %llu, \"top\": [",
+              (unsigned long long)Prof->totalSamples());
+    std::vector<SampleProfile::Entry> Hot = Prof->hottest();
+    if (Hot.size() > TopK)
+      Hot.resize(TopK);
+    for (size_t I = 0; I != Hot.size(); ++I)
+      OS.printf("%s\n  {\"tag\": %u, \"samples\": %llu, "
+                "\"trace_samples\": %llu}",
+                I ? "," : "", Hot[I].Tag, (unsigned long long)Hot[I].Samples,
+                (unsigned long long)Hot[I].TraceSamples);
+    OS.printf("\n]}");
+  } else {
+    OS.printf("\"total_samples\": 0, \"top\": []}");
+  }
+  OS.printf("\n}\n");
+}
+
+} // namespace rio

@@ -1,0 +1,679 @@
+//===- tests/metrics_test.cpp - Production telemetry -------------------------===//
+//
+// Part of the RIO-DYN reproduction of "An Infrastructure for Adaptive
+// Dynamic Optimization" (CGO 2003).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the metrics registry and its exporters (support/Metrics.h):
+///
+///   - registry mechanics: sources, kinds, sorted sections, sequence
+///     numbers, delta-since-last-snapshot;
+///   - the non-perturbation gate: a metered run's simulated cycles are
+///     bit-identical to an unmetered run's, snapshots taken mid-run
+///     included (and the runFor slicing that takes them is itself
+///     cycle-neutral against one uninterrupted run());
+///   - per-tenant attribution: a 4-tenant fleet's sections sum exactly to
+///     the fleet rollup for every metric, and both export formats are
+///     byte-deterministic across identical runs;
+///   - the flight recorder: the dump round-trips through a real JSON
+///     parser and carries the last-N trace events, the snapshot, and the
+///     top-K profile rows;
+///   - the dr_metrics_* / dr_flight_dump API veneer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "api/dr_api.h"
+#include "core/Runtime.h"
+#include "core/ThreadedRunner.h"
+#include "support/EventTrace.h"
+#include "support/Metrics.h"
+#include "support/OutStream.h"
+#include "support/Profile.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace rio;
+using namespace rio::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON parser — just enough to round-trip the exporters' output
+// (objects, arrays, strings with the escapes appendJsonString emits, and
+// unsigned integers; the exporters produce nothing else).
+//===----------------------------------------------------------------------===//
+
+struct Json {
+  enum Kind { Null, Num, Str, Arr, Obj } K = Null;
+  uint64_t N = 0;
+  std::string S;
+  std::vector<Json> A;
+  std::map<std::string, Json> O;
+
+  const Json &at(const std::string &Key) const {
+    static const Json Missing;
+    auto It = O.find(Key);
+    return It == O.end() ? Missing : It->second;
+  }
+  bool has(const std::string &Key) const { return O.count(Key) != 0; }
+};
+
+class JsonParser {
+public:
+  explicit JsonParser(const std::string &Text) : T(Text) {}
+
+  bool parse(Json &Out) {
+    bool Ok = value(Out);
+    skipWs();
+    return Ok && P == T.size();
+  }
+
+private:
+  void skipWs() {
+    while (P < T.size() && std::isspace(static_cast<unsigned char>(T[P])))
+      ++P;
+  }
+  bool eat(char C) {
+    skipWs();
+    if (P >= T.size() || T[P] != C)
+      return false;
+    ++P;
+    return true;
+  }
+  bool value(Json &Out) {
+    skipWs();
+    if (P >= T.size())
+      return false;
+    char C = T[P];
+    if (C == '{')
+      return object(Out);
+    if (C == '[')
+      return array(Out);
+    if (C == '"') {
+      Out.K = Json::Str;
+      return string(Out.S);
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Out.K = Json::Num;
+      Out.N = 0;
+      while (P < T.size() && std::isdigit(static_cast<unsigned char>(T[P])))
+        Out.N = Out.N * 10 + uint64_t(T[P++] - '0');
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string &Out) {
+    if (!eat('"'))
+      return false;
+    Out.clear();
+    while (P < T.size() && T[P] != '"') {
+      if (T[P] == '\\') {
+        if (++P >= T.size())
+          return false;
+        switch (T[P]) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case 'n': Out += '\n'; break;
+        case 'r': Out += '\r'; break;
+        case 't': Out += '\t'; break;
+        case 'u': {
+          if (P + 4 >= T.size())
+            return false;
+          unsigned V = 0;
+          for (int I = 0; I != 4; ++I) {
+            char H = T[++P];
+            V = V * 16 + unsigned(std::isdigit((unsigned char)H) ? H - '0'
+                                  : std::tolower(H) - 'a' + 10);
+          }
+          Out += char(V);
+          break;
+        }
+        default: return false;
+        }
+        ++P;
+      } else {
+        Out += T[P++];
+      }
+    }
+    return eat('"');
+  }
+  bool object(Json &Out) {
+    if (!eat('{'))
+      return false;
+    Out.K = Json::Obj;
+    skipWs();
+    if (eat('}'))
+      return true;
+    do {
+      std::string Key;
+      if (!string(Key) || !eat(':'))
+        return false;
+      Json V;
+      if (!value(V))
+        return false;
+      Out.O.emplace(std::move(Key), std::move(V));
+    } while (eat(','));
+    return eat('}');
+  }
+  bool array(Json &Out) {
+    if (!eat('['))
+      return false;
+    Out.K = Json::Arr;
+    skipWs();
+    if (eat(']'))
+      return true;
+    do {
+      Json V;
+      if (!value(V))
+        return false;
+      Out.A.push_back(std::move(V));
+    } while (eat(','));
+    return eat(']');
+  }
+
+  const std::string &T;
+  size_t P = 0;
+};
+
+Json parseOrDie(const std::string &Text) {
+  Json J;
+  EXPECT_TRUE(JsonParser(Text).parse(J)) << "unparseable JSON:\n" << Text;
+  return J;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared fixtures
+//===----------------------------------------------------------------------===//
+
+Program dispatchProgram(int Iters) {
+  return assembleOrDie(R"(
+    .entry main
+    table: .word h0 h0 h0 h0 h0 h0 h0 h0 h0 h0 h0 h0 h1 h2 h3 h4
+    main:
+      mov esi, 0
+      mov eax, 12345
+      mov edi, )" + std::to_string(Iters) + R"(
+    loop:
+      imul eax, eax, 1103515245
+      add eax, 12345
+      mov ecx, eax
+      shr ecx, 16
+      and ecx, 15
+      shl ecx, 2
+      jmp [table+ecx]
+    h0:
+      add esi, 1
+      jmp next
+    h1:
+      add esi, 17
+      jmp next
+    h2:
+      add esi, 257
+      jmp next
+    h3:
+      add esi, 4097
+      jmp next
+    h4:
+      add esi, 65537
+      jmp next
+    next:
+      and esi, 0xFFFFFF
+      dec edi
+      jnz loop
+      mov ebx, esi
+      mov eax, 2
+      int 0x80
+      mov ebx, 0
+      mov eax, 1
+      int 0x80
+  )");
+}
+
+std::string promOf(const MetricSnapshot &Snap) {
+  StringOutStream OS;
+  writePrometheus(OS, Snap);
+  return OS.str();
+}
+
+std::string jsonOf(const MetricSnapshot &Snap) {
+  StringOutStream OS;
+  writeMetricsJson(OS, Snap);
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Registry mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsRegistry, SnapshotSortsNamesAndTracksKinds) {
+  MetricsRegistry Reg;
+  uint64_t Ticks = 7, Depth = 3;
+  uint32_t Src = Reg.addSource("main");
+  Reg.addCounter(Src, "zeta_ticks", [&] { return Ticks; });
+  Reg.addGauge(Src, "alpha_depth", [&] { return Depth; });
+
+  MetricSnapshot Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.Sections.size(), 1u);
+  ASSERT_EQ(Snap.Sections[0].Values.size(), 2u);
+  // Sorted by name within the section and the rollup.
+  EXPECT_EQ(Snap.Sections[0].Values[0].Name, "alpha_depth");
+  EXPECT_EQ(Snap.Sections[0].Values[1].Name, "zeta_ticks");
+  EXPECT_EQ(Snap.Fleet[0].Name, "alpha_depth");
+  EXPECT_EQ(Snap.Fleet[0].Kind, MetricKind::Gauge);
+  EXPECT_EQ(Snap.Fleet[1].Kind, MetricKind::Counter);
+  EXPECT_EQ(Snap.Sequence, 1u);
+  EXPECT_EQ(Reg.snapshotsTaken(), 1u);
+}
+
+TEST(MetricsRegistry, DeltasTrackChangesBetweenSnapshots) {
+  MetricsRegistry Reg;
+  uint64_t Events = 10;
+  Reg.addCounter(Reg.addSource("main"), "events", [&] { return Events; });
+
+  MetricSnapshot First = Reg.snapshot();
+  EXPECT_EQ(First.fleet("events")->Value, 10u);
+  EXPECT_EQ(First.fleet("events")->Delta, 10u); // first delta == value
+
+  Events = 25;
+  MetricSnapshot Second = Reg.snapshot();
+  EXPECT_EQ(Second.Sequence, 2u);
+  EXPECT_EQ(Second.fleet("events")->Value, 25u);
+  EXPECT_EQ(Second.fleet("events")->Delta, 15u);
+
+  MetricSnapshot Third = Reg.snapshot();
+  EXPECT_EQ(Third.fleet("events")->Delta, 0u);
+}
+
+TEST(MetricsRegistry, StatisticSetCountersArePickedUpLive) {
+  StatisticSet Stats;
+  Stats.counter("early") = 5;
+  MetricsRegistry Reg;
+  Reg.addCounters(Reg.addSource("main"), &Stats);
+
+  // A counter interned *after* registration still appears: the set is
+  // walked at snapshot time, not registration time.
+  Stats.counter("late") = 7;
+  MetricSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.fleet("early")->Value, 5u);
+  EXPECT_EQ(Snap.fleet("late")->Value, 7u);
+}
+
+TEST(MetricsRegistry, RollupSumsSourcesExactly) {
+  MetricsRegistry Reg;
+  uint64_t A = 3, B = 39;
+  Reg.addCounter(Reg.addSource("t0"), "work", [&] { return A; });
+  Reg.addCounter(Reg.addSource("t1"), "work", [&] { return B; });
+
+  MetricSnapshot Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.Sections.size(), 2u);
+  EXPECT_EQ(Snap.Sections[0].Label, "t0"); // registration order
+  EXPECT_EQ(Snap.Sections[1].Label, "t1");
+  EXPECT_EQ(MetricSnapshot::find(Snap.Sections[0], "work")->Value, 3u);
+  EXPECT_EQ(MetricSnapshot::find(Snap.Sections[1], "work")->Value, 39u);
+  EXPECT_EQ(Snap.fleet("work")->Value, 42u);
+}
+
+TEST(MetricsRegistry, HistogramRegistrationIsIdempotentPerName) {
+  Histogram H;
+  H.add(4);
+  H.add(100);
+  MetricsRegistry Reg;
+  Reg.addHistogram("sizes", &H);
+  Reg.addHistogram("sizes", &H); // second runtime registering the shared one
+
+  MetricSnapshot Snap = Reg.snapshot();
+  ASSERT_EQ(Snap.Histograms.size(), 1u);
+  EXPECT_EQ(Snap.Histograms[0].Count, 2u);
+  uint64_t BucketTotal = 0;
+  for (const auto &B : Snap.Histograms[0].Buckets)
+    BucketTotal += B.N;
+  EXPECT_EQ(BucketTotal, Snap.Histograms[0].Count);
+}
+
+//===----------------------------------------------------------------------===//
+// The non-perturbation gate
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsNeutrality, MeteredRunIsCycleIdenticalToUnmetered) {
+  Program Prog = dispatchProgram(400);
+  RuntimeConfig Config = RuntimeConfig::full();
+
+  // Reference: no registry anywhere near the runtime.
+  Machine M1;
+  ASSERT_TRUE(loadProgram(M1, Prog));
+  Runtime RT1(M1, Config);
+  ASSERT_EQ(RT1.run().Status, RunStatus::Exited);
+
+  // Metered: registry attached, snapshots taken mid-run at runFor slices.
+  Machine M2;
+  ASSERT_TRUE(loadProgram(M2, Prog));
+  Runtime RT2(M2, Config);
+  MetricsRegistry Reg;
+  RT2.registerMetrics(Reg, "main");
+  RunResult R;
+  do {
+    R = RT2.runFor(1000);
+    Reg.snapshot();
+  } while (R.QuantumExpired);
+  ASSERT_EQ(R.Status, RunStatus::Exited);
+
+  // Zero threshold, both directions: identical or the gate fails.
+  EXPECT_EQ(M1.cycles(), M2.cycles());
+  EXPECT_EQ(M1.instructionsExecuted(), M2.instructionsExecuted());
+  EXPECT_EQ(M1.output(), M2.output());
+  EXPECT_GE(Reg.snapshotsTaken(), 2u);
+}
+
+TEST(MetricsNeutrality, RunForSlicingItselfIsCycleNeutral) {
+  // The periodic snapshot writer drives the run in runFor slices; that
+  // slicing must not change simulated time even without any metrics.
+  Program Prog = dispatchProgram(400);
+  for (bool Ib : {false, true}) {
+    RuntimeConfig Config = RuntimeConfig::full();
+    Config.IbInline = Ib;
+
+    Machine M1;
+    ASSERT_TRUE(loadProgram(M1, Prog));
+    Runtime RT1(M1, Config);
+    ASSERT_EQ(RT1.run().Status, RunStatus::Exited);
+
+    Machine M2;
+    ASSERT_TRUE(loadProgram(M2, Prog));
+    Runtime RT2(M2, Config);
+    RunResult R;
+    do
+      R = RT2.runFor(777);
+    while (R.QuantumExpired);
+    ASSERT_EQ(R.Status, RunStatus::Exited);
+
+    EXPECT_EQ(M1.cycles(), M2.cycles()) << "ib-inline=" << Ib;
+    EXPECT_EQ(M1.output(), M2.output()) << "ib-inline=" << Ib;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-tenant attribution and export determinism
+//===----------------------------------------------------------------------===//
+
+/// Warms a template, forks a 4-tenant fleet, runs every tenant, registers
+/// template + fleet in \p Reg, and returns the final snapshot. All state
+/// is kept alive in the out-params so gauge closures stay valid.
+MetricSnapshot runFleetAndSnapshot(const Program &Prog, MetricsRegistry &Reg,
+                                   std::unique_ptr<Machine> &M,
+                                   std::unique_ptr<Runtime> &Template,
+                                   TenantFleet &Fleet) {
+  RuntimeConfig Config = RuntimeConfig::full();
+  M = std::make_unique<Machine>();
+  EXPECT_TRUE(loadProgram(*M, Prog));
+  Template = std::make_unique<Runtime>(*M, Config);
+  EXPECT_EQ(Template->run().Status, RunStatus::Exited);
+  M->resetForRun();
+  Template->resetThreadForRun();
+  std::string Err;
+  EXPECT_TRUE(Template->freezeTemplate(&Err)) << Err;
+  EXPECT_TRUE(Fleet.spawn(*Template, *M, 4, &Err)) << Err;
+
+  Template->registerMetrics(Reg, "template");
+  Fleet.registerMetrics(Reg);
+  for (auto &T : Fleet)
+    EXPECT_EQ(T.RT->run().Status, RunStatus::Exited);
+  return Reg.snapshot();
+}
+
+TEST(MetricsFleet, TenantSectionsSumExactlyToFleetRollup) {
+  Program Prog = dispatchProgram(300);
+  MetricsRegistry Reg;
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<Runtime> Template;
+  TenantFleet Fleet;
+  MetricSnapshot Snap = runFleetAndSnapshot(Prog, Reg, M, Template, Fleet);
+
+  ASSERT_EQ(Snap.Sections.size(), 5u); // template + 4 tenants
+  EXPECT_EQ(Snap.Sections[0].Label, "template");
+  EXPECT_EQ(Snap.Sections[1].Label, "tenant0");
+  EXPECT_EQ(Snap.Sections[4].Label, "tenant3");
+
+  // The acceptance identity: for EVERY fleet metric, the per-section
+  // values sum exactly to the rollup value.
+  ASSERT_FALSE(Snap.Fleet.empty());
+  for (const MetricValue &V : Snap.Fleet) {
+    uint64_t Sum = 0;
+    for (const MetricSection &Sec : Snap.Sections)
+      if (const MetricValue *SV = MetricSnapshot::find(Sec, V.Name))
+        Sum += SV->Value;
+    EXPECT_EQ(Sum, V.Value) << "rollup mismatch for " << V.Name;
+  }
+
+  // Spot checks: every tenant counted itself, and ran real work.
+  EXPECT_EQ(Snap.fleet("fork_tenant")->Value, 4u);
+  for (size_t T = 1; T <= 4; ++T)
+    EXPECT_GT(MetricSnapshot::find(Snap.Sections[T], "cycles")->Value, 0u);
+}
+
+TEST(MetricsFleet, ExportsAreByteDeterministicAcrossRuns) {
+  Program Prog = dispatchProgram(300);
+  std::string Proms[2], Jsons[2];
+  for (int Run = 0; Run != 2; ++Run) {
+    MetricsRegistry Reg;
+    std::unique_ptr<Machine> M;
+    std::unique_ptr<Runtime> Template;
+    TenantFleet Fleet;
+    MetricSnapshot Snap = runFleetAndSnapshot(Prog, Reg, M, Template, Fleet);
+    Proms[Run] = promOf(Snap);
+    Jsons[Run] = jsonOf(Snap);
+  }
+  EXPECT_EQ(Proms[0], Proms[1]);
+  EXPECT_EQ(Jsons[0], Jsons[1]);
+  EXPECT_FALSE(Proms[0].empty());
+}
+
+TEST(MetricsExport, PrometheusShapeIsValid) {
+  MetricsRegistry Reg;
+  uint64_t Work = 9;
+  uint32_t T0 = Reg.addSource("tenant0");
+  Reg.addCounter(T0, "work_total", [&] { return Work; });
+  Histogram H;
+  H.add(5);
+  H.add(300);
+  H.add(301);
+  Reg.addHistogram("sizes", &H);
+
+  std::string Text = promOf(Reg.snapshot());
+  // One # TYPE line per family, fleet sample unlabeled, tenant labeled.
+  EXPECT_NE(Text.find("# TYPE riodyn_work_total counter\n"), std::string::npos);
+  EXPECT_NE(Text.find("\nriodyn_work_total 9\n"), std::string::npos);
+  EXPECT_NE(Text.find("riodyn_work_total{tenant=\"tenant0\"} 9\n"),
+            std::string::npos);
+  // Histogram: cumulative buckets, +Inf equals _count, _sum present.
+  EXPECT_NE(Text.find("# TYPE riodyn_sizes histogram\n"), std::string::npos);
+  EXPECT_NE(Text.find("riodyn_sizes_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(Text.find("riodyn_sizes_count 3\n"), std::string::npos);
+  EXPECT_NE(Text.find("riodyn_sizes_sum 606\n"), std::string::npos);
+
+  // Cumulative bucket counts never decrease.
+  uint64_t Prev = 0;
+  size_t Pos = 0;
+  while ((Pos = Text.find("riodyn_sizes_bucket{le=\"", Pos)) !=
+         std::string::npos) {
+    size_t Space = Text.find(' ', Pos);
+    uint64_t Cum = std::strtoull(Text.c_str() + Space + 1, nullptr, 10);
+    EXPECT_GE(Cum, Prev);
+    Prev = Cum;
+    Pos = Space;
+  }
+}
+
+TEST(MetricsExport, JsonRoundTripsThroughParser) {
+  Program Prog = dispatchProgram(300);
+  MetricsRegistry Reg;
+  std::unique_ptr<Machine> M;
+  std::unique_ptr<Runtime> Template;
+  TenantFleet Fleet;
+  MetricSnapshot Snap = runFleetAndSnapshot(Prog, Reg, M, Template, Fleet);
+
+  Json Doc = parseOrDie(jsonOf(Snap));
+  EXPECT_EQ(Doc.at("sequence").N, Snap.Sequence);
+  EXPECT_EQ(Doc.at("cycles").N, Snap.Cycles);
+  ASSERT_EQ(Doc.at("tenants").A.size(), Snap.Sections.size());
+  EXPECT_EQ(Doc.at("tenants").A[0].at("label").S, "template");
+  // The parsed document preserves the rollup identity too.
+  for (const auto &[Name, V] : Doc.at("fleet").O) {
+    uint64_t Sum = 0;
+    for (const Json &Tenant : Doc.at("tenants").A) {
+      const Json &TV = Tenant.at("metrics").at(Name);
+      Sum += TV.K == Json::Num ? TV.N : 0;
+    }
+    EXPECT_EQ(Sum, V.at("value").N) << "parsed rollup mismatch for " << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The flight recorder
+//===----------------------------------------------------------------------===//
+
+TEST(FlightRecorder, DumpRoundTripsWithEventsAndProfile) {
+  Program Prog = dispatchProgram(5000);
+  RuntimeConfig Config = RuntimeConfig::full();
+  EventTrace Trace(/*Capacity=*/16); // tiny ring: forces wrap + drops
+  SampleProfile Prof(500);
+  Config.Trace = &Trace;
+  Config.Profiler = &Prof;
+
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  Runtime RT(M, Config);
+  MetricsRegistry Reg;
+  RT.registerMetrics(Reg, "main");
+
+  // Trigger mid-run, like a guard-rail trip would.
+  RunResult R = RT.runFor(20000);
+  ASSERT_TRUE(R.QuantumExpired);
+  StringOutStream OS;
+  constexpr size_t LastN = 8, TopK = 5;
+  writeFlightRecord(OS, "guard_rail_trip", Reg.snapshot(), &Trace, &Prof,
+                    LastN, TopK);
+
+  Json Doc = parseOrDie(OS.str());
+  EXPECT_EQ(Doc.at("flight_record").N, 1u);
+  EXPECT_EQ(Doc.at("reason").S, "guard_rail_trip");
+
+  // A complete, valid snapshot is embedded.
+  const Json &Snap = Doc.at("snapshot");
+  EXPECT_EQ(Snap.at("sequence").N, 1u);
+  EXPECT_GT(Snap.at("cycles").N, 0u);
+  EXPECT_TRUE(Snap.at("fleet").has("dispatches"));
+
+  // Events: exactly the last-N retained ring entries, in order, with the
+  // dropped count carried alongside.
+  const Json &Events = Doc.at("events");
+  EXPECT_EQ(Events.at("total_recorded").N, Trace.totalRecorded());
+  EXPECT_EQ(Events.at("dropped").N, Trace.droppedEvents());
+  EXPECT_GT(Trace.droppedEvents(), 0u); // the ring did wrap
+  ASSERT_EQ(Events.at("last").A.size(), LastN);
+  size_t First = Trace.size() - LastN;
+  for (size_t I = 0; I != LastN; ++I) {
+    const TraceEvent &E = Trace.event(First + I);
+    const Json &Row = Events.at("last").A[I];
+    EXPECT_EQ(Row.at("cycles").N, E.Cycles);
+    EXPECT_EQ(Row.at("tag").N, E.Tag);
+    EXPECT_EQ(Row.at("kind").S, traceEventKindName(E.kind()));
+  }
+
+  // Profile: top-K rows of the deterministic hottest() order.
+  const Json &Profile = Doc.at("profile");
+  EXPECT_EQ(Profile.at("total_samples").N, Prof.totalSamples());
+  std::vector<SampleProfile::Entry> Hot = Prof.hottest();
+  ASSERT_GE(Hot.size(), 1u);
+  size_t Expect = std::min(Hot.size(), TopK);
+  ASSERT_EQ(Profile.at("top").A.size(), Expect);
+  for (size_t I = 0; I != Expect; ++I) {
+    EXPECT_EQ(Profile.at("top").A[I].at("tag").N, Hot[I].Tag);
+    EXPECT_EQ(Profile.at("top").A[I].at("samples").N, Hot[I].Samples);
+  }
+}
+
+TEST(FlightRecorder, NullSinksProduceEmptySections) {
+  MetricsRegistry Reg;
+  uint64_t V = 1;
+  Reg.addCounter(Reg.addSource("main"), "v", [&] { return V; });
+  StringOutStream OS;
+  writeFlightRecord(OS, "no sinks", Reg.snapshot(), nullptr, nullptr);
+  Json Doc = parseOrDie(OS.str());
+  EXPECT_EQ(Doc.at("events").at("last").A.size(), 0u);
+  EXPECT_EQ(Doc.at("events").at("total_recorded").N, 0u);
+  EXPECT_EQ(Doc.at("profile").at("top").A.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// dr_ API veneer
+//===----------------------------------------------------------------------===//
+
+class TempFile {
+public:
+  explicit TempFile(const char *Suffix) {
+    Path = ::testing::TempDir() + "riodyn_metrics_" + Suffix;
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+  std::string read() const {
+    std::string Out;
+    std::FILE *F = std::fopen(Path.c_str(), "rb");
+    if (!F)
+      return Out;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Out.append(Buf, N);
+    std::fclose(F);
+    return Out;
+  }
+  std::string Path;
+};
+
+TEST(DrMetrics, SnapshotExportAndFlightDump) {
+  Program Prog = dispatchProgram(300);
+  RuntimeConfig Config = RuntimeConfig::full();
+  Machine M;
+  ASSERT_TRUE(loadProgram(M, Prog));
+  Runtime RT(M, Config);
+  ASSERT_EQ(RT.run().Status, RunStatus::Exited);
+
+  // The lazy self-registry labels the runtime "main"; deltas accumulate
+  // across calls because the registry persists with the runtime.
+  MetricSnapshot S1 = dr_metrics_snapshot(&RT);
+  EXPECT_EQ(S1.Sequence, 1u);
+  ASSERT_EQ(S1.Sections.size(), 1u);
+  EXPECT_EQ(S1.Sections[0].Label, "main");
+  EXPECT_GT(S1.fleet("cycles")->Value, 0u);
+  MetricSnapshot S2 = dr_metrics_snapshot(&RT);
+  EXPECT_EQ(S2.Sequence, 2u);
+  EXPECT_EQ(S2.fleet("dispatches")->Delta, 0u); // nothing ran in between
+
+  TempFile Prom("api.prom"), JsonFile("api.json"), Flight("api.flight");
+  ASSERT_TRUE(dr_metrics_export(&RT, Prom.Path.c_str(), "prom"));
+  ASSERT_TRUE(dr_metrics_export(&RT, JsonFile.Path.c_str(), "json"));
+  EXPECT_FALSE(dr_metrics_export(&RT, Prom.Path.c_str(), "xml"));
+  EXPECT_FALSE(
+      dr_metrics_export(&RT, "/nonexistent-dir/x.prom", "prom"));
+
+  EXPECT_NE(Prom.read().find("# TYPE riodyn_dispatches counter"),
+            std::string::npos);
+  Json Exported = parseOrDie(JsonFile.read());
+  EXPECT_TRUE(Exported.at("fleet").has("dispatches"));
+
+  ASSERT_TRUE(dr_flight_dump(&RT, Flight.Path.c_str(), "operator request"));
+  Json Dump = parseOrDie(Flight.read());
+  EXPECT_EQ(Dump.at("reason").S, "operator request");
+  EXPECT_EQ(Dump.at("flight_record").N, 1u);
+}
+
+} // namespace

@@ -73,6 +73,33 @@ TEST(EventTraceRing, NoDropsBeforeWrap) {
   EXPECT_EQ(T.event(4).Tag, 4u);
 }
 
+TEST(EventTraceRing, HookSeesEveryEventAcrossWrapAndDropsStayExact) {
+  // A client hook observes the live stream, not the retained window: when
+  // the ring wraps underneath it, the hook still sees every recorded event
+  // exactly once, and the drop accounting stays exact (retained + dropped
+  // == total recorded).
+  EventTrace T(8);
+  std::vector<uint32_t> Seen;
+  T.setHook([&](const TraceEvent &E) { Seen.push_back(E.Tag); });
+  constexpr uint32_t Total = 37; // > 4 full ring generations
+  for (uint32_t I = 0; I != Total; ++I)
+    T.record(/*Cycles=*/I, /*Tid=*/0, TraceEventKind::IblHit, /*Tag=*/I,
+             /*Aux=*/0);
+
+  ASSERT_EQ(Seen.size(), size_t(Total));
+  for (uint32_t I = 0; I != Total; ++I)
+    EXPECT_EQ(Seen[I], I) << "hook missed or reordered an event at " << I;
+
+  EXPECT_EQ(T.totalRecorded(), uint64_t(Total));
+  EXPECT_EQ(T.size(), 8u);
+  EXPECT_EQ(T.droppedEvents(), uint64_t(Total) - T.size());
+  EXPECT_EQ(T.droppedEvents() + T.size(), T.totalRecorded());
+  // The retained window is the newest events, oldest first — exactly the
+  // tail of what the hook saw.
+  for (size_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(T.event(I).Tag, Seen[Total - T.size() + I]);
+}
+
 TEST(EventTraceRing, DisabledRecordsNothingThroughMacro) {
   EventTrace T(8);
   T.setEnabled(false);
