@@ -59,6 +59,7 @@
 #include "asm/Disasm.h"
 #include "core/Sideline.h"
 #include "core/ThreadedRunner.h"
+#include "core/TraceOpt.h"
 #include "harness/Experiment.h"
 #include "support/EventTrace.h"
 #include "support/Metrics.h"
@@ -110,6 +111,12 @@ void printHelp() {
       "  -sideline-async        run the sideline on a real host worker "
       "thread (implies -sideline)\n"
       "  -sideline-seed <n>     seed for the async completion schedule\n"
+      "  -traceopt[=p,...]      trace optimizer on trace bodies; pass list\n"
+      "                         from loads,consts,dse,strength (default "
+      "all)\n"
+      "  -traceopt-speculate    guard-based value speculation with deopt "
+      "bail-out\n"
+      "                         (implies -traceopt; needs -sideline)\n"
       "  -ib-inline             adaptive indirect-branch inline caches\n"
       "  -scale <n>             workload scale override\n"
       "  -budget <n>            abort (exit 124) past n simulated "
@@ -167,6 +174,8 @@ int main(int argc, char **argv) {
   bool AsyncSideline = false;
   uint64_t SidelineSeed = 0x5eed51deull;
   bool DumpAsm = false, Profile = false, IbInline = false;
+  bool TraceOpt = false, TraceOptSpeculate = false;
+  TraceOptOptions TraceOptOpts;
   std::string ConfigName = "full", ClientName = "none", Target, DisasSym,
               TraceFile, CacheLoadFile, CacheSaveFile, MetricsFile,
               FlightRecordFile;
@@ -196,6 +205,37 @@ int main(int argc, char **argv) {
       SidelineSeed = std::strtoull(argv[++I], nullptr, 0);
     else if (Arg.rfind("-sideline-seed=", 0) == 0)
       SidelineSeed = std::strtoull(Arg.c_str() + 15, nullptr, 0);
+    else if (Arg == "-traceopt")
+      TraceOpt = true;
+    else if (Arg == "-traceopt-speculate")
+      TraceOpt = TraceOptSpeculate = true;
+    else if (Arg.rfind("-traceopt=", 0) == 0) {
+      TraceOpt = true;
+      TraceOptOpts.RemoveLoads = TraceOptOpts.FoldConsts = false;
+      TraceOptOpts.EliminateDeadStores = TraceOptOpts.StrengthReduce = false;
+      std::string List = Arg.substr(10), Pass;
+      for (size_t Pos = 0; Pos <= List.size();) {
+        size_t Comma = List.find(',', Pos);
+        if (Comma == std::string::npos)
+          Comma = List.size();
+        Pass = List.substr(Pos, Comma - Pos);
+        if (Pass == "loads")
+          TraceOptOpts.RemoveLoads = true;
+        else if (Pass == "consts")
+          TraceOptOpts.FoldConsts = true;
+        else if (Pass == "dse")
+          TraceOptOpts.EliminateDeadStores = true;
+        else if (Pass == "strength")
+          TraceOptOpts.StrengthReduce = true;
+        else {
+          OS.printf("error: unknown -traceopt pass '%s' (want "
+                    "loads,consts,dse,strength)\n\n",
+                    Pass.c_str());
+          return usage();
+        }
+        Pos = Comma + 1;
+      }
+    }
     else if (Arg == "-stats")
       Stats = true;
     else if (Arg == "-dump-asm")
@@ -259,6 +299,18 @@ int main(int argc, char **argv) {
   }
   if (Target.empty())
     return usage();
+
+  // Speculation publishes through the sideline's reopt queue; without a
+  // sideline there is no publication point to revalidate and guard at.
+  if (TraceOptSpeculate && !UseSideline) {
+    OS.printf("error: -traceopt-speculate needs -sideline (or "
+              "-sideline-async)\n");
+    return usage();
+  }
+  if (TraceOpt && Native) {
+    OS.printf("error: -traceopt has nothing to optimize under -native\n");
+    return usage();
+  }
 
   // -tenants wants the single-runtime cache mode with nothing that would
   // make the template unfreezable (a client, the sideline) or ambiguous
@@ -332,7 +384,10 @@ int main(int argc, char **argv) {
   SampleProfile Profiler(SampleInterval ? SampleInterval : 1000);
   if (!TraceFile.empty())
     Config.Trace = &Trace;
-  if (Profile)
+  // The speculative tier of the trace optimizer feeds on the profiler's
+  // trace-sample stream, so -traceopt-speculate activates sampling even
+  // when the -profile report is not wanted.
+  if (Profile || TraceOptSpeculate)
     Config.Profiler = &Profiler;
 
   // Resolve client.
@@ -359,6 +414,13 @@ int main(int argc, char **argv) {
       return usage();
     ClientPtr = Bundle->client();
   }
+
+  // The trace optimizer wraps whichever client was chosen (the inner
+  // client's hooks run first), so -traceopt composes with -client.
+  TraceOptOpts.Speculate = TraceOptSpeculate;
+  TraceOptClient TraceOptC(TraceOptOpts, ClientPtr);
+  if (TraceOpt)
+    ClientPtr = &TraceOptC;
 
   // Run.
   Machine M;
@@ -504,6 +566,19 @@ int main(int argc, char **argv) {
     WarmStart(*RT);
     RT->registerMetrics(Reg, "main");
     Sideline->registerMetrics(Reg, Reg.addSource("sideline"));
+    // Profile stream -> speculation: each trace sample updates the
+    // optimizer's per-site value observations; a stable plan asks the
+    // sideline for a re-optimization pass whose publication point emits
+    // the guards.
+    if (TraceOptSpeculate) {
+      Runtime *RTP = RT.get();
+      SidelineOptimizer *SP = Sideline.get();
+      Profiler.setTraceSampleHook([RTP, SP, &TraceOptC](uint32_t Tag,
+                                                        uint64_t Samples) {
+        if (TraceOptC.observe(*RTP, Tag, Samples))
+          SP->requestReopt(*RTP, Tag);
+      });
+    }
     R = runWithSideline(*RT, *Sideline);
   } else {
     RT = std::make_unique<Runtime>(M, Config, ClientPtr);
@@ -592,6 +667,27 @@ int main(int argc, char **argv) {
     OS.printf("shepherding: %llu transfers checked, %llu violations\n",
               (unsigned long long)Shepherd.transfersChecked(),
               (unsigned long long)Shepherd.violations());
+
+  if (TraceOpt && RT) {
+    const ValuePassStats &VS = TraceOptC.valueStats();
+    OS.printf("traceopt: %llu traces optimized (%llu loads removed, "
+              "%llu forwarded, %llu consts folded, %llu dead stores, "
+              "%llu inc/dec reduced)\n",
+              (unsigned long long)TraceOptC.tracesOptimized(),
+              (unsigned long long)VS.LoadsRemoved,
+              (unsigned long long)VS.LoadsForwarded,
+              (unsigned long long)VS.ConstsFolded,
+              (unsigned long long)VS.DeadStoresElided,
+              (unsigned long long)TraceOptC.incDecReduced());
+    if (TraceOptSpeculate)
+      OS.printf("traceopt: %llu speculations, %llu guards emitted, "
+                "%llu guard failures, %llu blacklisted\n",
+                (unsigned long long)TraceOptC.speculationsApplied(),
+                (unsigned long long)TraceOptC.guardsEmitted(),
+                (unsigned long long)RT->stats().get(
+                    "traceopt_guard_failures"),
+                (unsigned long long)RT->traceoptBlacklist().size());
+  }
 
   if (Stats && RT) {
     OS.printf("\nruntime statistics:\n");

@@ -33,6 +33,11 @@ Three schemas are recognized by their fields:
     runs and gated with a zero threshold; host_ns is wall clock and only
     displayed.
 
+  * traceopt (bench_traceopt): entries carry {"config", "cycles", "guards",
+    "published", "deopts", ...}. Same seeded-schedule reasoning: cycles,
+    guard, publication, and deopt counts are exact and gated with a zero
+    threshold; host_ns is only displayed.
+
   * simulated (bench_threads): entries carry {"config", "cycles", ...} plus
     deterministic byte/fragment counts. Lower cycles is better, and the
     numbers are exact (simulated clock), so any drift is a real behavior
@@ -79,6 +84,10 @@ def load(path):
     elif "image_bytes" in data[0]:
         schema = "persist"
         required = ("config", "cycles", "cycles_cold", "image_bytes")
+    elif "guards" in data[0]:
+        # Must be probed before "published": traceopt files carry both.
+        schema = "traceopt"
+        required = ("config", "cycles", "guards", "published", "deopts")
     elif "published" in data[0]:
         schema = "sideline"
         required = ("config", "cycles", "published")
@@ -193,6 +202,21 @@ def main():
         print()
         compare(base, cur, "rss_per_tenant_kb", higher_is_better=False,
                 threshold=float("inf"), extra="spawn_ns")
+    elif base_schema == "traceopt":
+        # Simulated cycles, guard, publication, and deopt counts are all
+        # exact on the seeded schedule: gate them with a zero threshold.
+        # The binary already asserts the >=10% aggregate reduction and
+        # deopts == 0; the baseline diff catches everything subtler.
+        # host_ns is wall clock, displayed but never gated.
+        regressions = compare(base, cur, "cycles", higher_is_better=False,
+                              threshold=0.0, extra="guards")
+        regressions += compare_exact(base, cur, "cycles")
+        regressions += compare_exact(base, cur, "guards")
+        regressions += compare_exact(base, cur, "published")
+        regressions += compare_exact(base, cur, "deopts")
+        print()
+        compare(base, cur, "host_ns", higher_is_better=False,
+                threshold=float("inf"))
     elif base_schema == "sideline":
         # Seeded virtual-completion schedule on a simulated clock: cycle
         # counts and publication counts must be bit-identical across
@@ -219,7 +243,8 @@ def main():
                               threshold=args.threshold, extra="cache_bytes")
 
     if regressions:
-        if base_schema in ("metrics", "observability", "fork", "sideline"):
+        if base_schema in ("metrics", "observability", "fork", "sideline",
+                           "traceopt"):
             print("\nWARNING: simulated cycles drifted (must be "
                   "bit-identical):")
         else:

@@ -420,6 +420,25 @@ uint64_t rio::dr_min_safe_epoch(void *Context) {
   return runtimeOf(Context).minSafeEpoch();
 }
 
+uint32_t rio::dr_traceopt_guard_failures(void *Context, app_pc Tag) {
+  return runtimeOf(Context).traceoptGuardFailures(Tag);
+}
+
+bool rio::dr_traceopt_blacklisted(void *Context, app_pc Tag) {
+  return runtimeOf(Context).traceoptBlacklisted(Tag);
+}
+
+uint32_t rio::dr_traceopt_blacklist(void *Context, app_pc *Tags, uint32_t Max) {
+  const std::set<AppPc> &Bl = runtimeOf(Context).traceoptBlacklist();
+  uint32_t N = 0;
+  for (AppPc Tag : Bl) {
+    if (N >= Max)
+      break;
+    Tags[N++] = Tag;
+  }
+  return uint32_t(Bl.size());
+}
+
 void rio::dr_flush_region(void *Context, app_pc Start, uint32_t Size) {
   runtimeOf(Context).flushRegion(Start, Size);
 }

@@ -372,6 +372,28 @@ uint64_t dr_publication_epoch(void *context);
 /// at a safe point.
 uint64_t dr_min_safe_epoch(void *context);
 
+//===----------------------------------------------------------------------===//
+// Speculative trace optimization queries (core/TraceOpt.h)
+//===----------------------------------------------------------------------===//
+
+/// Guard failures recorded against trace tag \p tag: the number of times a
+/// published speculative version of the trace took its bail-out exit
+/// because a guarded value observation no longer held. The counter belongs
+/// to the tag, not any one body — it survives deoptimization and
+/// republication — and persists across dr_cache_save/dr_cache_load.
+uint32_t dr_traceopt_guard_failures(void *context, app_pc tag);
+
+/// True once \p tag has accumulated enough guard failures (the runtime's
+/// TraceOptBlacklistAfter knob, default 3) that the speculative tier
+/// refuses to speculate on it again. Blacklisting is permanent for the
+/// runtime's lifetime and rides cache images and fork templates.
+bool dr_traceopt_blacklisted(void *context, app_pc tag);
+
+/// Copies up to \p max blacklisted trace tags into \p tags (ascending
+/// order) and returns the total blacklist size, which may exceed \p max.
+/// Call with max == 0 to size a buffer.
+uint32_t dr_traceopt_blacklist(void *context, app_pc *tags, uint32_t max);
+
 /// Cache consistency: deletes every fragment built from application code in
 /// [start, start + size) — e.g. after the client observes the application
 /// generating or patching code. Safe to call from a clean call even while

@@ -13,193 +13,29 @@
 /// the identical operand whose register still holds the value) is deleted
 /// (same register) or turned into a register-to-register copy.
 ///
-/// The linearity of traces (paper Section 3.1) is what makes the analysis a
-/// single forward scan: bindings persist across trace-internal block
-/// boundaries — the cross-block redundancy the paper highlights — and are
-/// conservatively dropped at labels (internal join points of runtime check
-/// code) and on any possibly-aliasing store.
+/// The binding scan this client introduced grew into the trace optimizer's
+/// generalized value-tracking pass (core/TraceOpt.h); the client is now the
+/// load-removal-only configuration of that engine. Replacement
+/// instructions come from the InstrList's own arena, so the hook is safe
+/// on the sideline worker thread (sidelineSafe).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "clients/Clients.h"
 
-#include "api/dr_api.h"
-
-#include <vector>
+#include "core/Runtime.h"
+#include "core/TraceOpt.h"
 
 using namespace rio;
 
-namespace {
-
-/// One "memory operand M currently equals register R" fact.
-struct Binding {
-  Operand Mem;
-  Register Reg;
-};
-
-/// Conservative may-alias for two memory operands. Distinct absolute
-/// addresses cannot alias if their ranges are disjoint; a runtime-private
-/// slot (absolute, above the application region) never aliases anything an
-/// application instruction names relative to registers.
-bool mayAlias(const Operand &A, const Operand &B, uint32_t RuntimeBase) {
-  auto isAbs = [](const Operand &Op) {
-    return Op.getBase() == REG_NULL && Op.getIndex() == REG_NULL;
-  };
-  if (isAbs(A) && isAbs(B)) {
-    uint32_t ALo = uint32_t(A.getDisp()), AHi = ALo + A.sizeBytes();
-    uint32_t BLo = uint32_t(B.getDisp()), BHi = BLo + B.sizeBytes();
-    return ALo < BHi && BLo < AHi;
-  }
-  auto isRuntimePrivate = [&](const Operand &Op) {
-    return isAbs(Op) && uint32_t(Op.getDisp()) >= RuntimeBase;
-  };
-  if (isRuntimePrivate(A) != isRuntimePrivate(B))
-    return false;
-  return true; // register-relative: assume aliasing
-}
-
-/// True if writing register \p Written invalidates a binding involving
-/// register \p Used (as the held register or in the address).
-bool registersOverlap(Register Written, Register Used) {
-  return containingGpr(Written) == containingGpr(Used);
-}
-
-class Scan {
-public:
-  Scan(Runtime &RT, InstrList &Trace, uint64_t &Removed, uint64_t &Forwarded)
-      : RT(RT), Trace(Trace), Removed(Removed), Forwarded(Forwarded) {}
-
-  void run() {
-    for (Instr *I = Trace.first(); I;) {
-      Instr *Next = I->next();
-      step(I);
-      I = Next;
-    }
-  }
-
-private:
-  void invalidateReg(Register Reg) {
-    for (size_t Idx = 0; Idx != Bindings.size();) {
-      const Binding &B = Bindings[Idx];
-      if (registersOverlap(Reg, B.Reg) || B.Mem.usesRegister(Reg)) {
-        Bindings[Idx] = Bindings.back();
-        Bindings.pop_back();
-      } else {
-        ++Idx;
-      }
-    }
-  }
-
-  void invalidateAliases(const Operand &Mem) {
-    uint32_t RuntimeBase = RT.machine().runtimeBase();
-    for (size_t Idx = 0; Idx != Bindings.size();) {
-      if (mayAlias(Bindings[Idx].Mem, Mem, RuntimeBase)) {
-        Bindings[Idx] = Bindings.back();
-        Bindings.pop_back();
-      } else {
-        ++Idx;
-      }
-    }
-  }
-
-  Binding *findBinding(const Operand &Mem) {
-    for (Binding &B : Bindings)
-      if (B.Mem == Mem)
-        return &B;
-    return nullptr;
-  }
-
-  void bind(const Operand &Mem, Register Reg) {
-    if (Reg == REG_ESP || Reg == REG_NULL)
-      return;
-    // A load whose address uses its own destination (mov eax, [eax+4])
-    // denotes a *different* address after the load: never bind those.
-    if (Mem.usesRegister(Reg))
-      return;
-    if (findBinding(Mem))
-      return;
-    Bindings.push_back({Mem, Reg});
-  }
-
-  void step(Instr *I) {
-    if (I->isLabel()) {
-      // Internal join point (e.g. the hit label of an inlined indirect
-      // branch check): control may arrive from elsewhere; drop everything.
-      Bindings.clear();
-      return;
-    }
-    if (I->isBundle()) {
-      Bindings.clear(); // unexamined code: assume the worst
-      return;
-    }
-
-    int Op = instr_get_opcode(I);
-
-    // Full-width register loads: the optimization target.
-    bool IsLoad = (Op == OP_mov || Op == OP_movsd) && I->numSrcs() == 1 &&
-                  I->getSrc(0).isMem() && I->getDst(0).isReg();
-    bool IsStore = (Op == OP_mov || Op == OP_movsd) && I->numDsts() == 1 &&
-                   I->getDst(0).isMem();
-
-    if (IsLoad) {
-      Operand Mem = I->getSrc(0);
-      Register Dst = I->getDst(0).getReg();
-      if (Binding *B = findBinding(Mem)) {
-        if (B->Reg == Dst) {
-          // The register already holds the value: delete the load.
-          instrlist_remove(&Trace, I);
-          instr_destroy(&RT, I);
-          ++Removed;
-          return;
-        }
-        // Forward from the holding register: reg-to-reg copy.
-        Instr *Copy = instr_create(&RT, Op, {Operand::reg(Dst),
-                                             Operand::reg(B->Reg)});
-        if (Copy) {
-          instrlist_replace(&Trace, I, Copy);
-          instr_destroy(&RT, I);
-          ++Forwarded;
-          // Dst changed: drop bindings involving it, then note that Dst
-          // now also holds Mem's value (no-op if Mem's binding survives).
-          invalidateReg(Dst);
-          bind(Mem, Dst);
-          return;
-        }
-      }
-      invalidateReg(Dst);
-      bind(Mem, Dst);
-      return;
-    }
-
-    if (IsStore) {
-      Operand Mem = I->getDst(0);
-      invalidateAliases(Mem);
-      if (I->getSrc(0).isReg())
-        bind(Mem, I->getSrc(0).getReg());
-      return;
-    }
-
-    // Generic instruction: stores invalidate aliases; register writes
-    // invalidate involved bindings.
-    for (unsigned Idx = 0, N = I->numDsts(); Idx != N; ++Idx) {
-      const Operand &Dst = I->getDst(Idx);
-      if (Dst.isMem())
-        invalidateAliases(Dst);
-      else if (Dst.isReg())
-        invalidateReg(Dst.getReg());
-    }
-  }
-
-  Runtime &RT;
-  InstrList &Trace;
-  uint64_t &Removed;
-  uint64_t &Forwarded;
-  std::vector<Binding> Bindings;
-};
-
-} // namespace
-
 void RlrClient::onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) {
   (void)Tag;
-  Scan(RT, Trace, Removed, Forwarded).run();
+  ValuePassConfig Cfg;
+  Cfg.RemoveLoads = true;
+  Cfg.FoldConsts = false;
+  Cfg.EliminateDeadStores = false;
+  ValuePassStats Stats =
+      runValuePass(Trace, RT.machine().runtimeBase(), Cfg);
+  Removed += Stats.LoadsRemoved;
+  Forwarded += Stats.LoadsForwarded;
 }

@@ -113,44 +113,46 @@ bool isSlotStore(Instr *I, Register &Reg, Operand &Slot) {
 } // namespace
 
 unsigned rio::collapseRedundantSpills(InstrList &IL) {
+  // The patterns are strictly local (a pair of adjacent instructions), so
+  // a removal can only expose a new pair touching the removal point: stay
+  // on I after dropping its successor, back up one after dropping I
+  // itself. That bounds the whole collapse at O(n + removals) steps where
+  // the old restart-from-the-head fixpoint was quadratic on long
+  // spill/restore chains — and, because each removal re-examines exactly
+  // the newly adjacent pair, the removal *count* for a chain interleaved
+  // with labels no longer depends on how many outer iterations happened
+  // to rescan it.
   unsigned Removed = 0;
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (Instr *I = IL.first(); I; I = I->next()) {
-      Instr *J = I->next();
-      if (!J)
-        break;
-      Register RegA, RegB;
-      Operand SlotA, SlotB;
-      // load r,[M] ; store [M],r  ->  the store writes back what was just
-      // read; drop the store.
-      if (isSlotLoad(I, RegA, SlotA) && isSlotStore(J, RegB, SlotB) &&
-          RegA == RegB && SlotA == SlotB) {
-        IL.remove(J);
-        ++Removed;
-        Changed = true;
-        break;
-      }
-      // store [M],r ; load r,[M]  ->  the load reads back what was just
-      // written; drop the load.
-      if (isSlotStore(I, RegA, SlotA) && isSlotLoad(J, RegB, SlotB) &&
-          RegA == RegB && SlotA == SlotB) {
-        IL.remove(J);
-        ++Removed;
-        Changed = true;
-        break;
-      }
-      // load r,[M1] ; mov r,<src not using r>  ->  the first load is dead.
-      if (isSlotLoad(I, RegA, SlotA) && !J->isLabel() && !J->isBundle() &&
-          J->getOpcode() == OP_mov && J->getDst(0).isReg() &&
-          J->getDst(0).getReg() == RegA && !J->getSrc(0).usesRegister(RegA)) {
-        IL.remove(I);
-        ++Removed;
-        Changed = true;
-        break;
-      }
+  Instr *I = IL.first();
+  while (I) {
+    Instr *J = I->next();
+    if (!J)
+      break;
+    Register RegA, RegB;
+    Operand SlotA, SlotB;
+    // load r,[M] ; store [M],r  ->  the store writes back what was just
+    // read; drop the store.
+    // store [M],r ; load r,[M]  ->  the load reads back what was just
+    // written; drop the load.
+    if ((isSlotLoad(I, RegA, SlotA) && isSlotStore(J, RegB, SlotB) &&
+         RegA == RegB && SlotA == SlotB) ||
+        (isSlotStore(I, RegA, SlotA) && isSlotLoad(J, RegB, SlotB) &&
+         RegA == RegB && SlotA == SlotB)) {
+      IL.remove(J);
+      ++Removed;
+      continue; // I and its new successor may pair again
     }
+    // load r,[M1] ; mov r,<src not using r>  ->  the first load is dead.
+    if (isSlotLoad(I, RegA, SlotA) && !J->isLabel() && !J->isBundle() &&
+        J->getOpcode() == OP_mov && J->getDst(0).isReg() &&
+        J->getDst(0).getReg() == RegA && !J->getSrc(0).usesRegister(RegA)) {
+      Instr *P = I->prev();
+      IL.remove(I);
+      ++Removed;
+      I = P ? P : IL.first(); // the predecessor may now pair with J
+      continue;
+    }
+    I = J;
   }
   return Removed;
 }

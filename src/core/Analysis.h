@@ -57,10 +57,12 @@ unsigned elideDeadFlagSavePairs(InstrList &IL);
 /// Collapses redundant register spill/restore traffic left by naively
 /// composed mangling sequences: adjacent `mov r,[M]; mov [M],r` /
 /// `mov [M],r; mov r,[M]` pairs and back-to-back loads into the same
-/// register. Iterates to a fixpoint so a chain of inline-check segments
-/// that each bracket themselves with an ecx spill/restore ends up paying
-/// one spill for the whole chain. Returns the number of instructions
-/// removed.
+/// register. One bounded forward pass that re-examines only the pair a
+/// removal newly made adjacent — reaching the same fixpoint as an
+/// unbounded rescan in O(n + removals) steps — so a chain of inline-check
+/// segments that each bracket themselves with an ecx spill/restore ends up
+/// paying one spill for the whole chain. Returns the number of
+/// instructions removed.
 unsigned collapseRedundantSpills(InstrList &IL);
 
 /// Returns true if register \p Reg may be read before being fully

@@ -101,6 +101,19 @@ public:
   /// transformation at the publication point.
   virtual bool sidelineSafe() const { return false; }
 
+  /// Called on the *application* thread just before an asynchronous
+  /// sideline publication installs \p IL as the next version of trace
+  /// \p Tag (core/Sideline.h). Unlike onTrace — which may run on the
+  /// worker thread — this hook may read live Runtime state (fragment
+  /// versions, machine memory, the speculation blacklist), which is what
+  /// the speculative tier of the trace optimizer needs to turn profile
+  /// observations into guarded rewrites (core/TraceOpt.h).
+  virtual void onSidelinePublish(Runtime &RT, AppPc Tag, InstrList &IL) {
+    (void)RT;
+    (void)Tag;
+    (void)IL;
+  }
+
   /// True if the runtime may serialize (dr_cache_save) and restore
   /// (dr_cache_load) caches while this client is attached: the client's
   /// transformations must be a pure function of the InstrList it was

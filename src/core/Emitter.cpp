@@ -187,6 +187,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     bool AlwaysThrough;
     bool IsIbArm;       // inline-chain match arm (direct)
     bool IbMiss;        // inline-chain fall-through (indirect)
+    bool IsGuard;       // speculation guard bail-out (direct, never linked)
   };
   std::vector<PendingExit> Pending;
   for (Instr &I : IL) {
@@ -195,15 +196,16 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     if (!I.isCti())
       continue;
     if (I.isIndirectCti()) {
-      Pending.push_back({&I, 0, nullptr, false, false, I.isIbMissCti()});
+      Pending.push_back(
+          {&I, 0, nullptr, false, false, I.isIbMissCti(), false});
       continue;
     }
     assert(I.numSrcs() >= 1 && "direct CTI without target operand");
     if (I.getSrc(0).isInstr())
       continue; // internal branch to a label
     assert(!I.isCall() && "calls must be mangled before emission");
-    Pending.push_back(
-        {&I, I.getSrc(0).getPc(), nullptr, false, I.isIbArmCti(), false});
+    Pending.push_back({&I, I.getSrc(0).getPc(), nullptr, false,
+                       I.isIbArmCti(), false, I.isGuardCti()});
   }
 
   // Attach client custom stubs registered during the hook.
@@ -276,6 +278,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     }
     Exit.ExitKind = FragmentExit::Kind::Direct;
     Exit.IsIbArm = PE.IsIbArm;
+    Exit.IsGuard = PE.IsGuard;
     Exit.TargetTag = PE.TargetTag;
     Exit.StubOff = StubOffset[Idx];
     Exit.ExitId = uint32_t(ExitRecords.size());
@@ -387,7 +390,7 @@ Fragment *Runtime::emitFragment(AppPc Tag, InstrList &IL, Fragment::Kind Kind,
     for (size_t Idx = 0; Idx != Pending.size(); ++Idx) {
       FragmentExit &Exit = Frag->Exits[Idx];
       if (Exit.ExitKind != FragmentExit::Kind::Direct || Exit.IsIbArm ||
-          Pending[Idx].Custom)
+          Exit.IsGuard || Pending[Idx].Custom)
         continue;
       OsrPoint P;
       P.CtiOff = Exit.CtiOff;
@@ -607,6 +610,8 @@ void Runtime::linkNewFragment(Fragment *Frag) {
   for (FragmentExit &Exit : Frag->Exits) {
     if (Exit.ExitKind != FragmentExit::Kind::Direct)
       continue;
+    if (Exit.IsGuard)
+      continue; // guard bail-outs stay unlinked: failures must dispatch
     Fragment *To = lookupFragment(Exit.TargetTag);
     if (!To)
       continue;
@@ -728,6 +733,8 @@ InstrList *Runtime::decodeFragment(Arena &A, AppPc Tag) {
         R.I->setExitCti(true);
         if (Exit.IsIbArm)
           R.I->setIbArmCti(true);
+        if (Exit.IsGuard)
+          R.I->setGuardCti(true);
         IsExit = true;
         break;
       }

@@ -83,6 +83,13 @@ struct FragmentExit {
   /// Arrivals here count as ib_inline_misses; the site is never rewritten
   /// again through this exit.
   bool IbMiss = false;
+
+  /// Speculation guard bail-out (sideline trace optimizer): the exit
+  /// targets the owning trace's own head tag but is never linked, so every
+  /// guard failure surfaces at the dispatcher, which charges the deopt
+  /// cost, bumps the fragment's failure counter, and deoptimizes the trace
+  /// back to a pristine rebuild before resuming at the head.
+  bool IsGuard = false;
 };
 
 /// One contiguous application byte range [Lo, Hi) whose code backs part of

@@ -45,6 +45,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -325,6 +326,27 @@ public:
   /// PublishEpoch <= this).
   uint64_t publicationEpoch() const { return PubEpoch; }
 
+  //===--------------------------------------------------------------------===
+  // Speculative trace optimization (core/TraceOpt.h)
+  //===--------------------------------------------------------------------===
+
+  /// Guard failures recorded against trace tag \p Tag, across all versions
+  /// of the tag (the counter belongs to the tag, not the body).
+  uint32_t traceoptGuardFailures(AppPc Tag) const {
+    auto It = GuardFailCounts.find(Tag);
+    return It == GuardFailCounts.end() ? 0 : It->second;
+  }
+
+  /// True once \p Tag accumulated Config.TraceOptBlacklistAfter guard
+  /// failures: the speculative tier must not touch it again.
+  bool traceoptBlacklisted(AppPc Tag) const {
+    return TraceOptBlacklist.count(Tag) != 0;
+  }
+
+  /// The blacklisted tags, ordered (deterministic iteration for persist,
+  /// dr_traceopt_blacklist, and tests).
+  const std::set<AppPc> &traceoptBlacklist() const { return TraceOptBlacklist; }
+
   /// The slowest thread's safe epoch: the largest epoch E such that every
   /// thread context has passed a publication safe point for E. Slots
   /// retired under epoch R stay un-reclaimed while minSafeEpoch() < R.
@@ -551,7 +573,8 @@ private:
         ThreadContextSwaps, IbInlineHits, IbInlineMisses, IbInlineRewrites,
         IbInlineChainEvictions, IbInlineArmRelinks, IbInlineFlagPairsElided,
         IbInlineSpillsCollapsed, CacheWarmHits, CacheWarmRejects,
-        PersistBytesWritten, ForkCacheUnshares;
+        PersistBytesWritten, ForkCacheUnshares, TraceoptGuardFails,
+        TraceoptBlacklists;
 
     explicit FlowStats(StatisticSet &S);
   };
@@ -627,6 +650,13 @@ private:
   ThreadContext *TC = nullptr;
   /// Reused buffer for collectGuardPcs().
   std::vector<uint32_t> GuardBuf;
+
+  /// Speculation-guard failure counters and the tags blacklisted from
+  /// further speculation (ordered so persistence and the API iterate
+  /// deterministically). Keyed by tag: counters survive deoptimization
+  /// and republication of the body.
+  std::map<AppPc, uint32_t> GuardFailCounts;
+  std::set<AppPc> TraceOptBlacklist;
 
   /// Adaptive indirect-branch inlining is live for this run (config knob
   /// plus the modes it needs). All hot-path hooks gate on this so the

@@ -117,6 +117,12 @@ struct RuntimeConfig {
   /// short-branch reach over the chain tail can never overflow).
   unsigned MaxIbInlineTargets = 4;
 
+  /// Guard failures on one trace tag before the speculative trace
+  /// optimizer blacklists it (no further speculation; the pristine rebuild
+  /// stays published). Counted across versions — the counter belongs to
+  /// the tag, not the body (core/TraceOpt.h).
+  unsigned TraceOptBlacklistAfter = 3;
+
   /// How a full cache makes room (core/CacheManager.h).
   EvictionPolicy Eviction = EvictionPolicy::Fifo;
 

@@ -97,6 +97,23 @@ void SidelineOptimizer::onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) {
   Pending.push_back(Tag);
 }
 
+bool SidelineOptimizer::requestReopt(Runtime &RT, AppPc Tag) {
+  if (Mode != SidelineMode::Async)
+    return false;
+  for (const QueuedTrace &Q : Queued)
+    if (Q.RT == &RT && Q.Tag == Tag)
+      return false;
+  for (const auto &J : InFlight)
+    if (J->RT == &RT && J->Tag == Tag &&
+        !J->Cancelled.load(std::memory_order_relaxed))
+      return false;
+  Fragment *Frag = RT.lookupFragment(Tag);
+  if (!Frag || !Frag->isTrace())
+    return false;
+  Queued.push_back({&RT, Tag});
+  return true;
+}
+
 void SidelineOptimizer::onFragmentDeleted(Runtime &RT, AppPc Tag) {
   // Sync: queued tags are NOT dropped here — when a trace supersedes the
   // basic block under the same tag, the block's deletion hook fires right
@@ -227,6 +244,12 @@ void SidelineOptimizer::publishJob(Runtime &RT, Job *J) {
     if (Charged)
       M.refundCycles(Charged);
   }
+  // Publication-side hook: runs on the application thread, where live
+  // runtime state (fragment versions, machine memory, the speculation
+  // blacklist) is readable — the speculative tier of the trace optimizer
+  // emits its guards here. Host-side list surgery only; it charges no
+  // simulated cycles, so the seeded publication schedule is unaffected.
+  Inner.onSidelinePublish(RT, J->Tag, *J->IL);
   if (!RT.publishVersion(J->Tag, *J->IL))
     return;
   ++Published;

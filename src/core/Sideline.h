@@ -90,6 +90,15 @@ public:
   /// now (the trace is emitted as-is; the app keeps running).
   void onTrace(Runtime &RT, AppPc Tag, InstrList &Trace) override;
 
+  /// Profile-driven re-optimization request (core/TraceOpt.h): queues the
+  /// live trace at \p Tag for another sideline pass as if onTrace had just
+  /// fired — decoded at the next dispatch boundary, transformed by the
+  /// worker, published on the seeded virtual-completion schedule. Requests
+  /// for a tag that already has work queued or in flight are dropped, as
+  /// are tags without a live trace. Async mode only; returns true iff the
+  /// tag was queued.
+  bool requestReopt(Runtime &RT, AppPc Tag);
+
   /// One unit of Sync-mode sideline work: pops a queued trace, runs the
   /// inner client's transformation over its decoded body, and installs the
   /// result via fragment replacement. Returns false when the queue is

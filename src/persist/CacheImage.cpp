@@ -204,6 +204,7 @@ constexpr uint8_t FlagAlwaysThroughStub = 1u << 0;
 constexpr uint8_t FlagLinked = 1u << 1;
 constexpr uint8_t FlagIsIbArm = 1u << 2;
 constexpr uint8_t FlagIbMiss = 1u << 3;
+constexpr uint8_t FlagIsGuard = 1u << 4;
 
 /// True when \p Op is an absolute-memory reference into the saved runtime
 /// region [Lo, Hi) — the only operand shape a base shift invalidates.
@@ -311,6 +312,8 @@ struct CacheCodec::Image {
   std::vector<uint32_t> Ras;
   uint32_t RasTop = 0;
   uint32_t NumExitRecords = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> GuardFails; // tag -> failures
+  std::vector<uint32_t> Blacklist;                       // tags, sorted
 };
 
 //===----------------------------------------------------------------------===//
@@ -344,6 +347,7 @@ uint64_t CacheCodec::configHash(Runtime &RT) {
   H = fnvU32(H, uint32_t(C.Sharing));
   H = fnvU32(H, C.MaxThreads);
   H = fnvU64(H, C.ThreadQuantum);
+  H = fnvU32(H, C.TraceOptBlacklistAfter);
   // Cost model: a different model re-weights everything the image's warmed
   // state was shaped by (trace promotion, eviction order).
   H = fnvU32(H, uint32_t(CM.Family));
@@ -369,6 +373,7 @@ uint64_t CacheCodec::configHash(Runtime &RT) {
   H = fnvU32(H, CM.ClientDecodeLevel02);
   H = fnvU32(H, CM.ClientDecodeLevel3);
   H = fnvU32(H, CM.ClientEncodeLevel4);
+  H = fnvU32(H, CM.DeoptCost);
   // Address-space layout. The machine's app-region size fixes where the
   // runtime region starts; the base-relative cache split must also match
   // (absolute bases may differ — that is what relocation is for).
@@ -474,6 +479,8 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
         Flags |= FlagIsIbArm;
       if (E.IbMiss)
         Flags |= FlagIbMiss;
+      if (E.IsGuard)
+        Flags |= FlagIsGuard;
       P.u8(Flags);
       P.u32(E.TargetTag);
       P.u32(E.CtiOff);
@@ -584,6 +591,20 @@ bool CacheCodec::save(Runtime &RT, std::vector<uint8_t> &Out) {
   for (unsigned I = 0; I != BranchPredictors::RasDepth; ++I)
     P.u32(Pred.ras()[I]);
   P.u32(Pred.rasTop());
+
+  // Speculation history: per-tag guard-failure counters and the blacklist.
+  // Without these a warm restart would re-speculate tags the saved run
+  // already proved unstable, replaying the whole deopt storm; with them the
+  // restored run resumes from the same refuse-to-speculate state. Both
+  // containers are ordered, so the serialization is canonical.
+  P.u32(uint32_t(RT.GuardFailCounts.size()));
+  for (const auto &[Tag, Fails] : RT.GuardFailCounts) {
+    P.u32(Tag);
+    P.u32(Fails);
+  }
+  P.u32(uint32_t(RT.TraceOptBlacklist.size()));
+  for (AppPc Tag : RT.TraceOptBlacklist)
+    P.u32(Tag);
 
   std::vector<uint8_t> Payload = P.take();
   ByteWriter H;
@@ -733,8 +754,14 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
             E.StubJmpLen < 5 || E.StubJmpLen > MaxInstrLength)
           return LoadStatus::Malformed;
         E.NewExitId = Out.NumExitRecords++;
+        // Speculation guards are direct exits that the linker must never
+        // touch: a guard flagged linked contradicts the runtime invariant
+        // and would replay a patched-over bail-out path.
+        if ((E.Flags & FlagIsGuard) && (E.Flags & FlagLinked))
+          return LoadStatus::Malformed;
       } else {
-        if (E.Flags & (FlagLinked | FlagIsIbArm | FlagAlwaysThroughStub))
+        if (E.Flags &
+            (FlagLinked | FlagIsIbArm | FlagAlwaysThroughStub | FlagIsGuard))
           return LoadStatus::Malformed;
       }
       if ((E.Flags & FlagLinked) && E.LinkedToIdx >= NumFrags)
@@ -931,6 +958,39 @@ LoadStatus CacheCodec::parse(Runtime &RT, const uint8_t *Data, size_t Size,
   if (!R.ok())
     return LoadStatus::Truncated;
 
+  // Speculation history tables (see save). Both are sorted strictly
+  // increasing by tag — the canonical form std::map/std::set serialize to —
+  // and a failure count of zero is impossible (the dispatcher only inserts
+  // a counter when it increments it).
+  uint32_t NumGuardFails = R.u32();
+  if (!R.ok() || NumGuardFails > MaxFragments)
+    return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
+  Out.GuardFails.clear();
+  Out.GuardFails.reserve(clampedReserve(R, NumGuardFails, 8));
+  for (uint32_t I = 0; I != NumGuardFails; ++I) {
+    uint32_t Tag = R.u32();
+    uint32_t Fails = R.u32();
+    if (!R.ok())
+      return LoadStatus::Truncated;
+    if (Fails == 0 ||
+        (!Out.GuardFails.empty() && Tag <= Out.GuardFails.back().first))
+      return LoadStatus::Malformed;
+    Out.GuardFails.emplace_back(Tag, Fails);
+  }
+  uint32_t NumBlacklisted = R.u32();
+  if (!R.ok() || NumBlacklisted > MaxFragments)
+    return R.ok() ? LoadStatus::Malformed : LoadStatus::Truncated;
+  Out.Blacklist.clear();
+  Out.Blacklist.reserve(clampedReserve(R, NumBlacklisted, 4));
+  for (uint32_t I = 0; I != NumBlacklisted; ++I) {
+    uint32_t Tag = R.u32();
+    if (!R.ok())
+      return LoadStatus::Truncated;
+    if (!Out.Blacklist.empty() && Tag <= Out.Blacklist.back())
+      return LoadStatus::Malformed;
+    Out.Blacklist.push_back(Tag);
+  }
+
   if (!R.atEnd())
     return LoadStatus::Malformed; // trailing garbage
 
@@ -996,6 +1056,7 @@ void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes,
       X.AlwaysThroughStub = (E.Flags & FlagAlwaysThroughStub) != 0;
       X.IsIbArm = (E.Flags & FlagIsIbArm) != 0;
       X.IbMiss = (E.Flags & FlagIbMiss) != 0;
+      X.IsGuard = (E.Flags & FlagIsGuard) != 0;
       if (X.ExitKind == FragmentExit::Kind::Direct) {
         X.ExitId = E.NewExitId;
         assert(E.NewExitId == RT.ExitRecords.size() &&
@@ -1065,6 +1126,19 @@ void CacheCodec::apply(Runtime &RT, Image &Img, size_t ImageBytes,
     }
     RT.IbProfiles.emplace(S.SiteAppPc, P);
   }
+
+  // Speculation history: restored on the trusted (fork/unshare) path too —
+  // a tenant that unshares must keep refusing tags its shared ancestry
+  // already blacklisted, not rediscover the instability one deopt storm at
+  // a time. Merge by max: counters are monotone, and an unsharing tenant
+  // may have accumulated failures past the template's freeze-time snapshot
+  // (on a cold load the maps are empty and this is a plain restore).
+  for (const auto &[Tag, Fails] : Img.GuardFails) {
+    uint32_t &Slot = RT.GuardFailCounts[Tag];
+    Slot = std::max(Slot, Fails);
+  }
+  for (uint32_t Tag : Img.Blacklist)
+    RT.TraceOptBlacklist.insert(Tag);
 
   if (Trusted)
     return; // clone restore: the fork engine owns the cursor (pending SMC

@@ -56,8 +56,12 @@ bool Runtime::freezeTemplate(std::string *Error) {
   };
   if (Tpl)
     return Fail("a forked tenant cannot become a template before it unshares");
-  if (TheClient)
-    return Fail("cannot freeze a runtime with a client attached");
+  // Persist-safe clients (pure code transforms, e.g. the trace optimizer's
+  // non-speculative tier) are freezable: their effect is entirely in the
+  // serialized bytes, and tenants run those bytes without the client.
+  if (TheClient && !TheClient->persistSafe())
+    return Fail("cannot freeze a runtime with a non-persist-safe client "
+                "attached");
   if (Config.Mode != ExecMode::Cache)
     return Fail("only cache-mode runtimes can be frozen as fork templates");
   std::vector<uint8_t> Img;
@@ -88,8 +92,9 @@ std::unique_ptr<Runtime> Runtime::forkFrom(const Runtime &Template,
     return Fail("template is not frozen: call freezeTemplate() after warm-up");
   if (Template.Tpl)
     return Fail("cannot fork from a runtime that still shares its template");
-  if (Template.TheClient)
-    return Fail("cannot fork from a runtime with a client attached");
+  if (Template.TheClient && !Template.TheClient->persistSafe())
+    return Fail("cannot fork from a runtime with a non-persist-safe client "
+                "attached");
   if (&TenantMachine == &Template.M)
     return Fail("the tenant needs its own machine: copy-construct a fork of "
                 "the template's machine first");
@@ -116,6 +121,12 @@ std::unique_ptr<Runtime> Runtime::forkFrom(const Runtime &Template,
   RT->IbArmStubSites = Template.IbArmStubSites;
   RT->IbArmPcs = Template.IbArmPcs;
   RT->CodeWriteCursor = Template.CodeWriteCursor;
+  // Speculation history rides along: a tenant sharing the template's
+  // optimized bodies must also share its refuse-to-speculate verdicts, or
+  // the first tenant reopt would replay a deopt storm the template already
+  // paid for. (Unshare re-merges these from the frozen image, max-wise.)
+  RT->GuardFailCounts = Template.GuardFailCounts;
+  RT->TraceOptBlacklist = Template.TraceOptBlacklist;
 
   RT->Tpl = &Template;
   RT->UnshareHook = &Runtime::unshareImpl;

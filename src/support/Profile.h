@@ -26,6 +26,7 @@
 #include "support/Histogram.h"
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,9 +65,22 @@ public:
     if (IsTrace)
       ++E.TraceSamples;
     ++Count;
+    if (IsTrace && TraceSampleHook)
+      TraceSampleHook(Tag, E.TraceSamples);
     do
       NextAt += Interval;
     while (NextAt <= Cycles);
+  }
+
+  /// Continuous consumer of the profile stream: fires on every sample that
+  /// lands in a trace, with the tag and its running trace-sample count.
+  /// The speculative trace optimizer hangs its value observer here
+  /// (core/TraceOpt.h), turning the PR 4 profiler into the feed that
+  /// drives sideline re-optimization. Sampling rides the simulated clock,
+  /// so the firing sequence is deterministic; the hook itself must stay
+  /// host-side (charge nothing).
+  void setTraceSampleHook(std::function<void(uint32_t, uint64_t)> Hook) {
+    TraceSampleHook = std::move(Hook);
   }
 
   uint64_t totalSamples() const { return Count; }
@@ -100,6 +114,7 @@ private:
   uint64_t NextAt;
   uint64_t Count = 0;
   std::unordered_map<uint32_t, Entry> ByTag;
+  std::function<void(uint32_t, uint64_t)> TraceSampleHook;
 };
 
 /// Writes the deterministic text report: top-\p TopK hot fragments with

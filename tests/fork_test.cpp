@@ -442,13 +442,27 @@ TEST(RuntimeFork, GuardRailsRefuseBadForks) {
   ASSERT_TRUE(Template.freezeTemplate(&Err)) << Err;
   EXPECT_EQ(Runtime::forkFrom(Template, M, &Err), nullptr);
 
-  // A runtime with a client cannot freeze.
+  // A runtime with a non-persist-safe client cannot freeze: the client's
+  // effect is not captured by the serialized bytes, so tenants running
+  // without it would diverge. A persist-safe client (pure code transform)
+  // is freezable — the trace optimizer's non-speculative tier relies on
+  // that to warm fork templates.
+  class StatefulClient : public Client {}; // persistSafe() defaults false
   Machine M2;
   ASSERT_TRUE(loadProgram(M2, Prog));
-  NullClient Client;
+  StatefulClient Client;
   Runtime WithClient(M2, Config, &Client);
   ASSERT_EQ(WithClient.run().Status, RunStatus::Exited);
   EXPECT_FALSE(WithClient.freezeTemplate(&Err));
+
+  Machine M3;
+  ASSERT_TRUE(loadProgram(M3, Prog));
+  NullClient Pure;
+  Runtime WithPure(M3, Config, &Pure);
+  ASSERT_EQ(WithPure.run().Status, RunStatus::Exited);
+  M3.resetForRun();
+  WithPure.resetThreadForRun();
+  EXPECT_TRUE(WithPure.freezeTemplate(&Err)) << Err;
 }
 
 TEST(RuntimeFork, TenantFleetSpawnsIdenticalTenants) {
